@@ -1,0 +1,128 @@
+package invisiblebits
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func TestPlannerPublicAPI(t *testing.T) {
+	plans, err := RecommendECC(0.065, 0.003, 64<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) == 0 {
+		t.Fatal("no plans")
+	}
+	best, err := BestECC(0.065, 0.003, 64<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Rate < plans[len(plans)-1].Rate {
+		t.Error("BestECC not the top-rated plan")
+	}
+	// The planner should beat the paper's rep(5) capacity at its own
+	// operating point (hamming(15,11)+rep(3) reaches 16 KB vs 12.8 KB).
+	if best.CapacityBytes <= 64<<10/5 {
+		t.Errorf("best plan capacity %d does not beat rep(5)'s 13107", best.CapacityBytes)
+	}
+}
+
+func TestExtendedCodecsPublic(t *testing.T) {
+	for _, c := range []Codec{Hamming1511(), Secded84()} {
+		msg := []byte("extended codec round trip")
+		enc, err := c.Encode(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := c.Decode(enc, len(msg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(dec, msg) {
+			t.Errorf("%s round trip failed", c.Name())
+		}
+	}
+}
+
+func TestSoftDecodingPublicAPI(t *testing.T) {
+	model, err := Model("MSP432P401")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := NewDeviceSampled(model, "api-soft", 8<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	carrier := NewCarrier(dev)
+	key := KeyFromPassphrase("soft api")
+	opts := Options{Codec: PaperCodec(), Key: &key}
+	msg := []byte("soft decision through the public API")
+	rec, err := carrier.Hide(msg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	soft := opts
+	soft.Soft = true
+	got, err := carrier.Reveal(rec, soft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("soft reveal failed")
+	}
+}
+
+func TestFleetPublicAPI(t *testing.T) {
+	model, err := Model("MSP432P401")
+	if err != nil {
+		t.Fatal(err)
+	}
+	carriers := make([]*Carrier, 3)
+	for i := range carriers {
+		dev, err := NewDeviceSampled(model, fmt.Sprintf("api-fleet-%d", i), 4<<10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		carriers[i] = NewCarrier(dev)
+	}
+	chars, err := CharacterizeFleet(carriers, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := SelectBestDevice(chars)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.ChannelError <= 0 || best.ChannelError > 0.12 {
+		t.Errorf("best channel error = %v", best.ChannelError)
+	}
+
+	// Stripe across a fresh batch (characterization is destructive).
+	fresh := make([]*Carrier, 3)
+	for i := range fresh {
+		dev, err := NewDeviceSampled(model, fmt.Sprintf("api-ship-%d", i), 4<<10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh[i] = NewCarrier(dev)
+	}
+	key := KeyFromPassphrase("fleet api")
+	opts := Options{Codec: PaperCodec(), Key: &key}
+	per := MaxMessageBytes(4<<10, opts.Codec)
+	msg := make([]byte, per*2)
+	for i := range msg {
+		msg[i] = byte(i * 13)
+	}
+	striped, err := StripeMessage(fresh, msg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := GatherMessage(fresh, striped, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("fleet stripe round trip failed")
+	}
+}

@@ -1,0 +1,117 @@
+// Command ibasm assembles and disassembles IB32 programs — the firmware
+// format the simulated devices execute (payload writers, retainers,
+// camouflage, workloads).
+//
+// Usage:
+//
+//	ibasm -in prog.s -out prog.bin            assemble
+//	ibasm -d -in prog.bin                     disassemble to stdout
+//	ibasm -gen writer -payload data.bin       emit a payload-writer program
+//	ibasm -gen retainer|camouflage|workload   emit a canned program
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"invisiblebits/internal/asm"
+	"invisiblebits/internal/progen"
+)
+
+func main() {
+	var (
+		inFile   = flag.String("in", "", "input file (assembly source, or binary with -d)")
+		outFile  = flag.String("out", "", "output file (defaults to stdout for text, prog.bin for binaries)")
+		disasm   = flag.Bool("d", false, "disassemble a binary image")
+		origin   = flag.Uint("origin", 0, "load address")
+		gen      = flag.String("gen", "", "generate a program: writer, retainer, camouflage, workload")
+		payload  = flag.String("payload", "", "payload file for -gen writer")
+		sramSize = flag.Int("sram", 64<<10, "SRAM size for -gen workload")
+	)
+	flag.Parse()
+
+	switch {
+	case *gen != "":
+		src, err := generate(*gen, *payload, *sramSize)
+		if err != nil {
+			fatal(err)
+		}
+		if err := writeOut(*outFile, []byte(src)); err != nil {
+			fatal(err)
+		}
+
+	case *disasm:
+		if *inFile == "" {
+			fatal(fmt.Errorf("-d requires -in"))
+		}
+		img, err := os.ReadFile(*inFile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := writeOut(*outFile, []byte(asm.Disassemble(img, uint32(*origin)))); err != nil {
+			fatal(err)
+		}
+
+	case *inFile != "":
+		src, err := os.ReadFile(*inFile)
+		if err != nil {
+			fatal(err)
+		}
+		prog, err := asm.Assemble(string(src), uint32(*origin))
+		if err != nil {
+			fatal(err)
+		}
+		out := *outFile
+		if out == "" {
+			out = "prog.bin"
+		}
+		if err := os.WriteFile(out, prog.Image, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "ibasm: %d bytes -> %s (%d symbols)\n",
+			len(prog.Image), out, len(prog.Symbols))
+
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func generate(kind, payloadFile string, sramSize int) (string, error) {
+	switch kind {
+	case "writer":
+		if payloadFile == "" {
+			return "", fmt.Errorf("-gen writer requires -payload")
+		}
+		data, err := os.ReadFile(payloadFile)
+		if err != nil {
+			return "", err
+		}
+		if pad := (4 - len(data)%4) % 4; pad > 0 {
+			data = append(data, make([]byte, pad)...)
+		}
+		return progen.WriterProgram(data)
+	case "retainer":
+		return progen.RetainerProgram(), nil
+	case "camouflage":
+		return progen.CamouflageProgram(), nil
+	case "workload":
+		return progen.WorkloadProgram(sramSize)
+	default:
+		return "", fmt.Errorf("unknown generator %q", kind)
+	}
+}
+
+func writeOut(path string, data []byte) error {
+	if path == "" {
+		_, err := os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ibasm:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,100 @@
+// Command ibdecode extracts a hidden message from a device image (the
+// Bob side of Fig. 4): retainer firmware, five power-on captures,
+// majority vote, inversion, decryption, ECC decode.
+//
+// Usage:
+//
+//	ibdecode -device dev.ibdev -record msg.ibrec -passphrase secret
+//	ibdecode -device dev.ibdev -record msg.ibrec -shelve-weeks 4 -out msg.txt
+//
+// -shelve-weeks simulates the time the device spent in transit before
+// decoding (natural recovery adds channel error; the ECC absorbs it).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	ib "invisiblebits"
+	"invisiblebits/internal/cliutil"
+)
+
+func main() {
+	var (
+		devPath     = flag.String("device", "device.ibdev", "device image produced by ibencode")
+		recPath     = flag.String("record", "message.ibrec", "record with the pre-shared parameters")
+		passphrase  = flag.String("passphrase", "", "pre-shared passphrase (required if the record is encrypted)")
+		codecName   = flag.String("codec", "", "override the ECC layer (defaults to the record's)")
+		captures    = flag.Int("captures", 0, "power-on captures for majority voting (0 = record default)")
+		shelveWeeks = flag.Float64("shelve-weeks", 0, "simulated weeks on the shelf before decoding")
+		soft        = flag.Bool("soft", false, "use soft-decision decoding (vote confidences instead of hard majority)")
+		outFile     = flag.String("out", "", "write the recovered message to this file instead of stdout")
+	)
+	flag.Parse()
+
+	devF, err := os.Open(*devPath)
+	if err != nil {
+		fatal(err)
+	}
+	dev, err := ib.LoadDevice(devF)
+	devF.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	recF, err := os.Open(*recPath)
+	if err != nil {
+		fatal(err)
+	}
+	var rec ib.Record
+	err = json.NewDecoder(recF).Decode(&rec)
+	recF.Close()
+	if err != nil {
+		fatal(fmt.Errorf("parsing record: %w", err))
+	}
+
+	carrier := ib.NewCarrier(dev)
+	if *shelveWeeks > 0 {
+		dev.PowerOff(true)
+		if err := carrier.Shelve(*shelveWeeks * 7 * 24); err != nil {
+			fatal(err)
+		}
+	}
+
+	opts := ib.Options{Captures: *captures, Soft: *soft}
+	name := rec.CodecName
+	if *codecName != "" {
+		name = *codecName
+	}
+	opts.Codec, err = cliutil.ParseCodec(name)
+	if err != nil {
+		fatal(err)
+	}
+	if *passphrase != "" {
+		key := ib.KeyFromPassphrase(*passphrase)
+		opts.Key = &key
+	}
+
+	msg, err := carrier.Reveal(&rec, opts)
+	if err != nil {
+		fatal(err)
+	}
+	if *outFile != "" {
+		if err := os.WriteFile(*outFile, msg, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "ibdecode: recovered %d bytes -> %s\n", len(msg), *outFile)
+		return
+	}
+	os.Stdout.Write(msg)
+	if len(msg) > 0 && msg[len(msg)-1] != '\n' {
+		fmt.Println()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ibdecode:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,137 @@
+// Command ibencode hides a message in a simulated device's SRAM analog
+// domain (the Alice side of Fig. 4) and writes two artifacts: the device
+// image (the "chip" to hand over) and a record file with the pre-shared
+// decode parameters.
+//
+// Usage:
+//
+//	ibencode -model MSP432P401 -serial 0001 -message "hello" \
+//	         -passphrase secret -codec paper \
+//	         -device dev.ibdev -record msg.ibrec
+//
+// The message may instead come from a file via -in. Omitting -passphrase
+// encodes plain-text (detectable by analog steganalysis — see ibstat).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	ib "invisiblebits"
+	"invisiblebits/internal/cliutil"
+)
+
+func main() {
+	var (
+		model      = flag.String("model", "MSP432P401", "device model (see Table 1; ibencode -list)")
+		serial     = flag.String("serial", "0001", "device serial number (determines the silicon fingerprint)")
+		message    = flag.String("message", "", "message text to hide")
+		inFile     = flag.String("in", "", "read the message from this file instead of -message")
+		passphrase = flag.String("passphrase", "", "pre-shared passphrase (empty = no encryption)")
+		codecName  = flag.String("codec", "paper", "ECC layer: "+cliutil.KnownCodecs())
+		hours      = flag.Float64("hours", 0, "stress time override in simulated hours (0 = device default)")
+		sramLimit  = flag.Int("sram-limit", 0, "cap simulated SRAM bytes (0 = full size)")
+		devOut     = flag.String("device", "device.ibdev", "output device image path")
+		recOut     = flag.String("record", "message.ibrec", "output record path (pre-shared parameters)")
+		list       = flag.Bool("list", false, "list supported device models and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, m := range ib.Models() {
+			fmt.Printf("%-18s %-28s SRAM %8s  Flash %8s  (%s)\n",
+				m.Name, m.CPUCore, kb(m.SRAMBytes), kb(m.FlashBytes), m.Manufacturer)
+		}
+		return
+	}
+
+	msg := []byte(*message)
+	if *inFile != "" {
+		data, err := os.ReadFile(*inFile)
+		if err != nil {
+			fatal(err)
+		}
+		msg = data
+	}
+	if len(msg) == 0 {
+		fatal(fmt.Errorf("no message: use -message or -in"))
+	}
+
+	codec, err := cliutil.ParseCodec(*codecName)
+	if err != nil {
+		fatal(err)
+	}
+	m, err := ib.Model(*model)
+	if err != nil {
+		fatal(err)
+	}
+	var dev *ib.Device
+	if *sramLimit > 0 {
+		dev, err = ib.NewDeviceSampled(m, *serial, *sramLimit)
+	} else {
+		dev, err = ib.NewDevice(m, *serial)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	capacity := ib.MaxMessageBytes(dev.SRAM.Bytes(), codec)
+	if len(msg) > capacity {
+		fatal(fmt.Errorf("message of %d bytes exceeds capacity %d bytes (model %s, codec %s)",
+			len(msg), capacity, m.Name, cliutil.CodecDisplay(codec)))
+	}
+
+	opts := ib.Options{Codec: codec, StressHours: *hours}
+	if *passphrase != "" {
+		key := ib.KeyFromPassphrase(*passphrase)
+		opts.Key = &key
+	}
+
+	carrier := ib.NewCarrier(dev)
+	rec, err := carrier.Hide(msg, opts)
+	if err != nil {
+		fatal(err)
+	}
+
+	devF, err := os.Create(*devOut)
+	if err != nil {
+		fatal(err)
+	}
+	defer devF.Close()
+	if err := ib.SaveDevice(dev, devF); err != nil {
+		fatal(err)
+	}
+	recF, err := os.Create(*recOut)
+	if err != nil {
+		fatal(err)
+	}
+	defer recF.Close()
+	enc := json.NewEncoder(recF)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rec); err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("encoded %d bytes into %s (%s)\n", len(msg), m.Name, dev.DeviceID())
+	fmt.Printf("  codec: %s, encrypted: %v, stress: %.1f simulated hours\n",
+		rec.CodecName, rec.Encrypted, rec.StressHours)
+	fmt.Printf("  device image: %s\n  record:       %s\n", *devOut, *recOut)
+	fmt.Printf("  rig log:\n")
+	for _, e := range carrier.Rig().Events() {
+		fmt.Printf("    %s\n", e)
+	}
+}
+
+func kb(bytes int) string {
+	if bytes < 1<<10 {
+		return fmt.Sprintf("%d B", bytes)
+	}
+	return fmt.Sprintf("%d KB", bytes>>10)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ibencode:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,75 @@
+// Command ibexperiments regenerates the paper's evaluation: every table
+// and figure from §5–§7, rendered as text tables and ASCII charts.
+//
+// Usage:
+//
+//	ibexperiments -list                 enumerate experiments
+//	ibexperiments -run fig6             run one experiment
+//	ibexperiments -run all              run everything (the default)
+//	ibexperiments -run all -summary     one verdict line per experiment
+//	ibexperiments -full                 use full-size SRAM arrays (slower)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"invisiblebits/internal/experiments"
+)
+
+func main() {
+	var (
+		run     = flag.String("run", "all", "experiment ID, or 'all'")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		summary = flag.Bool("summary", false, "print one-line summaries only")
+		full    = flag.Bool("full", false, "full-size SRAM arrays (paper scale; slower)")
+		sram    = flag.Int("sram-limit", 0, "override SRAM sample size in bytes")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, info := range experiments.List() {
+			fmt.Printf("%-8s %-12s %s\n", info.ID, info.PaperRef, info.Title)
+		}
+		return
+	}
+
+	cfg := experiments.Default()
+	if *full {
+		cfg = experiments.Full()
+	}
+	if *sram > 0 {
+		cfg.SRAMLimitBytes = *sram
+	}
+
+	var results []experiments.Result
+	if *run == "all" {
+		var err error
+		results, err = experiments.RunAll(cfg)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		res, err := experiments.Run(*run, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		results = append(results, res)
+	}
+
+	for _, res := range results {
+		if *summary {
+			fmt.Printf("%-8s %s\n", res.ID(), res.Summary())
+			continue
+		}
+		fmt.Println("================================================================")
+		fmt.Println(res.Render())
+		fmt.Printf(">> %s\n\n", res.Summary())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ibexperiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,76 @@
+package invisiblebits_test
+
+import (
+	"fmt"
+
+	ib "invisiblebits"
+)
+
+// The basic round trip: hide an encrypted, error-corrected message in a
+// device's SRAM analog domain and recover it after two weeks of
+// simulated shelf time.
+func Example() {
+	model, err := ib.Model("MSP432P401")
+	if err != nil {
+		panic(err)
+	}
+	dev, err := ib.NewDeviceSampled(model, "example-device", 8<<10)
+	if err != nil {
+		panic(err)
+	}
+	carrier := ib.NewCarrier(dev)
+
+	key := ib.KeyFromPassphrase("pre-shared secret")
+	opts := ib.Options{Codec: ib.PaperCodec(), Key: &key}
+
+	rec, err := carrier.Hide([]byte("meet at dawn"), opts)
+	if err != nil {
+		panic(err)
+	}
+	if err := carrier.Shelve(14 * 24); err != nil {
+		panic(err)
+	}
+	msg, err := carrier.Reveal(rec, opts)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s\n", msg)
+	// Output: meet at dawn
+}
+
+// MaxMessageBytes computes channel capacity under a codec — the §5.3
+// numbers fall straight out.
+func ExampleMaxMessageBytes() {
+	rep5, err := ib.Repetition(5)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(ib.MaxMessageBytes(64<<10, rep5)) // the paper's 12.8 KB
+	// Output: 13107
+}
+
+// BestECC turns a measured channel error and a reliability target into a
+// concrete code recommendation.
+func ExampleBestECC() {
+	plan, err := ib.BestECC(0.065, 0.003, 64<<10)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(plan.Codec.Name())
+	// Output: hamming(15,11)+repetition(3)
+}
+
+// Codecs compose: the paper's end-to-end system is Hamming(7,4) under a
+// 7-copy repetition code.
+func ExampleCompose() {
+	rep7, err := ib.Repetition(7)
+	if err != nil {
+		panic(err)
+	}
+	codec := ib.Compose(ib.Hamming74(), rep7)
+	fmt.Println(codec.Name())
+	fmt.Printf("%.3f\n", codec.Rate())
+	// Output:
+	// hamming(7,4)+repetition(7)
+	// 0.082
+}

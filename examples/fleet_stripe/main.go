@@ -1,0 +1,101 @@
+// Fleet stripe: §5.3 at system scale. A large document does not fit on
+// one microcontroller, so the sender (a) characterizes a batch of devices
+// in parallel to find the best silicon, (b) asks the ECC planner for the
+// highest-capacity code meeting the reliability target, and (c) stripes
+// the document across the fleet — every shard independently encrypted
+// under its own device nonce, every device individually deniable.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	ib "invisiblebits"
+)
+
+func main() {
+	model, err := ib.Model("MSP432P401")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Two batches from the same lot: characterization soaks are
+	// destructive (they encode a calibration pattern), so a sample batch
+	// is sacrificed to measure the lot and a fresh batch carries the
+	// actual message.
+	newBatch := func(prefix string, n int) []*ib.Carrier {
+		out := make([]*ib.Carrier, n)
+		for i := range out {
+			dev, err := ib.NewDeviceSampled(model, fmt.Sprintf("%s-%02d", prefix, i), 8<<10)
+			if err != nil {
+				log.Fatal(err)
+			}
+			out[i] = ib.NewCarrier(dev)
+		}
+		return out
+	}
+	sample := newBatch("lot7-sample", 5)
+	carriers := newBatch("lot7-ship", 3)
+
+	// (a) Characterize the sample batch in parallel — the soak dominates
+	// encoding time and all devices share the thermal chamber (§5.3).
+	chars, err := ib.CharacterizeFleet(sample, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("batch characterization (single-copy channel error):")
+	for _, c := range chars {
+		fmt.Printf("  device %d (%s): %.2f%%\n", c.Index, c.DeviceID, 100*c.ChannelError)
+	}
+	best, err := ib.SelectBestDevice(chars)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("best silicon: device %d at %.2f%%\n\n", best.Index, 100*best.ChannelError)
+
+	// (b) Plan the code against the worst sampled device plus a lot-
+	// variation margin (every shard on the shipping batch must meet the
+	// target).
+	worst := chars[0]
+	for _, c := range chars {
+		if c.ChannelError > worst.ChannelError {
+			worst = c
+		}
+	}
+	plan, err := ib.BestECC(worst.ChannelError*1.2, 1e-6, 8<<10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("planner: %v\n\n", plan)
+
+	// (c) Stripe a document larger than any single device's capacity.
+	key := ib.KeyFromPassphrase("fleet pre-shared key")
+	opts := ib.Options{Codec: plan.Codec, Key: &key}
+	perDevice := ib.MaxMessageBytes(8<<10, plan.Codec)
+	sentence := []byte("ARTICLE 19: Everyone has the right to freedom of opinion and expression. ")
+	document := bytes.Repeat(sentence, (perDevice*3-len(sentence))/len(sentence))
+	fmt.Printf("document: %d bytes (%d-byte capacity per device)\n", len(document), perDevice)
+
+	striped, err := ib.StripeMessage(carriers, document, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("striped across %d devices\n", len(striped.Shards))
+
+	// The fleet ships; each device spends a month in transit.
+	for _, c := range carriers {
+		if err := c.Shelve(30 * 24); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	got, err := ib.GatherMessage(carriers, striped, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !bytes.Equal(got, document) {
+		log.Fatal("document corrupted")
+	}
+	fmt.Printf("reassembled %d bytes after a month of shelving — intact\n", len(got))
+}

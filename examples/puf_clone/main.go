@@ -1,0 +1,88 @@
+// PUF clone: footnote 2 of the paper notes that "the results of our
+// extreme/controlled aging suggest that it is possible to clone SRAM
+// PUFs." This example uses the puf package to demonstrate both
+// consequences of directed aging for SRAM-PUF security:
+//
+//  1. Denial of service: aging a victim device with its own power-on
+//     state flips its marginal cells, breaking fingerprint matching
+//     (the Roelke & Stan attack the paper cites as [37]).
+//  2. Cloning: aging a blank device while it holds the *complement* of a
+//     target fingerprint drives its power-on state toward that
+//     fingerprint, yielding a physical clone that passes enrollment.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	ib "invisiblebits"
+	"invisiblebits/internal/puf"
+)
+
+func main() {
+	model, err := ib.Model("ATSAML11E16A")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	victim, err := ib.NewDeviceSampled(model, "victim", 8<<10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fp, err := puf.Enroll(victim, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := fp.Authenticate(victim, puf.DefaultThreshold)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("victim PUF enrolled; re-measurement distance %.2f%% (match=%v)\n",
+		100*res.Distance, res.Match)
+	fmt.Printf("response entropy: %.2f bits/byte\n\n", fp.ResponseEntropy())
+
+	blank, err := ib.NewDeviceSampled(model, "attacker-blank", 8<<10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err = fp.Authenticate(blank, puf.DefaultThreshold)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("blank device distance to victim: %.1f%% (match=%v)\n\n", 100*res.Distance, res.Match)
+
+	fmt.Println("== attack 1: DoS by self-state aging ==")
+	if err := puf.DoSAttack(victim, model.Accelerated(), 6); err != nil {
+		log.Fatal(err)
+	}
+	res, err = fp.Authenticate(victim, puf.DefaultThreshold)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("victim distance after 6h directed aging: %.1f%% (match=%v)\n", 100*res.Distance, res.Match)
+	if !res.Match {
+		fmt.Println("authentication now FAILS — DoS successful")
+	}
+
+	fmt.Println("\n== attack 2: cloning by complement-directed aging ==")
+	if err := puf.CloneOnto(blank, fp, model.Accelerated(), model.EncodingHours); err != nil {
+		log.Fatal(err)
+	}
+	res, err = fp.Authenticate(blank, puf.DefaultThreshold)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cloned device distance to victim enrollment: %.1f%% (match=%v)\n", 100*res.Distance, res.Match)
+	if res.Match {
+		fmt.Println("clone PASSES authentication")
+	}
+
+	cloneFP, err := puf.Enroll(blank, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("clone response entropy: %.2f bits/byte — statistically healthy, attack invisible\n",
+		cloneFP.ResponseEntropy())
+	fmt.Println("\nconclusion: SRAM PUFs are only as trustworthy as the analog state they measure;")
+	fmt.Println("directed aging can both destroy and forge that state (paper, footnote 2).")
+}

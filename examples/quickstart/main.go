@@ -1,0 +1,58 @@
+// Quickstart: hide a message in a simulated MSP432's SRAM analog domain
+// and recover it — the minimal Invisible Bits round trip.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	ib "invisiblebits"
+)
+
+func main() {
+	// Pick a device from the paper's Table 1 catalog and give it a serial
+	// number; the serial determines the chip's silicon fingerprint.
+	model, err := ib.Model("MSP432P401")
+	if err != nil {
+		log.Fatal(err)
+	}
+	dev, err := ib.NewDevice(model, "quickstart-0001")
+	if err != nil {
+		log.Fatal(err)
+	}
+	carrier := ib.NewCarrier(dev)
+
+	// The paper's end-to-end configuration (Fig. 13): Hamming(7,4) under
+	// 7-copy repetition, AES-CTR keyed by a pre-shared passphrase with the
+	// device ID as nonce.
+	key := ib.KeyFromPassphrase("correct horse battery staple")
+	opts := ib.Options{Codec: ib.PaperCodec(), Key: &key}
+
+	message := []byte("Invisible Bits: the message is in the transistors, not the memory.")
+	fmt.Printf("capacity with this codec: %d bytes\n", ib.MaxMessageBytes(dev.SRAM.Bytes(), opts.Codec))
+
+	// Hide: ECC → encrypt → payload-writer firmware → 10 simulated hours
+	// at 3.3 V / 85 °C → camouflage firmware.
+	rec, err := carrier.Hide(message, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("encoded %d bytes (payload %d bytes) in %.1f simulated hours\n",
+		rec.MessageBytes, rec.PayloadBytes, rec.StressHours)
+
+	// The device ships; it spends two weeks in transit.
+	if err := carrier.Shelve(14 * 24); err != nil {
+		log.Fatal(err)
+	}
+
+	// Reveal: 5 power-on captures → majority vote → invert → decrypt → ECC.
+	got, err := carrier.Reveal(rec, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recovered: %q\n", got)
+	if string(got) != string(message) {
+		log.Fatal("round trip failed")
+	}
+	fmt.Println("round trip OK")
+}

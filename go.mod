@@ -1,0 +1,3 @@
+module invisiblebits
+
+go 1.22

@@ -1,0 +1,229 @@
+package invisiblebits
+
+// Integration tests that exercise complete workflows across the package
+// boundaries, the way the cmd/ tools and a downstream user would.
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"invisiblebits/internal/analog"
+	"invisiblebits/internal/rng"
+	"invisiblebits/internal/stats"
+)
+
+// TestFullCovertChannelWorkflow walks the paper's Fig. 4 end to end with
+// a device-image handoff in the middle: Alice encodes and serializes the
+// device; the bytes travel; Bob deserializes, survives an inspection, and
+// decodes.
+func TestFullCovertChannelWorkflow(t *testing.T) {
+	model, err := Model("MSP432P401")
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := KeyFromPassphrase("fig4 integration")
+	opts := Options{Codec: PaperCodec(), Key: &key}
+	secret := []byte("integration: the full Fig. 4 pipeline, with a serialized handoff")
+
+	// Alice's side.
+	aliceDev, err := NewDeviceSampled(model, "fig4", 8<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice := NewCarrier(aliceDev)
+	rec, err := alice.Hide(secret, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The handoff: the device is serialized (mailed) and reconstructed.
+	var mail bytes.Buffer
+	if err := SaveDevice(aliceDev, &mail); err != nil {
+		t.Fatal(err)
+	}
+	bobDev, err := LoadDevice(&mail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bob := NewCarrier(bobDev)
+
+	// Border inspection on Bob's side: run the camouflage firmware, dump
+	// and overwrite memory, take statistics.
+	if _, err := bobDev.PowerOn(25); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bobDev.Run(2000); err != nil {
+		t.Fatal(err)
+	}
+	w := rng.NewWorkloadWriter(0x1947, 0)
+	nominal := analog.Conditions{VoltageV: model.VNomV, TempC: 25}
+	if err := bobDev.SRAM.OperateRandom(w, nominal, 0.5, 0.25); err != nil {
+		t.Fatal(err)
+	}
+	bobDev.PowerOff(true)
+	snap, err := bobDev.SRAM.CaptureMajority(5, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bias := stats.MeanBias(snap); bias < 0.49 || bias > 0.51 {
+		t.Errorf("inspection found biased power-on state: %v", bias)
+	}
+
+	// Two weeks in a drawer, then decode.
+	if err := bob.Shelve(14 * 24); err != nil {
+		t.Fatal(err)
+	}
+	got, err := bob.Reveal(rec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, secret) {
+		t.Fatalf("recovered %q", got)
+	}
+}
+
+// TestEveryTable4DeviceRoundTrips runs the paper-codec pipeline on each
+// of the four fully characterized devices — including the flashless
+// BCM2837, whose encode path goes through the debug port.
+func TestEveryTable4DeviceRoundTrips(t *testing.T) {
+	key := KeyFromPassphrase("fleet of four")
+	for _, name := range []string{"ATSAML11E16A", "MSP432P401", "LPC55S69JBD100", "BCM2837"} {
+		t.Run(name, func(t *testing.T) {
+			model, err := Model(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dev, err := NewDeviceSampled(model, "t4-"+name, 8<<10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			carrier := NewCarrier(dev)
+			// The BCM2837's 20.8% channel needs a stronger code than the
+			// MCU-class parts: plan it.
+			plan, err := BestECC((1-model.TargetBitRate)*1.1, 1e-6, dev.SRAM.Bytes())
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := Options{Codec: plan.Codec, Key: &key}
+			msg := []byte("per-device round trip: " + name)
+			rec, err := carrier.Hide(msg, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := carrier.Reveal(rec, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, msg) {
+				t.Fatalf("round trip failed on %s with %s", name, plan.Codec.Name())
+			}
+		})
+	}
+}
+
+// TestRepeatedHideOnSameDevice re-encodes a device that already carries a
+// message: the new encoding must win (aging is directed by the most
+// recent, longest soak) even though the old payload left permanent
+// damage behind.
+func TestRepeatedHideOnSameDevice(t *testing.T) {
+	model, err := Model("MSP432P401")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := NewDeviceSampled(model, "rewrite", 8<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	carrier := NewCarrier(dev)
+	key := KeyFromPassphrase("k")
+	opts := Options{Codec: PaperCodec(), Key: &key}
+
+	if _, err := carrier.Hide([]byte("the first message, later abandoned"), opts); err != nil {
+		t.Fatal(err)
+	}
+	// Re-encode with triple the soak to overcome the first encoding's
+	// residue (sub-linear aging makes overwriting expensive — a genuine
+	// property of the channel).
+	opts2 := opts
+	opts2.StressHours = 3 * model.EncodingHours
+	second := []byte("the second message replaces it")
+	rec2, err := carrier.Hide(second, opts2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := carrier.Reveal(rec2, opts2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, second) {
+		t.Fatal("re-encoded message not recovered")
+	}
+}
+
+// TestMessageSurvivesBakingAttack: an adversary ovens the device at
+// 85 °C for a week to erase a suspected message; the permanent component
+// of the encoding plus the paper codec keep the message recoverable.
+func TestMessageSurvivesBakingAttack(t *testing.T) {
+	model, err := Model("MSP432P401")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := NewDeviceSampled(model, "baked", 8<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	carrier := NewCarrier(dev)
+	key := KeyFromPassphrase("oven-proof")
+	opts := Options{Codec: PaperCodec(), Key: &key}
+	msg := []byte("survives a week at 85C")
+	rec, err := carrier.Hide(msg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := carrier.ShelveAt(7*24, 85); err != nil {
+		t.Fatal(err)
+	}
+	got, err := carrier.Reveal(rec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("baking attack destroyed the message")
+	}
+}
+
+// TestManyMessagesManyDevices is a randomized soak: messages of assorted
+// sizes on assorted devices with assorted codecs all round-trip.
+func TestManyMessagesManyDevices(t *testing.T) {
+	src := rng.NewSource(0xD15C)
+	models := []string{"MSP432P401", "ATSAML11E16A", "STM32L562"}
+	key := KeyFromPassphrase("soak")
+	for i := 0; i < 6; i++ {
+		modelName := models[i%len(models)]
+		model, err := Model(modelName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dev, err := NewDeviceSampled(model, fmt.Sprintf("soak-%d", i), 4<<10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		carrier := NewCarrier(dev)
+		opts := Options{Codec: PaperCodec(), Key: &key}
+		n := 1 + src.Intn(MaxMessageBytes(dev.SRAM.Bytes(), opts.Codec))
+		msg := make([]byte, n)
+		src.Bytes(msg)
+		rec, err := carrier.Hide(msg, opts)
+		if err != nil {
+			t.Fatalf("%s #%d (n=%d): %v", modelName, i, n, err)
+		}
+		got, err := carrier.Reveal(rec, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, msg) {
+			t.Fatalf("%s #%d (n=%d): round trip failed", modelName, i, n)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+// Package cliutil holds the small pieces shared by the cmd/ tools:
+// codec-name parsing (the -codec flag and the record's codec field speak
+// the same vocabulary) and display helpers.
+package cliutil
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"invisiblebits/internal/ecc"
+)
+
+// codecFactories maps both the flag vocabulary ("rep5", "paper") and the
+// canonical codec names ("repetition(5)") to constructors, so one parser
+// serves -codec flags and record round trips.
+var codecFactories = map[string]func() (ecc.Codec, error){
+	"none":     func() (ecc.Codec, error) { return nil, nil },
+	"identity": func() (ecc.Codec, error) { return nil, nil },
+	"ham":      func() (ecc.Codec, error) { return ecc.Hamming74{}, nil },
+	"ham15":    func() (ecc.Codec, error) { return ecc.Hamming1511{}, nil },
+	"secded":   func() (ecc.Codec, error) { return ecc.Secded84{}, nil },
+	"paper": func() (ecc.Codec, error) {
+		rep, err := ecc.NewRepetition(7)
+		if err != nil {
+			return nil, err
+		}
+		return ecc.Composite{Outer: ecc.Hamming74{}, Inner: rep}, nil
+	},
+}
+
+func init() {
+	for _, n := range []int{3, 5, 7, 9, 11, 13} {
+		n := n
+		codecFactories[fmt.Sprintf("rep%d", n)] = func() (ecc.Codec, error) {
+			return ecc.NewRepetition(n)
+		}
+		codecFactories[fmt.Sprintf("repetition(%d)", n)] = codecFactories[fmt.Sprintf("rep%d", n)]
+	}
+	// Canonical names produced by Codec.Name().
+	codecFactories["hamming(7,4)"] = codecFactories["ham"]
+	codecFactories["hamming(15,11)"] = codecFactories["ham15"]
+	codecFactories["secded(8,4)"] = codecFactories["secded"]
+	codecFactories["hamming(7,4)+repetition(7)"] = codecFactories["paper"]
+	for _, n := range []int{3, 5, 7} {
+		n := n
+		codecFactories[fmt.Sprintf("hamming(7,4)+repetition(%d)", n)] = func() (ecc.Codec, error) {
+			rep, err := ecc.NewRepetition(n)
+			if err != nil {
+				return nil, err
+			}
+			return ecc.Composite{Outer: ecc.Hamming74{}, Inner: rep}, nil
+		}
+		codecFactories[fmt.Sprintf("ham+rep%d", n)] = codecFactories[fmt.Sprintf("hamming(7,4)+repetition(%d)", n)]
+	}
+}
+
+// ParseCodec resolves a -codec flag value or a record codec name.
+func ParseCodec(name string) (ecc.Codec, error) {
+	f, ok := codecFactories[strings.ToLower(strings.TrimSpace(name))]
+	if !ok {
+		return nil, fmt.Errorf("unknown codec %q (known: %s)", name, KnownCodecs())
+	}
+	return f()
+}
+
+// KnownCodecs lists the flag vocabulary for error messages and usage.
+func KnownCodecs() string {
+	seen := map[string]bool{}
+	var names []string
+	for name := range codecFactories {
+		// Only advertise the short flag forms.
+		if strings.ContainsAny(name, "(+") {
+			continue
+		}
+		if !seen[name] {
+			seen[name] = true
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+// CodecDisplay names a codec for human output (nil-safe).
+func CodecDisplay(c ecc.Codec) string {
+	if c == nil {
+		return "none"
+	}
+	return c.Name()
+}

@@ -1,0 +1,96 @@
+package cliutil
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseCodecFlagVocabulary(t *testing.T) {
+	cases := map[string]string{
+		"none":   "",
+		"rep3":   "repetition(3)",
+		"rep5":   "repetition(5)",
+		"rep13":  "repetition(13)",
+		"ham":    "hamming(7,4)",
+		"ham15":  "hamming(15,11)",
+		"secded": "secded(8,4)",
+		"paper":  "hamming(7,4)+repetition(7)",
+	}
+	for flag, want := range cases {
+		c, err := ParseCodec(flag)
+		if err != nil {
+			t.Errorf("%q: %v", flag, err)
+			continue
+		}
+		if want == "" {
+			if c != nil {
+				t.Errorf("%q: expected nil codec", flag)
+			}
+			continue
+		}
+		if c.Name() != want {
+			t.Errorf("%q -> %q, want %q", flag, c.Name(), want)
+		}
+	}
+}
+
+func TestParseCodecCanonicalRoundTrip(t *testing.T) {
+	// Every codec the tools can produce must be re-parseable from its
+	// canonical Name() — this is what lets ibdecode reconstruct the codec
+	// recorded by ibencode.
+	for _, flag := range []string{"rep3", "rep5", "rep7", "ham", "ham15", "secded", "paper", "ham+rep3", "ham+rep5"} {
+		c, err := ParseCodec(flag)
+		if err != nil {
+			t.Fatalf("%q: %v", flag, err)
+		}
+		c2, err := ParseCodec(c.Name())
+		if err != nil {
+			t.Errorf("canonical %q not parseable: %v", c.Name(), err)
+			continue
+		}
+		if c2.Name() != c.Name() {
+			t.Errorf("round trip %q -> %q", c.Name(), c2.Name())
+		}
+	}
+}
+
+func TestParseCodecCaseAndSpace(t *testing.T) {
+	if _, err := ParseCodec("  PAPER "); err != nil {
+		t.Errorf("case/space-insensitive parse failed: %v", err)
+	}
+}
+
+func TestParseCodecUnknown(t *testing.T) {
+	_, err := ParseCodec("turbo")
+	if err == nil {
+		t.Fatal("unknown codec accepted")
+	}
+	if !strings.Contains(err.Error(), "known:") {
+		t.Errorf("error %v lacks vocabulary hint", err)
+	}
+}
+
+func TestKnownCodecsAdvertisesShortForms(t *testing.T) {
+	known := KnownCodecs()
+	for _, want := range []string{"none", "rep5", "ham", "paper", "secded"} {
+		if !strings.Contains(known, want) {
+			t.Errorf("known list %q missing %q", known, want)
+		}
+	}
+	if strings.Contains(known, "(") {
+		t.Errorf("known list leaks canonical forms: %q", known)
+	}
+}
+
+func TestCodecDisplay(t *testing.T) {
+	if CodecDisplay(nil) != "none" {
+		t.Error("nil display wrong")
+	}
+	c, err := ParseCodec("ham")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if CodecDisplay(c) != "hamming(7,4)" {
+		t.Error("codec display wrong")
+	}
+}

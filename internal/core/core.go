@@ -1,0 +1,368 @@
+// Package core implements Invisible Bits itself: the message encoding
+// pipeline of Algorithm 1 (ECC → encryption → payload-writer program →
+// accelerated aging → camouflage) and the decoding pipeline of
+// Algorithm 2 (retainer program → N power-on captures → majority vote →
+// inversion → decryption → ECC decode).
+//
+// The package orchestrates the substrates: progen generates the programs,
+// the rig drives voltage/temperature/power, the device executes the
+// programs and ages, and ecc/stegocrypt pre/post-process the message.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"invisiblebits/internal/cpu"
+	"invisiblebits/internal/ecc"
+	"invisiblebits/internal/progen"
+	"invisiblebits/internal/rig"
+	"invisiblebits/internal/stegocrypt"
+)
+
+// DefaultCaptures is the paper's power-on sample count: "we find that
+// taking five captures is sufficient to filter noise" (§4.3).
+const DefaultCaptures = 5
+
+// defaultMaxSteps bounds payload-writer execution; a full 320 KB writer
+// needs ~600k instructions, so this is generous.
+const defaultMaxSteps = 100_000_000
+
+// Options configures an encode.
+type Options struct {
+	// Codec is the error-correction layer; nil means no ECC (identity).
+	Codec ecc.Codec
+	// Key enables the AES-CTR encryption layer; nil encodes plain-text
+	// (detectable by analog steganalysis — see §6).
+	Key *stegocrypt.Key
+	// StressHours overrides the device's Table 4 encoding time when > 0.
+	StressHours float64
+	// Captures is the majority-vote sample count for decode; 0 means
+	// DefaultCaptures.
+	Captures int
+	// SkipCamouflage leaves the payload writer in flash after encoding
+	// (useful for experiments; real deployments always camouflage).
+	SkipCamouflage bool
+	// Soft enables soft-decision decoding: instead of majority-voting
+	// captures into hard bits, the per-cell vote counts are combined
+	// across repetition copies as confidences (an extension beyond the
+	// paper's §4.3 scheme; requires the codec to implement
+	// ecc.SoftDecoder).
+	Soft bool
+}
+
+func (o Options) codec() ecc.Codec {
+	if o.Codec == nil {
+		return ecc.Identity{}
+	}
+	return o.Codec
+}
+
+func (o Options) captures() int {
+	if o.Captures <= 0 {
+		return DefaultCaptures
+	}
+	return o.Captures
+}
+
+// Record is the encode-side receipt. It carries exactly what the paper
+// assumes is pre-shared between the communicating parties (footnote 3:
+// "the presence and order of error correction and encryption information
+// are pre-shared") — never the key.
+type Record struct {
+	DeviceID     string
+	MessageBytes int
+	PayloadBytes int // post-ECC, post-encryption, word-aligned
+	CodecName    string
+	Encrypted    bool
+	Captures     int
+	StressHours  float64
+}
+
+// Errors.
+var (
+	ErrEmptyMessage    = errors.New("core: message is empty")
+	ErrPayloadTooLarge = errors.New("core: payload exceeds device SRAM capacity")
+)
+
+// MaxMessageBytes returns the largest message (pre-ECC) that fits in
+// sramBytes of SRAM under the given codec — the capacity measure used
+// throughout §5.3.
+func MaxMessageBytes(sramBytes int, codec ecc.Codec) int {
+	if codec == nil {
+		codec = ecc.Identity{}
+	}
+	lo, hi := 0, sramBytes
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if codec.EncodedLen(mid)+wordPad(codec.EncodedLen(mid)) <= sramBytes {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+func wordPad(n int) int { return (4 - n%4) % 4 }
+
+// BuildPayload runs the message pre-processing half of Algorithm 1
+// (lines 1–2): ECC expansion, word-alignment padding, then encryption.
+// Encrypting after padding keeps the padding indistinguishable from the
+// rest of the ciphertext, preserving analog-domain deniability.
+func BuildPayload(message []byte, deviceID string, opts Options) ([]byte, error) {
+	if len(message) == 0 {
+		return nil, ErrEmptyMessage
+	}
+	coded, err := opts.codec().Encode(message)
+	if err != nil {
+		return nil, fmt.Errorf("core: ecc encode: %w", err)
+	}
+	if pad := wordPad(len(coded)); pad > 0 {
+		coded = append(coded, make([]byte, pad)...)
+	}
+	if opts.Key != nil {
+		coded, err = stegocrypt.StreamXOR(*opts.Key, deviceID, coded)
+		if err != nil {
+			return nil, fmt.Errorf("core: encrypt: %w", err)
+		}
+	}
+	return coded, nil
+}
+
+// Encode hides message in the analog domain of the rig's device
+// (Algorithm 1). On return the device is powered off at nominal
+// conditions with camouflage firmware loaded (unless SkipCamouflage).
+func Encode(r *rig.Rig, message []byte, opts Options) (*Record, error) {
+	dev := r.Device()
+	payload, err := BuildPayload(message, dev.DeviceID(), opts)
+	if err != nil {
+		return nil, err
+	}
+	if len(payload) > dev.SRAM.Bytes() {
+		return nil, fmt.Errorf("%w: payload %d bytes, SRAM %d bytes",
+			ErrPayloadTooLarge, len(payload), dev.SRAM.Bytes())
+	}
+
+	// Lines 3–4: nominal conditions, load binaries, initialize SRAM.
+	r.SetTemperature(dev.Model.TNomC)
+	if err := r.SetVoltage(dev.Model.VNomV); err != nil {
+		return nil, err
+	}
+	if err := writePayloadToSRAM(r, payload); err != nil {
+		return nil, err
+	}
+
+	// Lines 5–6: elevate to accelerated conditions and soak.
+	if dev.Model.RequiresRegulatorBypass {
+		if err := r.BypassRegulator(); err != nil {
+			return nil, err
+		}
+	}
+	if err := r.SetVoltage(dev.Model.VAccV); err != nil {
+		return nil, err
+	}
+	r.SetTemperature(dev.Model.TAccC)
+	hours := opts.StressHours
+	if hours <= 0 {
+		hours = dev.Model.EncodingHours
+	}
+	if err := r.StressFor(hours); err != nil {
+		return nil, err
+	}
+
+	// Restore nominal conditions, power down, camouflage.
+	r.SetTemperature(dev.Model.TNomC)
+	if err := r.SetVoltage(dev.Model.VNomV); err != nil {
+		return nil, err
+	}
+	r.PowerOff()
+	if !opts.SkipCamouflage && dev.Flash != nil {
+		camo, err := progen.Assemble(progen.CamouflageProgram())
+		if err != nil {
+			return nil, fmt.Errorf("core: camouflage: %w", err)
+		}
+		if err := r.LoadProgram(camo); err != nil {
+			return nil, err
+		}
+	}
+
+	return &Record{
+		DeviceID:     dev.DeviceID(),
+		MessageBytes: len(message),
+		PayloadBytes: len(payload),
+		CodecName:    opts.codec().Name(),
+		Encrypted:    opts.Key != nil,
+		Captures:     opts.captures(),
+		StressHours:  hours,
+	}, nil
+}
+
+// writePayloadToSRAM initializes the SRAM state. MCUs run the generated
+// payload-writer firmware on their own CPU; cache-SRAM devices (no
+// on-chip flash) are written through the debug port, mirroring the
+// paper's co-processor access path for the BCM2837 (§5).
+func writePayloadToSRAM(r *rig.Rig, payload []byte) error {
+	dev := r.Device()
+	if dev.Flash == nil {
+		if _, err := r.PowerOn(); err != nil {
+			return err
+		}
+		return dev.SRAM.WriteAt(0, payload)
+	}
+	src, err := progen.WriterProgram(payload)
+	if err != nil {
+		return err
+	}
+	prog, err := progen.Assemble(src)
+	if err != nil {
+		return fmt.Errorf("core: assemble writer: %w", err)
+	}
+	if err := r.LoadProgram(prog); err != nil {
+		return err
+	}
+	if _, err := r.PowerOn(); err != nil {
+		return err
+	}
+	reason, err := r.RunFirmware(defaultMaxSteps)
+	if err != nil {
+		return err
+	}
+	if reason != cpu.StopBusyWait {
+		return fmt.Errorf("core: payload writer stopped with %v, want busy-wait", reason)
+	}
+	return nil
+}
+
+// Decode recovers the hidden message from the rig's device (Algorithm 2).
+// The receiving party supplies the pre-shared parameters: the record's
+// codec/shape information and, if the message was encrypted, the key.
+func Decode(r *rig.Rig, rec *Record, opts Options) ([]byte, error) {
+	if rec == nil {
+		return nil, errors.New("core: nil record")
+	}
+	dev := r.Device()
+	if dev.Flash != nil {
+		ret, err := progen.Assemble(progen.RetainerProgram())
+		if err != nil {
+			return nil, fmt.Errorf("core: retainer: %w", err)
+		}
+		if err := r.LoadProgram(ret); err != nil {
+			return nil, err
+		}
+	}
+	r.SetTemperature(dev.Model.TNomC)
+	if err := r.SetVoltage(dev.Model.VNomV); err != nil {
+		return nil, err
+	}
+
+	captures := rec.Captures
+	if opts.Captures > 0 {
+		captures = opts.Captures
+	}
+	codec := opts.codec()
+	if codec.Name() != rec.CodecName {
+		return nil, fmt.Errorf("core: codec %q does not match record's %q", codec.Name(), rec.CodecName)
+	}
+	if opts.Soft {
+		return decodeSoft(r, rec, opts, codec, captures)
+	}
+
+	maj, err := r.SampleMajority(captures)
+	if err != nil {
+		return nil, err
+	}
+	if rec.PayloadBytes > len(maj) {
+		return nil, fmt.Errorf("core: record claims %d payload bytes but SRAM is %d", rec.PayloadBytes, len(maj))
+	}
+
+	// Post-processing (Algorithm 2, lines 6–7): invert ("like a negative
+	// in photography", §4.3), decrypt, ECC-decode.
+	payload := make([]byte, rec.PayloadBytes)
+	for i := range payload {
+		payload[i] = ^maj[i]
+	}
+	if rec.Encrypted {
+		if opts.Key == nil {
+			return nil, errors.New("core: record is encrypted but no key supplied")
+		}
+		payload, err = stegocrypt.StreamXOR(*opts.Key, rec.DeviceID, payload)
+		if err != nil {
+			return nil, fmt.Errorf("core: decrypt: %w", err)
+		}
+	}
+	codedLen := codec.EncodedLen(rec.MessageBytes)
+	msg, err := codec.Decode(payload[:codedLen], rec.MessageBytes)
+	if err != nil {
+		return nil, fmt.Errorf("core: ecc decode: %w", err)
+	}
+	return msg, nil
+}
+
+// decodeSoft is the soft-decision path: per-cell vote counts become
+// per-payload-bit confidences, decryption flips confidences where the
+// keystream is 1 (XOR in probability space), and the codec's SoftDecoder
+// combines them.
+func decodeSoft(r *rig.Rig, rec *Record, opts Options, codec ecc.Codec, captures int) ([]byte, error) {
+	soft, ok := codec.(ecc.SoftDecoder)
+	if !ok {
+		return nil, fmt.Errorf("core: codec %s does not support soft decoding", codec.Name())
+	}
+	votes, err := r.SampleVotes(captures)
+	if err != nil {
+		return nil, err
+	}
+	payloadBits := rec.PayloadBytes * 8
+	if payloadBits > len(votes) {
+		return nil, fmt.Errorf("core: record claims %d payload bits but SRAM has %d cells",
+			payloadBits, len(votes))
+	}
+	// Payload bit = ¬(power-on bit), so P(payload=1) = 1 − votes/captures.
+	conf := make([]float64, payloadBits)
+	invN := 1 / float64(captures)
+	for i := range conf {
+		conf[i] = 1 - float64(votes[i])*invN
+	}
+	if rec.Encrypted {
+		if opts.Key == nil {
+			return nil, errors.New("core: record is encrypted but no key supplied")
+		}
+		// XOR with the keystream in probability space: where the keystream
+		// bit is 1, P(plain=1) = 1 − P(cipher=1).
+		ks, err := stegocrypt.StreamXOR(*opts.Key, rec.DeviceID, make([]byte, rec.PayloadBytes))
+		if err != nil {
+			return nil, fmt.Errorf("core: keystream: %w", err)
+		}
+		for i := range conf {
+			if ks[i/8]&(1<<(i%8)) != 0 {
+				conf[i] = 1 - conf[i]
+			}
+		}
+	}
+	codedLen := codec.EncodedLen(rec.MessageBytes)
+	msg, err := soft.DecodeSoft(conf[:codedLen*8], rec.MessageBytes)
+	if err != nil {
+		return nil, fmt.Errorf("core: soft decode: %w", err)
+	}
+	return msg, nil
+}
+
+// RawChannelError measures the single-copy channel error of an encoded
+// device against a known payload — the §5.1 error-profiling primitive.
+func RawChannelError(r *rig.Rig, payload []byte, captures int) (float64, error) {
+	maj, err := r.SampleMajority(captures)
+	if err != nil {
+		return 0, err
+	}
+	if len(payload) > len(maj) {
+		return 0, fmt.Errorf("core: payload longer than SRAM")
+	}
+	errBits := 0
+	for i, b := range payload {
+		diff := ^maj[i] ^ b
+		for d := diff; d != 0; d &= d - 1 {
+			errBits++
+		}
+	}
+	return float64(errBits) / float64(8*len(payload)), nil
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"invisiblebits/internal/ecc"
+	"invisiblebits/internal/rng"
+	"invisiblebits/internal/stats"
+	"invisiblebits/internal/stegocrypt"
+)
+
+func TestSoftDecodeRoundTrip(t *testing.T) {
+	r := newRig(t, "MSP432P401", "soft1", 8<<10)
+	key := stegocrypt.KeyFromPassphrase("soft")
+	rep, err := ecc.NewRepetition(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Codec: rep, Key: &key}
+	msg := make([]byte, 512)
+	rng.NewSource(61).Bytes(msg)
+	rec, err := Encode(r, msg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	softOpts := opts
+	softOpts.Soft = true
+	got, err := Decode(r, rec, softOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// rep(7) alone leaves a ~0.06% residual on the 6.5% channel; require
+	// the soft path to land at or below that (exact equality is for the
+	// composite paper codec, tested separately).
+	if ber := stats.BitErrorRate(got, msg); ber > 0.005 {
+		t.Fatalf("soft decode residual = %v", ber)
+	}
+}
+
+func TestSoftDecodeNotWorseThanHard(t *testing.T) {
+	// On a deliberately weak encoding (2h stress, 3 copies) both decoders
+	// leave residual errors; soft must not be worse.
+	r := newRig(t, "MSP432P401", "soft2", 8<<10)
+	rep, err := ecc.NewRepetition(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Codec: rep, StressHours: 2}
+	msg := make([]byte, 2<<10)
+	rng.NewSource(62).Bytes(msg)
+	rec, err := Encode(r, msg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hard, err := Decode(r, rec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	softOpts := opts
+	softOpts.Soft = true
+	soft, err := Decode(r, rec, softOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eHard := stats.BitErrorRate(hard, msg)
+	eSoft := stats.BitErrorRate(soft, msg)
+	if eSoft > eHard+0.002 {
+		t.Errorf("soft decode (%v) worse than hard (%v)", eSoft, eHard)
+	}
+}
+
+func TestSoftDecodeRequiresSoftCodec(t *testing.T) {
+	r := newRig(t, "MSP432P401", "soft3", 4<<10)
+	opts := Options{Codec: ecc.Hamming74{}}
+	msg := []byte("hi")
+	rec, err := Encode(r, msg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	softOpts := opts
+	softOpts.Soft = true
+	if _, err := Decode(r, rec, softOpts); err == nil {
+		t.Fatal("hard-only codec accepted for soft decoding")
+	}
+}
+
+func TestSoftDecodeEncryptedMatchesHard(t *testing.T) {
+	// The keystream confidence-flip must be exactly consistent with hard
+	// XOR decryption: with strong encoding both paths recover the message.
+	r := newRig(t, "MSP432P401", "soft4", 8<<10)
+	key := stegocrypt.KeyFromPassphrase("flip")
+	opts := Options{Codec: paperCodec(t), Key: &key}
+	msg := []byte("keystream flip consistency")
+	rec, err := Encode(r, msg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hard, err := Decode(r, rec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	softOpts := opts
+	softOpts.Soft = true
+	soft, err := Decode(r, rec, softOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(hard, soft) || !bytes.Equal(soft, msg) {
+		t.Fatalf("hard %q vs soft %q vs msg %q", hard, soft, msg)
+	}
+}
+
+func TestSoftDecodeMissingKey(t *testing.T) {
+	r := newRig(t, "MSP432P401", "soft5", 4<<10)
+	key := stegocrypt.KeyFromPassphrase("k")
+	rep, err := ecc.NewRepetition(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Codec: rep, Key: &key}
+	rec, err := Encode(r, []byte("x"), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(r, rec, Options{Codec: rep, Soft: true}); err == nil {
+		t.Fatal("missing key accepted on soft path")
+	}
+}

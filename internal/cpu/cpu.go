@@ -1,0 +1,223 @@
+// Package cpu interprets IB32 programs against a memory bus. In the
+// Invisible Bits workflow the CPU executes the payload-writer program
+// from (simulated) Flash — "the instructions in the assembly program run
+// from non-volatile memory on the device, i.e., not the SRAM" (§4.2) —
+// and its stores land in the device's SRAM array, setting the state that
+// accelerated aging then encodes.
+package cpu
+
+import (
+	"errors"
+	"fmt"
+
+	"invisiblebits/internal/isa"
+)
+
+// Bus is the CPU's view of device memory. Implementations route address
+// ranges to Flash, SRAM, or peripherals.
+type Bus interface {
+	Load32(addr uint32) (uint32, error)
+	Store32(addr uint32, v uint32) error
+	Load8(addr uint32) (byte, error)
+	Store8(addr uint32, v byte) error
+}
+
+// StopReason explains why Run returned.
+type StopReason int
+
+// Stop reasons.
+const (
+	// StopHalted: the program executed HALT.
+	StopHalted StopReason = iota
+	// StopBusyWait: the program entered a `b .` self-loop — the paper's
+	// payload writers and retainers end this way ("halts execution by
+	// busy waiting", §4).
+	StopBusyWait
+	// StopStepLimit: the step budget was exhausted.
+	StopStepLimit
+	// StopFault: a bus error, decode error, or alignment fault occurred.
+	StopFault
+)
+
+func (r StopReason) String() string {
+	switch r {
+	case StopHalted:
+		return "halted"
+	case StopBusyWait:
+		return "busy-wait"
+	case StopStepLimit:
+		return "step-limit"
+	case StopFault:
+		return "fault"
+	default:
+		return fmt.Sprintf("stop(%d)", int(r))
+	}
+}
+
+// CPU is an IB32 interpreter. The zero value is ready once Bus is set;
+// use New for clarity.
+type CPU struct {
+	Regs [isa.NumRegisters]uint32
+	PC   uint32
+	// Flags from the last CMP.
+	FlagZ  bool // equal
+	FlagLT bool // signed less-than
+	Bus    Bus
+	// Steps counts retired instructions across Run calls.
+	Steps uint64
+}
+
+// New returns a CPU wired to bus with PC at entry.
+func New(bus Bus, entry uint32) *CPU {
+	return &CPU{Bus: bus, PC: entry}
+}
+
+// ErrNoBus is returned when the CPU runs without a memory bus.
+var ErrNoBus = errors.New("cpu: no bus attached")
+
+// Fault wraps an execution fault with its PC.
+type Fault struct {
+	PC  uint32
+	Err error
+}
+
+func (f *Fault) Error() string { return fmt.Sprintf("cpu: fault at pc=%#08x: %v", f.PC, f.Err) }
+func (f *Fault) Unwrap() error { return f.Err }
+
+// Step executes one instruction. It returns (done, reason) when the
+// program reached a terminal state (halt or busy-wait).
+func (c *CPU) Step() (bool, StopReason, error) {
+	if c.Bus == nil {
+		return true, StopFault, ErrNoBus
+	}
+	if c.PC%4 != 0 {
+		return true, StopFault, &Fault{PC: c.PC, Err: errors.New("unaligned pc")}
+	}
+	word, err := c.Bus.Load32(c.PC)
+	if err != nil {
+		return true, StopFault, &Fault{PC: c.PC, Err: err}
+	}
+	ins, err := isa.Decode(word)
+	if err != nil {
+		return true, StopFault, &Fault{PC: c.PC, Err: err}
+	}
+	c.Steps++
+	next := c.PC + 4
+
+	switch ins.Op {
+	case isa.OpNOP:
+	case isa.OpHALT:
+		return true, StopHalted, nil
+	case isa.OpMOVI:
+		c.Regs[ins.Rd] = uint32(ins.Imm) & 0xFFFF
+	case isa.OpMOVT:
+		c.Regs[ins.Rd] = (uint32(ins.Imm)&0xFFFF)<<16 | (c.Regs[ins.Rd] & 0xFFFF)
+	case isa.OpMOV:
+		c.Regs[ins.Rd] = c.Regs[ins.Rs]
+	case isa.OpADD:
+		c.Regs[ins.Rd] = c.Regs[ins.Rs] + c.Regs[ins.Rt]
+	case isa.OpSUB:
+		c.Regs[ins.Rd] = c.Regs[ins.Rs] - c.Regs[ins.Rt]
+	case isa.OpAND:
+		c.Regs[ins.Rd] = c.Regs[ins.Rs] & c.Regs[ins.Rt]
+	case isa.OpORR:
+		c.Regs[ins.Rd] = c.Regs[ins.Rs] | c.Regs[ins.Rt]
+	case isa.OpXOR:
+		c.Regs[ins.Rd] = c.Regs[ins.Rs] ^ c.Regs[ins.Rt]
+	case isa.OpLSL:
+		c.Regs[ins.Rd] = c.Regs[ins.Rs] << (c.Regs[ins.Rt] & 31)
+	case isa.OpLSR:
+		c.Regs[ins.Rd] = c.Regs[ins.Rs] >> (c.Regs[ins.Rt] & 31)
+	case isa.OpADDI:
+		c.Regs[ins.Rd] = c.Regs[ins.Rs] + uint32(ins.Imm)
+	case isa.OpLDR:
+		addr := c.Regs[ins.Rs] + uint32(ins.Imm)
+		v, err := c.loadAligned32(addr)
+		if err != nil {
+			return true, StopFault, err
+		}
+		c.Regs[ins.Rd] = v
+	case isa.OpSTR:
+		addr := c.Regs[ins.Rs] + uint32(ins.Imm)
+		if err := c.storeAligned32(addr, c.Regs[ins.Rt]); err != nil {
+			return true, StopFault, err
+		}
+	case isa.OpLDRB:
+		v, err := c.Bus.Load8(c.Regs[ins.Rs] + uint32(ins.Imm))
+		if err != nil {
+			return true, StopFault, &Fault{PC: c.PC, Err: err}
+		}
+		c.Regs[ins.Rd] = uint32(v)
+	case isa.OpSTRB:
+		if err := c.Bus.Store8(c.Regs[ins.Rs]+uint32(ins.Imm), byte(c.Regs[ins.Rt])); err != nil {
+			return true, StopFault, &Fault{PC: c.PC, Err: err}
+		}
+	case isa.OpCMP:
+		a, b := c.Regs[ins.Rs], c.Regs[ins.Rt]
+		c.FlagZ = a == b
+		c.FlagLT = int32(a) < int32(b)
+	case isa.OpB:
+		if ins.Imm == -1 {
+			return true, StopBusyWait, nil
+		}
+		next = c.PC + 4 + uint32(ins.Imm)*4
+	case isa.OpBEQ:
+		if c.FlagZ {
+			next = c.PC + 4 + uint32(ins.Imm)*4
+		}
+	case isa.OpBNE:
+		if !c.FlagZ {
+			next = c.PC + 4 + uint32(ins.Imm)*4
+		}
+	case isa.OpBLT:
+		if c.FlagLT {
+			next = c.PC + 4 + uint32(ins.Imm)*4
+		}
+	case isa.OpBGE:
+		if !c.FlagLT {
+			next = c.PC + 4 + uint32(ins.Imm)*4
+		}
+	case isa.OpBL:
+		c.Regs[isa.LinkRegister] = c.PC + 4
+		next = c.PC + 4 + uint32(ins.Imm)*4
+	case isa.OpRET:
+		next = c.Regs[isa.LinkRegister]
+	default:
+		return true, StopFault, &Fault{PC: c.PC, Err: fmt.Errorf("unimplemented %v", ins.Op)}
+	}
+	c.PC = next
+	return false, 0, nil
+}
+
+func (c *CPU) loadAligned32(addr uint32) (uint32, error) {
+	if addr%4 != 0 {
+		return 0, &Fault{PC: c.PC, Err: fmt.Errorf("unaligned load at %#08x", addr)}
+	}
+	v, err := c.Bus.Load32(addr)
+	if err != nil {
+		return 0, &Fault{PC: c.PC, Err: err}
+	}
+	return v, nil
+}
+
+func (c *CPU) storeAligned32(addr uint32, v uint32) error {
+	if addr%4 != 0 {
+		return &Fault{PC: c.PC, Err: fmt.Errorf("unaligned store at %#08x", addr)}
+	}
+	if err := c.Bus.Store32(addr, v); err != nil {
+		return &Fault{PC: c.PC, Err: err}
+	}
+	return nil
+}
+
+// Run executes until the program halts, busy-waits, faults, or maxSteps
+// instructions retire.
+func (c *CPU) Run(maxSteps uint64) (StopReason, error) {
+	for i := uint64(0); i < maxSteps; i++ {
+		done, reason, err := c.Step()
+		if done {
+			return reason, err
+		}
+	}
+	return StopStepLimit, nil
+}

@@ -1,0 +1,309 @@
+package cpu
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"invisiblebits/internal/asm"
+)
+
+// ramBus is a simple flat test bus over one byte slice at base 0.
+type ramBus struct{ mem []byte }
+
+func (b *ramBus) check(addr uint32, n int) error {
+	if int(addr)+n > len(b.mem) {
+		return fmt.Errorf("bus: access at %#08x out of range", addr)
+	}
+	return nil
+}
+
+func (b *ramBus) Load32(addr uint32) (uint32, error) {
+	if err := b.check(addr, 4); err != nil {
+		return 0, err
+	}
+	return uint32(b.mem[addr]) | uint32(b.mem[addr+1])<<8 |
+		uint32(b.mem[addr+2])<<16 | uint32(b.mem[addr+3])<<24, nil
+}
+
+func (b *ramBus) Store32(addr uint32, v uint32) error {
+	if err := b.check(addr, 4); err != nil {
+		return err
+	}
+	b.mem[addr] = byte(v)
+	b.mem[addr+1] = byte(v >> 8)
+	b.mem[addr+2] = byte(v >> 16)
+	b.mem[addr+3] = byte(v >> 24)
+	return nil
+}
+
+func (b *ramBus) Load8(addr uint32) (byte, error) {
+	if err := b.check(addr, 1); err != nil {
+		return 0, err
+	}
+	return b.mem[addr], nil
+}
+
+func (b *ramBus) Store8(addr uint32, v byte) error {
+	if err := b.check(addr, 1); err != nil {
+		return err
+	}
+	b.mem[addr] = v
+	return nil
+}
+
+// runProgram assembles src at origin 0, loads it into a 64 KB bus, and
+// runs to completion.
+func runProgram(t *testing.T, src string, maxSteps uint64) (*CPU, StopReason) {
+	t.Helper()
+	prog, err := asm.Assemble(src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus := &ramBus{mem: make([]byte, 64<<10)}
+	copy(bus.mem, prog.Image)
+	c := New(bus, 0)
+	reason, err := c.Run(maxSteps)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return c, reason
+}
+
+func TestArithmeticLoop(t *testing.T) {
+	// Sum 1..10 into r0.
+	c, reason := runProgram(t, `
+        movi r0, #0
+        movi r1, #1
+        movi r2, #11
+loop:   add  r0, r0, r1
+        addi r1, r1, #1
+        cmp  r1, r2
+        bne  loop
+        halt
+`, 1000)
+	if reason != StopHalted {
+		t.Fatalf("reason = %v", reason)
+	}
+	if c.Regs[0] != 55 {
+		t.Errorf("sum = %d, want 55", c.Regs[0])
+	}
+}
+
+func TestMemoryCopyProgram(t *testing.T) {
+	// The shape of the paper's payload writer: copy a block of words from
+	// "flash" (here: data appended after code) to a destination region,
+	// then busy-wait.
+	c, reason := runProgram(t, `
+        la   r1, payload     ; src
+        movi r2, #0x8000     ; dst
+        movi r3, #4          ; words remaining
+        movi r6, #0
+copy:   cmp  r3, r6
+        beq  done
+        ldr  r4, [r1, #0]
+        str  r4, [r2, #0]
+        addi r1, r1, #4
+        addi r2, r2, #4
+        addi r3, r3, #-1
+        b    copy
+done:
+wait:   b    wait
+payload:
+        .word 0x11111111, 0x22222222, 0x33333333, 0x44444444
+`, 10000)
+	if reason != StopBusyWait {
+		t.Fatalf("reason = %v", reason)
+	}
+	bus := c.Bus.(*ramBus)
+	for i, want := range []uint32{0x11111111, 0x22222222, 0x33333333, 0x44444444} {
+		got, _ := bus.Load32(uint32(0x8000 + 4*i))
+		if got != want {
+			t.Errorf("word %d = %#x, want %#x", i, got, want)
+		}
+	}
+}
+
+func TestLogicAndShifts(t *testing.T) {
+	c, _ := runProgram(t, `
+        movi r1, #0xF0F0
+        movi r2, #0x0FF0
+        and  r3, r1, r2
+        orr  r4, r1, r2
+        xor  r5, r1, r2
+        movi r6, #4
+        lsl  r7, r1, r6
+        lsr  r8, r1, r6
+        halt
+`, 100)
+	if c.Regs[3] != 0x00F0 || c.Regs[4] != 0xFFF0 || c.Regs[5] != 0xFF00 {
+		t.Errorf("logic: %x %x %x", c.Regs[3], c.Regs[4], c.Regs[5])
+	}
+	if c.Regs[7] != 0xF0F00 || c.Regs[8] != 0x0F0F {
+		t.Errorf("shifts: %x %x", c.Regs[7], c.Regs[8])
+	}
+}
+
+func TestSignedBranches(t *testing.T) {
+	// -1 < 1 signed, but not unsigned; BLT must take the signed view.
+	c, _ := runProgram(t, `
+        movi r1, #0
+        addi r1, r1, #-1     ; r1 = -1
+        movi r2, #1
+        movi r0, #0
+        cmp  r1, r2
+        bge  skip
+        movi r0, #7
+skip:   halt
+`, 100)
+	if c.Regs[0] != 7 {
+		t.Errorf("signed comparison failed: r0 = %d", c.Regs[0])
+	}
+}
+
+func TestSubroutineCall(t *testing.T) {
+	c, reason := runProgram(t, `
+        movi r1, #5
+        bl   double
+        bl   double
+        halt
+double: add  r1, r1, r1
+        ret
+`, 100)
+	if reason != StopHalted {
+		t.Fatalf("reason = %v", reason)
+	}
+	if c.Regs[1] != 20 {
+		t.Errorf("r1 = %d, want 20", c.Regs[1])
+	}
+}
+
+func TestByteAccess(t *testing.T) {
+	c, _ := runProgram(t, `
+        movi r1, #0x9000
+        movi r2, #0xAB
+        strb r2, [r1, #2]
+        ldrb r3, [r1, #2]
+        halt
+`, 100)
+	if c.Regs[3] != 0xAB {
+		t.Errorf("byte round trip = %#x", c.Regs[3])
+	}
+	bus := c.Bus.(*ramBus)
+	if bus.mem[0x9002] != 0xAB {
+		t.Error("byte not stored")
+	}
+}
+
+func TestBusyWaitDetection(t *testing.T) {
+	_, reason := runProgram(t, "wait: b wait\n", 100)
+	if reason != StopBusyWait {
+		t.Errorf("reason = %v, want busy-wait", reason)
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	// A two-instruction infinite loop is not a self-branch; the limit
+	// must stop it.
+	_, reason := runProgram(t, `
+loop:   nop
+        b loop
+`, 50)
+	if reason != StopStepLimit {
+		t.Errorf("reason = %v, want step-limit", reason)
+	}
+}
+
+func TestFaults(t *testing.T) {
+	prog, err := asm.Assemble(`
+        movi r1, #0x0001
+        ldr  r2, [r1, #0]    ; unaligned
+        halt
+`, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus := &ramBus{mem: make([]byte, 1024)}
+	copy(bus.mem, prog.Image)
+	c := New(bus, 0)
+	reason, err := c.Run(100)
+	if reason != StopFault || err == nil {
+		t.Fatalf("reason=%v err=%v", reason, err)
+	}
+	var f *Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("error %T lacks Fault", err)
+	}
+	if f.PC != 4 {
+		t.Errorf("fault pc = %#x", f.PC)
+	}
+	if !strings.Contains(err.Error(), "unaligned") {
+		t.Errorf("fault message: %v", err)
+	}
+}
+
+func TestBusErrorPropagates(t *testing.T) {
+	prog, _ := asm.Assemble(`
+        movi r1, #0x7000
+        movt r1, #0x00FF     ; far out of range
+        ldr  r2, [r1, #0]
+        halt
+`, 0)
+	bus := &ramBus{mem: make([]byte, 1024)}
+	copy(bus.mem, prog.Image)
+	c := New(bus, 0)
+	reason, err := c.Run(100)
+	if reason != StopFault || err == nil {
+		t.Fatalf("reason=%v err=%v", reason, err)
+	}
+}
+
+func TestNoBus(t *testing.T) {
+	c := &CPU{}
+	_, reason, err := c.Step()
+	if reason != StopFault || !errors.Is(err, ErrNoBus) {
+		t.Fatalf("reason=%v err=%v", reason, err)
+	}
+}
+
+func TestUndefinedInstructionFault(t *testing.T) {
+	bus := &ramBus{mem: make([]byte, 64)}
+	bus.mem[3] = 0xFF // opcode 63: undefined
+	c := New(bus, 0)
+	reason, err := c.Run(10)
+	if reason != StopFault || err == nil {
+		t.Fatalf("reason=%v err=%v", reason, err)
+	}
+}
+
+func TestStepsCounter(t *testing.T) {
+	c, _ := runProgram(t, `
+        nop
+        nop
+        halt
+`, 100)
+	if c.Steps != 3 {
+		t.Errorf("steps = %d, want 3", c.Steps)
+	}
+}
+
+func BenchmarkCPUThroughput(b *testing.B) {
+	prog, err := asm.Assemble(`
+        movi r0, #0
+        movi r1, #1
+loop:   add  r0, r0, r1
+        b    loop
+`, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bus := &ramBus{mem: make([]byte, 1024)}
+	copy(bus.mem, prog.Image)
+	c := New(bus, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	if reason, err := c.Run(uint64(b.N)); err != nil || reason == StopFault {
+		b.Fatal(reason, err)
+	}
+}

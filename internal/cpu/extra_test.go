@@ -1,0 +1,132 @@
+package cpu
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"invisiblebits/internal/asm"
+)
+
+func TestStopReasonStrings(t *testing.T) {
+	cases := map[StopReason]string{
+		StopHalted:     "halted",
+		StopBusyWait:   "busy-wait",
+		StopStepLimit:  "step-limit",
+		StopFault:      "fault",
+		StopReason(99): "stop(99)",
+	}
+	for r, want := range cases {
+		if got := r.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", r, got, want)
+		}
+	}
+}
+
+func TestFaultUnwrap(t *testing.T) {
+	inner := errors.New("bus exploded")
+	f := &Fault{PC: 0x40, Err: inner}
+	if !errors.Is(f, inner) {
+		t.Error("Unwrap broken")
+	}
+	if !strings.Contains(f.Error(), "0x00000040") && !strings.Contains(f.Error(), "40") {
+		t.Errorf("fault message %q lacks PC", f.Error())
+	}
+}
+
+func TestUnalignedStoreFault(t *testing.T) {
+	prog, err := asm.Assemble(`
+        movi r1, #0x0002
+        movi r2, #7
+        str  r2, [r1, #0]    ; address 2: unaligned
+        halt
+`, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus := &ramBus{mem: make([]byte, 1024)}
+	copy(bus.mem, prog.Image)
+	c := New(bus, 0)
+	reason, err := c.Run(100)
+	if reason != StopFault || err == nil {
+		t.Fatalf("reason=%v err=%v", reason, err)
+	}
+	if !strings.Contains(err.Error(), "unaligned store") {
+		t.Errorf("message: %v", err)
+	}
+}
+
+func TestUnalignedPCFault(t *testing.T) {
+	bus := &ramBus{mem: make([]byte, 64)}
+	c := New(bus, 2)
+	_, reason, err := c.Step()
+	if reason != StopFault || err == nil {
+		t.Fatalf("reason=%v err=%v", reason, err)
+	}
+}
+
+func TestByteStoreBusErrorPropagates(t *testing.T) {
+	prog, err := asm.Assemble(`
+        movi r1, #0x0000
+        movt r1, #0x7FFF     ; far outside the test bus
+        strb r1, [r1, #0]
+        halt
+`, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus := &ramBus{mem: make([]byte, 64)}
+	copy(bus.mem, prog.Image)
+	c := New(bus, 0)
+	reason, err := c.Run(10)
+	if reason != StopFault || err == nil {
+		t.Fatalf("reason=%v err=%v", reason, err)
+	}
+}
+
+func TestByteLoadBusErrorPropagates(t *testing.T) {
+	prog, err := asm.Assemble(`
+        movi r1, #0x0000
+        movt r1, #0x7FFF
+        ldrb r2, [r1, #0]
+        halt
+`, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus := &ramBus{mem: make([]byte, 64)}
+	copy(bus.mem, prog.Image)
+	c := New(bus, 0)
+	reason, err := c.Run(10)
+	if reason != StopFault || err == nil {
+		t.Fatalf("reason=%v err=%v", reason, err)
+	}
+}
+
+func TestBranchConditionsTakenAndNot(t *testing.T) {
+	c, _ := runProgram(t, `
+        movi r0, #0
+        movi r1, #5
+        movi r2, #5
+        cmp  r1, r2
+        beq  eq1
+        movi r0, #99        ; must be skipped
+eq1:    addi r0, r0, #1
+        cmp  r1, r2
+        bne  bad
+        addi r0, r0, #2
+bad:    movi r3, #4
+        cmp  r3, r1         ; 4 < 5
+        blt  lt1
+        movi r0, #99
+lt1:    addi r0, r0, #4
+        cmp  r1, r3         ; 5 >= 4
+        bge  ge1
+        movi r0, #99
+ge1:    addi r0, r0, #8
+        halt
+`, 1000)
+	if c.Regs[0] != 15 {
+		t.Errorf("branch path sum = %d, want 15", c.Regs[0])
+	}
+}

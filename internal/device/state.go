@@ -1,0 +1,91 @@
+package device
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"invisiblebits/internal/sram"
+)
+
+// imageVersion guards the on-disk format.
+const imageVersion = 1
+
+// image is the gob-serialized form of a device: enough to reconstruct
+// the silicon (model + serial regenerate the fingerprint) plus the
+// mutable aging/digital state. This is what lets the cmd tools hand a
+// simulated device from the encoding party to the receiving party as a
+// single file.
+type image struct {
+	Version   int
+	ModelName string
+	Serial    string
+	SRAMBytes int // instantiated size (may be a sample of the model size)
+	SRAM      sram.State
+	// FlashData is the digital Flash contents (the firmware travels with
+	// the chip). Flash *analog* state (wear, Vt levels) is not part of
+	// the image — the steganographic channel under study is the SRAM.
+	FlashData []byte
+}
+
+// Save serializes the device to w. The CPU is not part of the image —
+// firmware is reloaded by whoever receives the device, exactly as in the
+// paper's workflow.
+func (d *Device) Save(w io.Writer) error {
+	img := image{
+		Version:   imageVersion,
+		ModelName: d.Model.Name,
+		Serial:    d.Serial,
+		SRAMBytes: d.SRAM.Bytes(),
+		SRAM:      d.SRAM.StateSnapshot(),
+	}
+	if d.Flash != nil {
+		data, err := d.Flash.Read(0, d.Flash.Bytes())
+		if err != nil {
+			return fmt.Errorf("device: save flash: %w", err)
+		}
+		img.FlashData = data
+	}
+	if err := gob.NewEncoder(w).Encode(img); err != nil {
+		return fmt.Errorf("device: save: %w", err)
+	}
+	return nil
+}
+
+// Load reconstructs a device from an image produced by Save.
+func Load(r io.Reader) (*Device, error) {
+	var img image
+	if err := gob.NewDecoder(r).Decode(&img); err != nil {
+		return nil, fmt.Errorf("device: load: %w", err)
+	}
+	if img.Version != imageVersion {
+		return nil, fmt.Errorf("device: image version %d unsupported", img.Version)
+	}
+	model, err := ByName(img.ModelName)
+	if err != nil {
+		return nil, err
+	}
+	var opts []Option
+	if img.SRAMBytes < model.SRAMBytes {
+		opts = append(opts, WithSRAMLimit(img.SRAMBytes))
+	}
+	d, err := New(model, img.Serial, opts...)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.SRAM.RestoreState(img.SRAM); err != nil {
+		return nil, err
+	}
+	if d.Flash != nil && img.FlashData != nil {
+		if len(img.FlashData) != d.Flash.Bytes() {
+			return nil, fmt.Errorf("device: image flash is %d bytes, device has %d",
+				len(img.FlashData), d.Flash.Bytes())
+		}
+		// A fresh array is fully erased, so programming reproduces the
+		// digital contents exactly (NOR 1→0 transitions only).
+		if _, err := d.Flash.Program(0, img.FlashData); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}

@@ -1,0 +1,99 @@
+package device
+
+import (
+	"bytes"
+	"testing"
+
+	"invisiblebits/internal/rng"
+	"invisiblebits/internal/stats"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	d := mustDevice(t, "MSP432P401", "save1", WithSRAMLimit(4<<10))
+	if _, err := d.PowerOn(25); err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, d.SRAM.Bytes())
+	rng.NewSource(1).Bytes(payload)
+	if err := d.SRAM.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.StressBypassed(d.Model.Accelerated(), 10); err != nil {
+		t.Fatal(err)
+	}
+	majBefore, err := d.SRAM.CaptureMajority(5, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := d.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Model.Name != "MSP432P401" || d2.Serial != "save1" {
+		t.Fatalf("identity lost: %s/%s", d2.Model.Name, d2.Serial)
+	}
+	if d2.SRAM.Bytes() != 4<<10 {
+		t.Fatalf("SRAM size = %d", d2.SRAM.Bytes())
+	}
+	majAfter, err := d2.SRAM.CaptureMajority(5, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The aging state survived: the decoded payload matches across the
+	// save/load boundary (small majority-churn tolerance).
+	if ber := stats.BitErrorRate(majBefore, majAfter); ber > 0.01 {
+		t.Fatalf("aging state lost across save/load: ber=%v", ber)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a device image"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestRestoreStateRejectsForeignSnapshot(t *testing.T) {
+	a := mustDevice(t, "MSP432P401", "s1", WithSRAMLimit(4<<10))
+	b := mustDevice(t, "MSP432P401", "s2", WithSRAMLimit(4<<10))
+	if err := b.SRAM.RestoreState(a.SRAM.StateSnapshot()); err == nil {
+		t.Fatal("foreign snapshot accepted")
+	}
+	c := mustDevice(t, "MSP432P401", "s1", WithSRAMLimit(8<<10))
+	if err := c.SRAM.RestoreState(a.SRAM.StateSnapshot()); err == nil {
+		t.Fatal("geometry mismatch accepted")
+	}
+}
+
+func TestSaveLoadPreservesDigitalContents(t *testing.T) {
+	d := mustDevice(t, "ATSAML11E16A", "dig", WithSRAMLimit(4<<10))
+	if _, err := d.PowerOn(25); err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{0xAB, 0xCD}
+	if err := d.SRAM.WriteAt(10, want); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d2.SRAM.Powered() {
+		t.Fatal("powered flag lost")
+	}
+	got, err := d2.SRAM.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[10] != 0xAB || got[11] != 0xCD {
+		t.Fatal("digital contents lost")
+	}
+}

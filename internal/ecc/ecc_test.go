@@ -1,0 +1,339 @@
+package ecc
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"invisiblebits/internal/rng"
+	"invisiblebits/internal/stats"
+)
+
+// flipBits corrupts payload with bit error rate p, deterministically.
+func flipBits(payload []byte, p float64, seed uint64) []byte {
+	src := rng.NewSource(seed)
+	out := make([]byte, len(payload))
+	copy(out, payload)
+	for i := 0; i < len(out)*8; i++ {
+		if src.Float64() < p {
+			out[i/8] ^= 1 << (i % 8)
+		}
+	}
+	return out
+}
+
+func randMsg(n int, seed uint64) []byte {
+	m := make([]byte, n)
+	rng.NewSource(seed).Bytes(m)
+	return m
+}
+
+// codecs under test, with their expected information rates.
+func allCodecs(t *testing.T) []struct {
+	c    Codec
+	rate float64
+} {
+	t.Helper()
+	rep5, err := NewRepetition(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []struct {
+		c    Codec
+		rate float64
+	}{
+		{Identity{}, 1},
+		{rep5, 0.2},
+		{Hamming74{}, 4.0 / 7.0},
+		{Composite{Outer: Hamming74{}, Inner: rep5}, 4.0 / 7.0 * 0.2},
+		{Interleaver{Depth: 8, Next: Hamming74{}}, 4.0 / 7.0},
+	}
+}
+
+func TestRoundTripNoiseless(t *testing.T) {
+	for _, tc := range allCodecs(t) {
+		for _, n := range []int{1, 2, 7, 64, 333} {
+			msg := randMsg(n, uint64(n))
+			enc, err := tc.c.Encode(msg)
+			if err != nil {
+				t.Fatalf("%s: %v", tc.c.Name(), err)
+			}
+			if len(enc) != tc.c.EncodedLen(n) {
+				t.Fatalf("%s: EncodedLen(%d)=%d but Encode produced %d",
+					tc.c.Name(), n, tc.c.EncodedLen(n), len(enc))
+			}
+			dec, err := tc.c.Decode(enc, n)
+			if err != nil {
+				t.Fatalf("%s decode: %v", tc.c.Name(), err)
+			}
+			if !bytes.Equal(dec, msg) {
+				t.Fatalf("%s: noiseless round trip failed for n=%d", tc.c.Name(), n)
+			}
+		}
+	}
+}
+
+func TestRates(t *testing.T) {
+	for _, tc := range allCodecs(t) {
+		if got := tc.c.Rate(); got != tc.rate {
+			t.Errorf("%s rate = %v, want %v", tc.c.Name(), got, tc.rate)
+		}
+	}
+}
+
+func TestDecodeRejectsWrongLength(t *testing.T) {
+	for _, tc := range allCodecs(t) {
+		enc, err := tc.c.Encode(randMsg(16, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tc.c.Decode(enc[:len(enc)-1], 16); err == nil {
+			t.Errorf("%s accepted truncated payload", tc.c.Name())
+		}
+		if _, err := tc.c.Decode(enc, 17); err == nil {
+			t.Errorf("%s accepted wrong msgBytes", tc.c.Name())
+		}
+	}
+}
+
+func TestNewRepetitionValidation(t *testing.T) {
+	for _, n := range []int{0, 2, 4, -1} {
+		if _, err := NewRepetition(n); err == nil {
+			t.Errorf("NewRepetition(%d) accepted", n)
+		}
+	}
+	if _, err := NewRepetition(1); err != nil {
+		t.Errorf("NewRepetition(1): %v", err)
+	}
+}
+
+func TestRepetitionMatchesBernoulliTheory(t *testing.T) {
+	// §5.2: "the repetition code closely follows theoretical predictions"
+	// (Eq. 1). Measure over a large message and compare.
+	const p = 0.10
+	msg := randMsg(1<<14, 42)
+	for _, n := range []int{3, 5, 7} {
+		rep, err := NewRepetition(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc, err := rep.Encode(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := rep.Decode(flipBits(enc, p, uint64(n)), len(msg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := stats.BitErrorRate(dec, msg)
+		want := stats.RepetitionErrorRate(1-p, n)
+		if got < want*0.7-0.001 || got > want*1.3+0.001 {
+			t.Errorf("repetition(%d) residual = %v, theory %v", n, got, want)
+		}
+	}
+}
+
+func TestHammingCorrectsSingleErrors(t *testing.T) {
+	// Any single bit flip within any codeword must be fully corrected.
+	msg := []byte{0xA5, 0x3C}
+	h := Hamming74{}
+	enc, err := h.Encode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nCw := len(msg) * 2
+	for cw := 0; cw < nCw; cw++ {
+		for k := 0; k < 7; k++ {
+			corrupted := make([]byte, len(enc))
+			copy(corrupted, enc)
+			bit := cw*7 + k
+			corrupted[bit/8] ^= 1 << (bit % 8)
+			dec, err := h.Decode(corrupted, len(msg))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(dec, msg) {
+				t.Fatalf("single error at codeword %d bit %d not corrected", cw, k)
+			}
+		}
+	}
+}
+
+func TestHammingNibbleExhaustive(t *testing.T) {
+	for d := byte(0); d < 16; d++ {
+		cw := encodeNibble(d)
+		if got := decodeNibble(cw); got != d {
+			t.Fatalf("clean decode of nibble %x = %x", d, got)
+		}
+		for bit := 0; bit < 7; bit++ {
+			if got := decodeNibble(cw ^ (1 << bit)); got != d {
+				t.Fatalf("nibble %x, flipped bit %d: decoded %x", d, bit, got)
+			}
+		}
+	}
+}
+
+func TestHammingReducesLowErrorChannel(t *testing.T) {
+	const p = 0.01
+	msg := randMsg(1<<14, 7)
+	h := Hamming74{}
+	enc, _ := h.Encode(msg)
+	dec, err := h.Decode(flipBits(enc, p, 3), len(msg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := stats.BitErrorRate(dec, msg)
+	if got >= p/2 {
+		t.Errorf("Hamming(7,4) residual %v not well below channel %v", got, p)
+	}
+}
+
+func TestCompositeBeatsPlainRepetitionOnPaperChannel(t *testing.T) {
+	// Fig. 10's headline: repetition+Hamming(7,4) reaches a given error
+	// with fewer copies than repetition alone on the 6.5 % channel.
+	const p = 0.065
+	msg := randMsg(1<<13, 99)
+
+	rep5, _ := NewRepetition(5)
+	enc, _ := rep5.Encode(msg)
+	dec, _ := rep5.Decode(flipBits(enc, p, 1), len(msg))
+	plain := stats.BitErrorRate(dec, msg)
+
+	comp := Composite{Outer: Hamming74{}, Inner: rep5}
+	encC, _ := comp.Encode(msg)
+	decC, err := comp.Decode(flipBits(encC, p, 2), len(msg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	combined := stats.BitErrorRate(decC, msg)
+	if combined >= plain {
+		t.Errorf("hamming+repetition(5) (%v) not better than repetition(5) (%v)", combined, plain)
+	}
+}
+
+func TestCompositeOrderInsensitive(t *testing.T) {
+	// Footnote 7: the order of repetition and Hamming(7,4) "does not
+	// significantly affect the overall error rate".
+	const p = 0.065
+	msg := randMsg(1<<13, 5)
+	rep3, _ := NewRepetition(3)
+
+	a := Composite{Outer: Hamming74{}, Inner: rep3}
+	b := Composite{Outer: rep3, Inner: Hamming74{}}
+
+	encA, _ := a.Encode(msg)
+	decA, err := a.Decode(flipBits(encA, p, 11), len(msg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	encB, _ := b.Encode(msg)
+	decB, err := b.Decode(flipBits(encB, p, 12), len(msg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ea := stats.BitErrorRate(decA, msg)
+	eb := stats.BitErrorRate(decB, msg)
+	if diff := ea - eb; diff > 0.02 || diff < -0.02 {
+		t.Errorf("order changed residual error materially: %v vs %v", ea, eb)
+	}
+}
+
+func TestInterleaverDefeatsBurst(t *testing.T) {
+	// A contiguous 21-bit burst wipes three codewords of bare Hamming but
+	// spreads to single errors under interleaving.
+	msg := randMsg(64, 13)
+	plain := Hamming74{}
+	il := Interleaver{Depth: 32, Next: Hamming74{}}
+
+	burst := func(enc []byte) []byte {
+		out := make([]byte, len(enc))
+		copy(out, enc)
+		for bit := 100; bit < 121; bit++ {
+			out[bit/8] ^= 1 << (bit % 8)
+		}
+		return out
+	}
+
+	encP, _ := plain.Encode(msg)
+	decP, _ := plain.Decode(burst(encP), len(msg))
+	encI, _ := il.Encode(msg)
+	decI, err := il.Decode(burst(encI), len(msg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eP := stats.BitErrorRate(decP, msg)
+	eI := stats.BitErrorRate(decI, msg)
+	if eI >= eP {
+		t.Errorf("interleaver did not help: %v vs %v", eI, eP)
+	}
+	if eI != 0 {
+		t.Errorf("interleaved burst not fully corrected: %v", eI)
+	}
+}
+
+func TestInterleaverPermutationProperty(t *testing.T) {
+	f := func(seed uint64, depthRaw, nRaw uint8) bool {
+		depth := int(depthRaw%16) + 1
+		n := int(nRaw%100) + 1
+		il := Interleaver{Depth: depth, Next: Identity{}}
+		msg := randMsg(n, seed)
+		enc, err := il.Encode(msg)
+		if err != nil {
+			return false
+		}
+		dec, err := il.Decode(enc, n)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(dec, msg)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInterleaverRejectsBadDepth(t *testing.T) {
+	il := Interleaver{Depth: 0, Next: Identity{}}
+	if _, err := il.Encode([]byte{1}); err == nil {
+		t.Error("Encode with depth 0 accepted")
+	}
+	if _, err := il.Decode([]byte{1}, 1); err == nil {
+		t.Error("Decode with depth 0 accepted")
+	}
+}
+
+func TestCompositeNames(t *testing.T) {
+	rep3, _ := NewRepetition(3)
+	c := Composite{Outer: Hamming74{}, Inner: rep3}
+	if c.Name() != "hamming(7,4)+repetition(3)" {
+		t.Errorf("name = %q", c.Name())
+	}
+	il := Interleaver{Depth: 4, Next: rep3}
+	if il.Name() != "interleave(4,repetition(3))" {
+		t.Errorf("name = %q", il.Name())
+	}
+}
+
+func BenchmarkRepetition5Encode64KB(b *testing.B) {
+	rep5, _ := NewRepetition(5)
+	msg := randMsg(64<<10/5, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := rep5.Encode(msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHammingDecode(b *testing.B) {
+	h := Hamming74{}
+	msg := randMsg(4096, 1)
+	enc, _ := h.Encode(msg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.Decode(enc, len(msg)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

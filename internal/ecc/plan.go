@@ -1,0 +1,146 @@
+package ecc
+
+import (
+	"fmt"
+	"sort"
+
+	"invisiblebits/internal/stats"
+)
+
+// Plan is one feasible ECC configuration for a measured channel.
+type Plan struct {
+	// Codec is the recommended configuration (nil means the raw channel
+	// already meets the target).
+	Codec Codec
+	// PredictedError is the Eq. 1 / union-bound residual bit error rate.
+	PredictedError float64
+	// Rate is data bits per SRAM cell (the §5.3 capacity measure).
+	Rate float64
+	// CapacityBytes is the message capacity on sramBytes of SRAM.
+	CapacityBytes int
+}
+
+func (p Plan) String() string {
+	name := "raw channel"
+	if p.Codec != nil {
+		name = p.Codec.Name()
+	}
+	return fmt.Sprintf("%s: predicted error %.4g%%, rate %.3f, capacity %d B",
+		name, 100*p.PredictedError, p.Rate, p.CapacityBytes)
+}
+
+// Recommend turns §5.2's ECC guidance into a planner: given the measured
+// single-copy channel error and a target residual error, it enumerates
+// the code families the paper discusses (repetition for the high-error
+// regime, Hamming(7,4)/(15,11) for the low-error regime, and their
+// compositions), predicts each residual via the Bernoulli model, and
+// returns the feasible plans sorted by capacity (highest rate first).
+//
+// sramBytes sizes the capacity column; the paper's running example is
+// the MSP432's 64 KB.
+func Recommend(channelError, targetError float64, sramBytes int) ([]Plan, error) {
+	if channelError < 0 || channelError >= 0.5 {
+		return nil, fmt.Errorf("ecc: channel error %v out of [0, 0.5)", channelError)
+	}
+	if targetError <= 0 {
+		return nil, fmt.Errorf("ecc: target error must be positive, got %v", targetError)
+	}
+
+	var plans []Plan
+	consider := func(c Codec, residual float64) {
+		if residual > targetError {
+			return
+		}
+		rate := 1.0
+		if c != nil {
+			rate = c.Rate()
+		}
+		capacity := sramBytes
+		if c != nil {
+			capacity = maxMessageBytesFor(c, sramBytes)
+		}
+		plans = append(plans, Plan{Codec: c, PredictedError: residual, Rate: rate, CapacityBytes: capacity})
+	}
+
+	// Raw channel.
+	consider(nil, channelError)
+
+	// Pure Hamming codes (low-error regime).
+	consider(Hamming74{}, stats.HammingResidual74(channelError))
+	consider(Hamming1511{}, hammingResidual(channelError, 15))
+
+	// Repetition alone and with a Hamming outer layer. The upper bound of
+	// 33 copies accommodates the worst characterized channel (the
+	// BCM2837's ~21% single-copy error, Table 4).
+	for n := 3; n <= 33; n += 2 {
+		repErr := stats.RepetitionErrorRate(1-channelError, n)
+		rep, err := NewRepetition(n)
+		if err != nil {
+			return nil, err
+		}
+		consider(rep, repErr)
+		consider(Composite{Outer: Hamming74{}, Inner: rep}, stats.HammingResidual74(repErr))
+		consider(Composite{Outer: Hamming1511{}, Inner: rep}, hammingResidual(repErr, 15))
+	}
+
+	sort.Slice(plans, func(i, j int) bool {
+		if plans[i].Rate != plans[j].Rate {
+			return plans[i].Rate > plans[j].Rate
+		}
+		return plans[i].PredictedError < plans[j].PredictedError
+	})
+	return plans, nil
+}
+
+// Best returns the highest-capacity plan meeting the target, or an error
+// if nothing does.
+func Best(channelError, targetError float64, sramBytes int) (Plan, error) {
+	plans, err := Recommend(channelError, targetError, sramBytes)
+	if err != nil {
+		return Plan{}, err
+	}
+	if len(plans) == 0 {
+		return Plan{}, fmt.Errorf("ecc: no configuration reaches %.4g%% on a %.4g%% channel",
+			100*targetError, 100*channelError)
+	}
+	return plans[0], nil
+}
+
+// hammingResidual is the union-bound residual for an (n, k) Hamming code:
+// a block with ≥2 channel errors decodes wrong, leaving roughly 3/n of
+// its bits in error after the miscorrection (same convention as
+// stats.HammingResidual74).
+func hammingResidual(p float64, n int) float64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return 1
+	}
+	q := 1 - p
+	pOK := powf(q, n) + float64(n)*p*powf(q, n-1)
+	return (1 - pOK) * 3 / float64(n)
+}
+
+func powf(x float64, n int) float64 {
+	r := 1.0
+	for i := 0; i < n; i++ {
+		r *= x
+	}
+	return r
+}
+
+// maxMessageBytesFor inverts EncodedLen by binary search (mirrors
+// core.MaxMessageBytes without the import cycle).
+func maxMessageBytesFor(c Codec, sramBytes int) int {
+	lo, hi := 0, sramBytes
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if c.EncodedLen(mid) <= sramBytes {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}

@@ -1,0 +1,145 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5–§7) against the simulated device fleet. Each experiment
+// is a named harness that returns a typed result carrying both the
+// measured series and the paper's reference values, plus a text rendering
+// for the cmd/ibexperiments tool. EXPERIMENTS.md records the
+// paper-vs-measured comparison produced by these harnesses.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"invisiblebits/internal/device"
+	"invisiblebits/internal/rig"
+)
+
+// Config controls experiment scale. The defaults trade a little
+// statistical tightness for speed; Full() uses the devices' real sizes.
+type Config struct {
+	// SRAMLimitBytes caps instantiated SRAM per device (0 = model size).
+	// Error rates are per-cell i.i.d., so a sample of the array measures
+	// the same rates as the full device.
+	SRAMLimitBytes int
+	// Captures is the majority-vote sample count (paper default 5).
+	Captures int
+	// FleetSeed namespaces device serials so runs are reproducible but
+	// experiments don't share silicon.
+	FleetSeed string
+}
+
+// Default returns the fast configuration used by tests and benches.
+func Default() Config {
+	return Config{SRAMLimitBytes: 16 << 10, Captures: 5, FleetSeed: "exp"}
+}
+
+// Full returns the full-scale configuration (real SRAM sizes).
+func Full() Config {
+	return Config{SRAMLimitBytes: 0, Captures: 5, FleetSeed: "exp"}
+}
+
+func (c Config) captures() int {
+	if c.Captures <= 0 {
+		return 5
+	}
+	return c.Captures
+}
+
+// newRig instantiates a model with a config-scoped serial.
+func (c Config) newRig(modelName, serial string) (*rig.Rig, error) {
+	m, err := device.ByName(modelName)
+	if err != nil {
+		return nil, err
+	}
+	var opts []device.Option
+	if c.SRAMLimitBytes > 0 {
+		opts = append(opts, device.WithSRAMLimit(c.SRAMLimitBytes))
+	}
+	d, err := device.New(m, c.FleetSeed+"/"+serial, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return rig.New(d), nil
+}
+
+// Result is what every experiment returns.
+type Result interface {
+	// ID is the experiment identifier (e.g. "fig6").
+	ID() string
+	// Summary is a one-line paper-vs-measured verdict.
+	Summary() string
+	// Render is the full text report (tables/ASCII charts).
+	Render() string
+}
+
+// Runner executes one experiment.
+type Runner func(Config) (Result, error)
+
+// registration couples an ID with its runner and description.
+type registration struct {
+	id, title, paperRef string
+	run                 Runner
+}
+
+var registry []registration
+
+func register(id, title, paperRef string, run Runner) {
+	registry = append(registry, registration{id: id, title: title, paperRef: paperRef, run: run})
+}
+
+// Info describes a registered experiment.
+type Info struct {
+	ID, Title, PaperRef string
+}
+
+// List returns all registered experiments sorted by ID.
+func List() []Info {
+	out := make([]Info, 0, len(registry))
+	for _, r := range registry {
+		out = append(out, Info{ID: r.id, Title: r.title, PaperRef: r.paperRef})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Run executes the experiment with the given ID.
+func Run(id string, cfg Config) (Result, error) {
+	for _, r := range registry {
+		if r.id == id {
+			return r.run(cfg)
+		}
+	}
+	return nil, fmt.Errorf("experiments: unknown experiment %q", id)
+}
+
+// RunAll executes every registered experiment in ID order.
+func RunAll(cfg Config) ([]Result, error) {
+	infos := List()
+	out := make([]Result, 0, len(infos))
+	for _, info := range infos {
+		res, err := Run(info.ID, cfg)
+		if err != nil {
+			return out, fmt.Errorf("experiments: %s: %w", info.ID, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// invert returns the bitwise complement (payload ↔ power-on state).
+func invert(p []byte) []byte {
+	out := make([]byte, len(p))
+	for i, b := range p {
+		out[i] = ^b
+	}
+	return out
+}
+
+// tile repeats pattern until it fills n bytes.
+func tile(pattern []byte, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = pattern[i%len(pattern)]
+	}
+	return out
+}

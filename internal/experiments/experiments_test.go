@@ -1,0 +1,517 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// testConfig uses small arrays so the whole suite stays fast while the
+// per-cell statistics remain tight enough for the acceptance bands.
+func testConfig() Config {
+	return Config{SRAMLimitBytes: 4 << 10, Captures: 5, FleetSeed: "test"}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"fig1", "fig2", "fig3", "fig6", "fig7", "fig8", "fig9", "fig10",
+		"fig11", "fig12", "fig14", "fig15",
+		"tab2", "tab3", "tab4", "tab5",
+		"sec514", "sec53", "sec6", "sec74",
+		"modelcheck", "fwop",
+		"abl-captures", "abl-eccorder", "abl-cipher", "abl-soft",
+	}
+	got := map[string]bool{}
+	for _, info := range List() {
+		got[info.ID] = true
+		if info.Title == "" || info.PaperRef == "" {
+			t.Errorf("%s: missing metadata", info.ID)
+		}
+	}
+	for _, id := range want {
+		if !got[id] {
+			t.Errorf("experiment %s not registered", id)
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("registry has %d entries, want %d", len(got), len(want))
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("fig99", testConfig()); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+// runAndRender executes one experiment and sanity-checks its Result
+// plumbing (ID, summary, render).
+func runAndRender(t *testing.T, id string) Result {
+	t.Helper()
+	res, err := Run(id, testConfig())
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if res.ID() != id {
+		t.Errorf("result ID = %q, want %q", res.ID(), id)
+	}
+	if res.Summary() == "" {
+		t.Errorf("%s: empty summary", id)
+	}
+	if len(res.Render()) < 40 {
+		t.Errorf("%s: render too short:\n%s", id, res.Render())
+	}
+	return res
+}
+
+func TestFig1ImageVisibleAndEncryptedHidden(t *testing.T) {
+	res := runAndRender(t, "fig1").(*Fig1Result)
+	if res.ReceivedError > 0.02 {
+		t.Errorf("received image pixel error %v, want near 0", res.ReceivedError)
+	}
+	if res.RawError > 0.25 {
+		t.Errorf("raw encoded image error %v — message not visible", res.RawError)
+	}
+	if res.EncBias < 0.47 || res.EncBias > 0.53 {
+		t.Errorf("encrypted window bias %v, want ≈0.5", res.EncBias)
+	}
+}
+
+func TestFig2RaceFlips(t *testing.T) {
+	res := runAndRender(t, "fig2").(*Fig2Result)
+	if !res.PreState || res.PostState {
+		t.Errorf("race did not flip: pre=%v post=%v", res.PreState, res.PostState)
+	}
+	if !res.Pre.Resolved || !res.Post.Resolved {
+		t.Error("transients did not resolve")
+	}
+}
+
+func TestFig3KnobOrdering(t *testing.T) {
+	res := runAndRender(t, "fig3").(*Fig3Result)
+	last := len(res.StressHrs) - 1
+	nom := res.PctOnes[0][last]  // 1.2V/25°C
+	temp := res.PctOnes[1][last] // 1.2V/85°C
+	volt := res.PctOnes[2][last] // 3.3V/25°C
+	both := res.PctOnes[3][last] // 3.3V/85°C
+	// All-1s written → aging pushes toward 0; stronger conditions → fewer 1s.
+	if !(both < volt && volt < nom && both < temp && temp <= nom+1) {
+		t.Errorf("acceleration ordering violated: nom=%.1f temp=%.1f volt=%.1f both=%.1f",
+			nom, temp, volt, both)
+	}
+	// Fig. 3d: voltage is the dominant knob.
+	if volt >= temp {
+		t.Errorf("voltage knob (%v%% 1s) should out-age temperature knob (%v%% 1s)", volt, temp)
+	}
+	// Nominal barely moves.
+	if nom < 45 {
+		t.Errorf("nominal conditions aged too much: %v%% 1s", nom)
+	}
+	// Histograms: unaged is U-shaped, stressed shifts mass to one side.
+	first, lastBin := res.HistUnaged[0], res.HistUnaged[len(res.HistUnaged)-1]
+	if first < 0.3 || lastBin < 0.3 {
+		t.Errorf("unaged histogram not U-shaped: %v", res.HistUnaged)
+	}
+	if res.HistAfter0[len(res.HistAfter0)-1] < 0.55 {
+		t.Errorf("all-0 stress did not pile mass at bias 1: %v", res.HistAfter0)
+	}
+	if res.HistAfter1[0] < 0.55 {
+		t.Errorf("all-1 stress did not pile mass at bias 0: %v", res.HistAfter1)
+	}
+}
+
+func TestFig6ShapeAndAnchor(t *testing.T) {
+	res := runAndRender(t, "fig6").(*Fig6Result)
+	for i := 1; i < len(res.Mean); i++ {
+		if res.Mean[i] >= res.Mean[i-1] {
+			t.Errorf("error not monotone at %gh: %v -> %v",
+				res.Hours[i], res.Mean[i-1], res.Mean[i])
+		}
+	}
+	last := len(res.Mean) - 1
+	if res.Mean[last] < 0.045 || res.Mean[last] > 0.085 {
+		t.Errorf("10h error = %v, want ≈0.065", res.Mean[last])
+	}
+	if res.Mean[0] < 0.25 || res.Mean[0] > 0.40 {
+		t.Errorf("2h error = %v, want ≈0.33", res.Mean[0])
+	}
+	for i := range res.Mean {
+		if res.Min[i] > res.Mean[i] || res.Max[i] < res.Mean[i] {
+			t.Errorf("min/mean/max inconsistent at %gh", res.Hours[i])
+		}
+	}
+}
+
+func TestTable2SpatialRandomness(t *testing.T) {
+	res := runAndRender(t, "tab2").(*Table2Result)
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.MoranI < -0.01 || row.MoranI > 0.05 {
+			t.Errorf("%s SRAM %d: Moran's I = %v, want ~0.00-0.01", row.Condition, row.SRAM, row.MoranI)
+		}
+	}
+}
+
+func TestFig7RecoveryShape(t *testing.T) {
+	res := runAndRender(t, "fig7").(*Fig7Result)
+	if len(res.Weeks) != 15 {
+		t.Fatalf("weeks = %d", len(res.Weeks))
+	}
+	week1 := res.NormalizedError[1]
+	week4 := res.NormalizedError[4]
+	week14 := res.NormalizedError[14]
+	if week1 < 1.15 || week1 > 1.65 {
+		t.Errorf("1-week factor = %v, want ≈1.4", week1)
+	}
+	if week4 < 1.35 || week4 > 1.95 {
+		t.Errorf("4-week factor = %v, want ≈1.6", week4)
+	}
+	if week14 < 1.6 || week14 > 2.4 {
+		t.Errorf("14-week factor = %v, want ≈2.0", week14)
+	}
+	// Error stays within ~10% absolute after a month (§5.1.3).
+	if res.BaseError*week4 > 0.12 {
+		t.Errorf("absolute month error = %v", res.BaseError*week4)
+	}
+	// Recovery rate decays: first interval's rate larger than the last's.
+	if res.RecoveryRatePct[1] <= res.RecoveryRatePct[14] {
+		t.Errorf("recovery rate did not decay: %v vs %v",
+			res.RecoveryRatePct[1], res.RecoveryRatePct[14])
+	}
+}
+
+func TestSec514OperationGentlerThanShelf(t *testing.T) {
+	res := runAndRender(t, "sec514").(*Sec514Result)
+	if res.OperationFactor < 1.0 || res.OperationFactor > 1.45 {
+		t.Errorf("operation factor = %v, want ≈1.2", res.OperationFactor)
+	}
+	if res.ShelfFactor < 1.15 || res.ShelfFactor > 1.65 {
+		t.Errorf("shelf factor = %v, want ≈1.4", res.ShelfFactor)
+	}
+	if res.OperationFactor >= res.ShelfFactor {
+		t.Errorf("operation (%v) should be gentler than shelf (%v)",
+			res.OperationFactor, res.ShelfFactor)
+	}
+}
+
+func TestFig8MonotoneCleanup(t *testing.T) {
+	res := runAndRender(t, "fig8").(*Fig8Result)
+	for i := 1; i < len(res.Errors); i++ {
+		if res.Errors[i] > res.Errors[i-1] {
+			t.Errorf("pixel error increased at %d copies: %v -> %v",
+				res.Copies[i], res.Errors[i-1], res.Errors[i])
+		}
+	}
+	if res.Errors[len(res.Errors)-1] > 0.02 {
+		t.Errorf("7-copy image error = %v, want near 0", res.Errors[len(res.Errors)-1])
+	}
+}
+
+func TestFig9BothKnobsHelp(t *testing.T) {
+	res := runAndRender(t, "fig9").(*Fig9Result)
+	// More copies help at every stress time.
+	for hi := range res.Hours {
+		first, last := res.Errors[hi][0], res.Errors[hi][len(res.Copies)-1]
+		if last >= first {
+			t.Errorf("%gh: copies did not reduce error (%v -> %v)", res.Hours[hi], first, last)
+		}
+	}
+	// More stress time helps at single copy.
+	if !(res.Errors[2][0] < res.Errors[1][0] && res.Errors[1][0] < res.Errors[0][0]) {
+		t.Errorf("stress time did not reduce single-copy error: %v %v %v",
+			res.Errors[0][0], res.Errors[1][0], res.Errors[2][0])
+	}
+}
+
+func TestFig10TheoryTracksMeasurement(t *testing.T) {
+	res := runAndRender(t, "fig10").(*Fig10Result)
+	if res.SingleCopyMean < 0.045 || res.SingleCopyMean > 0.09 {
+		t.Errorf("single-copy error = %v, want ≈0.065", res.SingleCopyMean)
+	}
+	// Repetition closely follows Eq. 1 (§5.2). Compare at 3–9 copies where
+	// both are well away from zero.
+	for i, n := range res.Copies {
+		if n < 3 || n > 9 {
+			continue
+		}
+		th, ms := res.Theory[i], res.Repetition[i]
+		if ms > th*2+0.005 || ms < th/2-0.005 {
+			t.Errorf("%d copies: measured %v vs theory %v", n, ms, th)
+		}
+	}
+	// Repetition alone reaches zero within 17 copies (paper: 13).
+	if res.ZeroErrorAt < 0 || res.ZeroErrorAt > 17 {
+		t.Errorf("repetition never reached zero (at %d)", res.ZeroErrorAt)
+	}
+	// Hamming+repetition at 5 copies beats plain repetition at 5 copies.
+	idx5 := -1
+	for i, n := range res.Copies {
+		if n == 5 {
+			idx5 = i
+		}
+	}
+	if res.RepetitionHam74[idx5] > res.Repetition[idx5] {
+		t.Errorf("ham+rep (%v) worse than rep (%v) at 5 copies",
+			res.RepetitionHam74[idx5], res.Repetition[idx5])
+	}
+}
+
+func TestFig11PlaintextDetectableEncryptedNot(t *testing.T) {
+	res := runAndRender(t, "fig11").(*Fig11Result)
+	mid := float64(res.BlockBits) / 2
+	dist := func(m float64) float64 {
+		if m < mid {
+			return mid - m
+		}
+		return m - mid
+	}
+	if dist(res.MeanNone) > 2 {
+		t.Errorf("clean mean HW = %v, want ≈%v", res.MeanNone, mid)
+	}
+	if dist(res.MeanEncrypted) > 2 {
+		t.Errorf("encrypted mean HW = %v, want ≈%v", res.MeanEncrypted, mid)
+	}
+	if dist(res.MeanPlain) < 3 {
+		t.Errorf("plain-text mean HW = %v — should be visibly shifted", res.MeanPlain)
+	}
+}
+
+func TestFig12EntropySignature(t *testing.T) {
+	res := runAndRender(t, "fig12").(*Fig12Result)
+	if res.NormNone < 0.0305 || res.NormNone > 0.03125 {
+		t.Errorf("clean normalized entropy = %v, paper 0.0312", res.NormNone)
+	}
+	if res.NormEncrypted < 0.0305 {
+		t.Errorf("encrypted normalized entropy = %v, paper 0.0312", res.NormEncrypted)
+	}
+	if res.NormPlain > res.NormNone-0.004 {
+		t.Errorf("plain-text entropy %v insufficiently below clean %v", res.NormPlain, res.NormNone)
+	}
+}
+
+func TestTable5Deniability(t *testing.T) {
+	res := runAndRender(t, "tab5").(*Table5Result)
+	if len(res.Rows) != 11 {
+		t.Fatalf("rows = %d, Table 5 has 11 chips", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		switch {
+		case strings.Contains(row.Condition, "no encryption"):
+			if row.MoranI < 0.15 {
+				t.Errorf("plain-text Moran's I = %v, want strongly positive (paper 0.4-0.5)", row.MoranI)
+			}
+			if row.MeanBias < 0.52 {
+				t.Errorf("plain-text bias = %v, want > 0.52 (paper 0.535)", row.MeanBias)
+			}
+		case strings.Contains(row.Condition, "encrypted"):
+			if row.MoranI > 0.02 {
+				t.Errorf("encrypted Moran's I = %v, want < 0.02", row.MoranI)
+			}
+			if row.MeanBias < 0.49 || row.MeanBias > 0.51 {
+				t.Errorf("encrypted bias = %v, want ≈0.5", row.MeanBias)
+			}
+		default: // clean
+			if row.MoranI > 0.02 {
+				t.Errorf("clean Moran's I = %v", row.MoranI)
+			}
+		}
+	}
+}
+
+func TestWelchCannotRejectNull(t *testing.T) {
+	res := runAndRender(t, "sec6").(*WelchResult)
+	if res.RejectNull {
+		t.Errorf("Welch test rejected the null (p=%v) — encrypted devices distinguishable", res.Test.POneTailed)
+	}
+}
+
+func TestFig14SnapshotsIndistinguishable(t *testing.T) {
+	res := runAndRender(t, "fig14").(*Fig14Result)
+	if len(res.Snapshots) != 6 {
+		t.Fatalf("snapshots = %d", len(res.Snapshots))
+	}
+	if res.MaxMoranI > 0.02 {
+		t.Errorf("max Moran's I across snapshots = %v, paper keeps < 0.01", res.MaxMoranI)
+	}
+	// Drift between m1 and later snapshots stays within a few percent of
+	// bits — comparable to back-to-back measurement noise amplified by
+	// early recovery.
+	for _, s := range res.Snapshots[2:] {
+		if s.DiffBits > 0.06 {
+			t.Errorf("%s: %v of bits changed — too revealing", s.Label, s.DiffBits)
+		}
+	}
+}
+
+func TestFig15Frontier(t *testing.T) {
+	res := runAndRender(t, "fig15").(*Fig15Result)
+	if len(res.Devices) != 4 {
+		t.Fatalf("devices = %d", len(res.Devices))
+	}
+	for di, pts := range res.Points {
+		// Within a device, error decreases as capacity decreases (more
+		// redundancy) for the plain-repetition points.
+		var prevErr float64 = 2
+		for _, p := range pts {
+			if p.WithHamming {
+				continue
+			}
+			if p.Error > prevErr {
+				t.Errorf("%s: repetition frontier not monotone", res.Devices[di])
+			}
+			prevErr = p.Error
+		}
+	}
+	// Device ordering: ATSAML11 (97.2%) has lower single error than
+	// BCM2837 (79.2%).
+	var atsaml, bcm float64
+	for i, name := range res.Devices {
+		switch name {
+		case "ATSAML11E16A":
+			atsaml = res.SingleErrors[i]
+		case "BCM2837":
+			bcm = res.SingleErrors[i]
+		}
+	}
+	if atsaml >= bcm {
+		t.Errorf("device ordering wrong: ATSAML11 %v vs BCM2837 %v", atsaml, bcm)
+	}
+}
+
+func TestTable3Resilience(t *testing.T) {
+	res := runAndRender(t, "tab3").(*Table3Result)
+	if res.ZuckErrAfterRewrite < 0.2 {
+		t.Errorf("Zuck hidden data survived rewrite: %v", res.ZuckErrAfterRewrite)
+	}
+	if res.WangErrAfterRewrite > 0.05 {
+		t.Errorf("Wang wear signal lost: %v", res.WangErrAfterRewrite)
+	}
+	if res.IBErrAfterRewrite > res.IBBaseErr*1.3+0.01 {
+		t.Errorf("Invisible Bits degraded too much by rewrite: %v vs base %v",
+			res.IBErrAfterRewrite, res.IBBaseErr)
+	}
+}
+
+func TestTable4WithinBands(t *testing.T) {
+	res := runAndRender(t, "tab4").(*Table4Result)
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		d := row.BitRate - row.PaperBitRate
+		if d < 0 {
+			d = -d
+		}
+		if d > 0.015 {
+			t.Errorf("%s: measured %.4f vs paper %.4f (Δ %.3f)", row.Device, row.BitRate, row.PaperBitRate, d)
+		}
+	}
+}
+
+func TestSec53CapacityFactors(t *testing.T) {
+	res := runAndRender(t, "sec53").(*Sec53Result)
+	if res.WangCapacity != 131 {
+		t.Errorf("Wang capacity = %d, want 131", res.WangCapacity)
+	}
+	if res.IB5CopyCapacity != 64<<10/5 {
+		t.Errorf("5-copy capacity = %d, want 13107 (12.8KB)", res.IB5CopyCapacity)
+	}
+	if res.FactorVsWang5 < 90 || res.FactorVsWang5 > 110 {
+		t.Errorf("capacity factor = %v, paper claims 100x", res.FactorVsWang5)
+	}
+	if res.FactorVsWangBest < 140 {
+		t.Errorf("best-device factor = %v, paper claims 160x", res.FactorVsWangBest)
+	}
+	if res.IB5CopyError > 0.003 {
+		t.Errorf("5-copy residual error = %v, want <0.3%%", res.IB5CopyError)
+	}
+}
+
+func TestAblationCaptures(t *testing.T) {
+	res := runAndRender(t, "abl-captures").(*AblCapturesResult)
+	// §4.3: five captures suffice — 9 captures buy essentially nothing
+	// over 5 on an encoded device.
+	idx := map[int]int{}
+	for i, n := range res.Captures {
+		idx[n] = i
+	}
+	if gain := res.Errors[idx[5]] - res.Errors[idx[9]]; gain > 0.003 {
+		t.Errorf("9 captures improved on 5 by %v — majority should have converged", gain)
+	}
+	for _, e := range res.Errors {
+		if e < 0.04 || e > 0.10 {
+			t.Errorf("channel error %v out of the expected 6.5%% neighbourhood", e)
+		}
+	}
+}
+
+func TestAblationECCOrder(t *testing.T) {
+	res := runAndRender(t, "abl-eccorder").(*AblECCOrderResult)
+	if diff := res.HamThenRep - res.RepThenHam; diff > 0.02 || diff < -0.02 {
+		t.Errorf("composition order matters too much: %v vs %v", res.HamThenRep, res.RepThenHam)
+	}
+}
+
+func TestAblationCipher(t *testing.T) {
+	res := runAblationCipher(t)
+	if res.CBCError < 20*res.ChannelBER {
+		t.Errorf("CBC amplification only %vx", res.CBCError/res.ChannelBER)
+	}
+	if res.CTRError > 2*res.ChannelBER {
+		t.Errorf("CTR not error-neutral: %v on %v channel", res.CTRError, res.ChannelBER)
+	}
+}
+
+func runAblationCipher(t *testing.T) *AblCipherResult {
+	t.Helper()
+	return runAndRender(t, "abl-cipher").(*AblCipherResult)
+}
+
+func TestAblationSoft(t *testing.T) {
+	res := runAndRender(t, "abl-soft").(*AblSoftResult)
+	if res.SoftError > res.HardError+0.003 {
+		t.Errorf("soft (%v) worse than hard (%v)", res.SoftError, res.HardError)
+	}
+}
+
+func TestModelCheckFullAgreement(t *testing.T) {
+	res := runAndRender(t, "modelcheck").(*ModelCheckResult)
+	if res.RaceAgreement < 1.0 {
+		t.Errorf("race agreement = %v, want 1.0", res.RaceAgreement)
+	}
+	if res.FlipAgreement < 1.0 {
+		t.Errorf("flip agreement = %v, want 1.0", res.FlipAgreement)
+	}
+	if res.CellsTested < 25 {
+		t.Errorf("only %d cells tested", res.CellsTested)
+	}
+}
+
+func TestFirmwareOpMatchesModel(t *testing.T) {
+	res := runAndRender(t, "fwop").(*FirmwareOpResult)
+	// Both abstraction levels must show the same gentle degradation.
+	if diff := res.ModelFactor - res.FirmwareFactor; diff > 0.08 || diff < -0.08 {
+		t.Errorf("model ×%v vs firmware ×%v — abstraction gap too large",
+			res.ModelFactor, res.FirmwareFactor)
+	}
+	if res.FirmwareFactor < 1.0 || res.FirmwareFactor > 1.35 {
+		t.Errorf("firmware factor = %v, want gentle growth", res.FirmwareFactor)
+	}
+	if res.Instructions == 0 {
+		t.Error("no instructions retired — firmware never ran")
+	}
+}
+
+func TestSec74AttackAndRepair(t *testing.T) {
+	res := runAndRender(t, "sec74").(*Sec74Result)
+	if res.AttackFactor < 1.02 || res.AttackFactor > 1.5 {
+		t.Errorf("attack factor = %v, paper ≈1.12", res.AttackFactor)
+	}
+	if res.RepairFactor > 1.1 {
+		t.Errorf("repair factor = %v, paper ≈0.98 (restored)", res.RepairFactor)
+	}
+	if res.RepairFactor >= res.AttackFactor {
+		t.Errorf("repair (%v) did not improve on attack (%v)", res.RepairFactor, res.AttackFactor)
+	}
+}

@@ -1,0 +1,239 @@
+package flashsteg
+
+import (
+	"bytes"
+	"testing"
+
+	"invisiblebits/internal/flash"
+	"invisiblebits/internal/rng"
+	"invisiblebits/internal/stats"
+)
+
+// msp432Flash builds a 256 KB flash like the MSP432's.
+func msp432Flash(t *testing.T) *flash.Array {
+	t.Helper()
+	s := flash.DefaultSpec()
+	s.PageBytes = 512
+	s.Pages = 512
+	f, err := flash.New(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestWangCapacityMatchesPaper(t *testing.T) {
+	// §5.3: "Assuming that the entire Flash is available, write-time-based
+	// Flash hiding approaches can only transmit 131 bytes" on a 256 KB part.
+	f := msp432Flash(t)
+	w, err := NewWang(f, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.CapacityBytes(); got != 131 {
+		t.Fatalf("Wang capacity = %d bytes, want 131", got)
+	}
+}
+
+func TestWangRoundTrip(t *testing.T) {
+	f := msp432Flash(t)
+	w, err := NewWang(f, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := make([]byte, w.CapacityBytes())
+	rng.NewSource(1).Bytes(msg)
+	if err := w.Encode(msg); err != nil {
+		t.Fatal(err)
+	}
+	got, err := w.Decode(len(msg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ber := stats.BitErrorRate(got, msg); ber > 0.01 {
+		t.Fatalf("Wang round-trip error = %v", ber)
+	}
+}
+
+func TestWangRequiresKey(t *testing.T) {
+	f := msp432Flash(t)
+	w, _ := NewWang(f, 7)
+	msg := make([]byte, 32)
+	rng.NewSource(2).Bytes(msg)
+	if err := w.Encode(msg); err != nil {
+		t.Fatal(err)
+	}
+	// A reader with the wrong key groups unrelated cells; its decode must
+	// carry no information (≈ all zeros or noise, ~50% error on 1-bits).
+	wrong, _ := NewWang(f, 8)
+	got, err := wrong.Decode(len(msg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ber := stats.BitErrorRate(got, msg); ber < 0.15 {
+		t.Fatalf("wrong-key decode too accurate: ber=%v", ber)
+	}
+}
+
+func TestWangCapacityValidation(t *testing.T) {
+	f := msp432Flash(t)
+	w, _ := NewWang(f, 7)
+	big := make([]byte, w.CapacityBytes()+1)
+	if err := w.Encode(big); err == nil {
+		t.Error("over-capacity encode accepted")
+	}
+	if _, err := w.Decode(w.CapacityBytes() + 1); err == nil {
+		t.Error("over-capacity decode accepted")
+	}
+	tiny, err := flash.New(flash.Spec{
+		PageBytes: 16, Pages: 2, ProgramTimeMeanUs: 60, ProgramTimeSigma: 0.1,
+		VtErased: 1, VtProgrammed: 4.5, VtOvercharged: 5.6, VtSigma: 0.1, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewWang(tiny, 1); err == nil {
+		t.Error("tiny flash accepted")
+	}
+	if _, err := NewWang(nil, 1); err == nil {
+		t.Error("nil flash accepted")
+	}
+}
+
+func TestZuckCapacityDoublesWang(t *testing.T) {
+	f := msp432Flash(t)
+	z, err := NewZuck(f, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _ := NewWang(f, 3)
+	if z.CapacityBytes() != 2*w.CapacityBytes() {
+		t.Fatalf("Zuck capacity %d, want 2x Wang %d", z.CapacityBytes(), w.CapacityBytes())
+	}
+}
+
+func TestZuckRoundTrip(t *testing.T) {
+	f := msp432Flash(t)
+	z, _ := NewZuck(f, 11)
+	cover := make([]byte, 64<<10)
+	rng.NewSource(5).Bytes(cover) // "encrypted cover data" — random-looking
+	msg := make([]byte, z.CapacityBytes())
+	rng.NewSource(6).Bytes(msg)
+	if err := z.EncodeWithCover(cover, msg); err != nil {
+		t.Fatal(err)
+	}
+	// Public data must read back exactly (digital transparency).
+	pub, err := f.Read(0, len(cover))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pub, cover) {
+		t.Fatal("hidden encoding corrupted public cover data")
+	}
+	got, err := z.Decode(len(cover), len(msg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ber := stats.BitErrorRate(got, msg); ber > 0.01 {
+		t.Fatalf("Zuck round-trip error = %v", ber)
+	}
+}
+
+func TestZuckDestroyedByRewriteAttack(t *testing.T) {
+	// §8: "An active adversary can promptly stop covert communication by
+	// copying the encrypted cover data and re-programming it ... data is
+	// lost." This is the resilience experiment behind Table 3.
+	f := msp432Flash(t)
+	z, _ := NewZuck(f, 11)
+	cover := make([]byte, 32<<10)
+	rng.NewSource(7).Bytes(cover)
+	msg := make([]byte, 64)
+	rng.NewSource(8).Bytes(msg)
+	if err := z.EncodeWithCover(cover, msg); err != nil {
+		t.Fatal(err)
+	}
+	if err := RewriteAttack(f, len(cover)); err != nil {
+		t.Fatal(err)
+	}
+	// Public data survives the attack...
+	pub, _ := f.Read(0, len(cover))
+	if !bytes.Equal(pub, cover) {
+		t.Fatal("rewrite attack changed public data")
+	}
+	// ...but the hidden message is gone.
+	got, err := z.Decode(len(cover), len(msg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ones := stats.HammingWeight(msg)
+	recovered := ones - stats.HammingDistance(got, msg) // crude surviving-1s proxy
+	if stats.BitErrorRate(got, msg) < 0.2 {
+		t.Fatalf("hidden data survived rewrite: ber=%v (recovered ~%d/%d ones)",
+			stats.BitErrorRate(got, msg), recovered, ones)
+	}
+}
+
+func TestWangSurvivesRewriteOfData(t *testing.T) {
+	// Wear is physical damage: rewriting stored data does not clear the
+	// program-time signal (though it adds uniform wear). This is why the
+	// Wang scheme's weakness is capacity, not rewrite-resilience.
+	f := msp432Flash(t)
+	w, _ := NewWang(f, 13)
+	msg := make([]byte, 64)
+	rng.NewSource(9).Bytes(msg)
+	if err := w.Encode(msg); err != nil {
+		t.Fatal(err)
+	}
+	if err := RewriteAttack(f, 32<<10); err != nil {
+		t.Fatal(err)
+	}
+	got, err := w.Decode(len(msg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ber := stats.BitErrorRate(got, msg); ber > 0.05 {
+		t.Fatalf("Wang signal lost after rewrite: ber=%v", ber)
+	}
+}
+
+func TestZuckValidation(t *testing.T) {
+	f := msp432Flash(t)
+	z, _ := NewZuck(f, 1)
+	if err := z.EncodeWithCover(make([]byte, 1024), make([]byte, z.CapacityBytes()+1)); err == nil {
+		t.Error("over-capacity accepted")
+	}
+	// All-1s (erased-looking) cover has no programmed bits to carry data.
+	cover := bytes.Repeat([]byte{0xFF}, 1024)
+	if err := z.EncodeWithCover(cover, make([]byte, 8)); err == nil {
+		t.Error("cover without programmed bits accepted")
+	}
+	if _, err := NewZuck(nil, 1); err == nil {
+		t.Error("nil flash accepted")
+	}
+}
+
+func BenchmarkWangDecode(b *testing.B) {
+	s := flash.DefaultSpec()
+	s.PageBytes = 512
+	s.Pages = 128
+	f, err := flash.New(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := NewWang(f, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	msg := make([]byte, w.CapacityBytes())
+	rng.NewSource(1).Bytes(msg)
+	if err := w.Encode(msg); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Decode(len(msg)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+// Package flashsteg implements the two Flash-based on-chip steganography
+// baselines Invisible Bits is compared against in §5.3 and §8:
+//
+//   - Wang et al., "Hiding Information in Flash Memory" (S&P 2013):
+//     program-time modulation. "This method deliberately stresses a group
+//     of cells to encode information in them. The program time of cells
+//     is distributed over a long-tailed spectrum ... A group of 128-bit
+//     cells encodes 1-bit information, and addresses of the cells that
+//     are grouped are encrypted using a symmetric key cipher."
+//
+//   - Zuck et al., "Stash in a Flash" (FAST 2018): threshold-voltage
+//     modulation inside public cover data. "The first pass stores
+//     encrypted cover data, and the second pass selects a few cells from
+//     the same public bits ... cells currently holding public data are
+//     incrementally charged beyond their preset voltage level."
+//
+// Both schemes' capacities follow the paper's numbers: 0.05 % of Flash
+// bits for the program-time method (131 bytes on a 256 KB part) and twice
+// that for the voltage method. Their fragility under an adversary rewrite
+// is exactly what Table 3's resilience column (and the tab3 experiment)
+// demonstrates.
+package flashsteg
+
+import (
+	"errors"
+	"fmt"
+
+	"invisiblebits/internal/flash"
+	"invisiblebits/internal/rng"
+)
+
+// WangCapacityFraction is the paper's capacity figure for the
+// program-time scheme: "a Flash-based hiding scheme achieves 0.05%
+// capacity" (§5.3).
+const WangCapacityFraction = 0.0005
+
+// Wang is the program-time baseline.
+type Wang struct {
+	f *flash.Array
+	// GroupBits is the cells-per-hidden-bit group size (128 in the paper).
+	GroupBits int
+	// CyclesPerBit is the P/E stress applied to groups encoding a 1.
+	CyclesPerBit int
+
+	groups [][]int // per usable hidden bit: member cell indices
+}
+
+// NewWang builds the scheme over f. key seeds the secret group-address
+// permutation (the paper encrypts group addresses with a symmetric key).
+func NewWang(f *flash.Array, key uint64) (*Wang, error) {
+	if f == nil {
+		return nil, errors.New("flashsteg: nil flash")
+	}
+	w := &Wang{f: f, GroupBits: 128, CyclesPerBit: 400}
+	totalBits := f.Bytes() * 8
+	capacityBits := int(float64(totalBits) * WangCapacityFraction)
+	if capacityBits == 0 {
+		return nil, errors.New("flashsteg: flash too small for Wang scheme")
+	}
+	// Keyed permutation of cell indices; consecutive GroupBits-sized
+	// windows of the permutation form the hidden-bit groups. Without the
+	// key the groups are indistinguishable from background variation.
+	perm := rng.NewSource(key).Perm(totalBits)
+	w.groups = make([][]int, capacityBits)
+	for i := range w.groups {
+		w.groups[i] = perm[i*w.GroupBits : (i+1)*w.GroupBits]
+	}
+	return w, nil
+}
+
+// CapacityBytes returns the scheme's hidden-message capacity.
+func (w *Wang) CapacityBytes() int { return len(w.groups) / 8 }
+
+// Encode hides msg by stressing the groups whose message bit is 1.
+func (w *Wang) Encode(msg []byte) error {
+	if len(msg) > w.CapacityBytes() {
+		return fmt.Errorf("flashsteg: message %d bytes exceeds Wang capacity %d", len(msg), w.CapacityBytes())
+	}
+	for i := 0; i < len(msg)*8; i++ {
+		if msg[i/8]&(1<<(i%8)) == 0 {
+			continue
+		}
+		if err := w.f.CycleBits(w.groups[i], w.CyclesPerBit); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Decode measures each group's mean program time against the chip-wide
+// baseline and thresholds at half the expected stress shift.
+func (w *Wang) Decode(msgBytes int) ([]byte, error) {
+	if msgBytes > w.CapacityBytes() {
+		return nil, fmt.Errorf("flashsteg: %d bytes exceeds Wang capacity %d", msgBytes, w.CapacityBytes())
+	}
+	baseline, err := w.chipBaseline()
+	if err != nil {
+		return nil, err
+	}
+	threshold := baseline +
+		w.f.Spec().WearSlowdownUsPerCycle*float64(w.CyclesPerBit)/2
+	out := make([]byte, msgBytes)
+	for i := 0; i < msgBytes*8; i++ {
+		var sum float64
+		for _, cell := range w.groups[i] {
+			t, err := w.f.MeasureProgramTime(cell)
+			if err != nil {
+				return nil, err
+			}
+			sum += t
+		}
+		if sum/float64(w.GroupBits) > threshold {
+			out[i/8] |= 1 << (i % 8)
+		}
+	}
+	return out, nil
+}
+
+// chipBaseline estimates the unstressed mean program time by sampling
+// cells outside the hidden groups.
+func (w *Wang) chipBaseline() (float64, error) {
+	member := make(map[int]bool, len(w.groups)*w.GroupBits)
+	for _, g := range w.groups {
+		for _, c := range g {
+			member[c] = true
+		}
+	}
+	totalBits := w.f.Bytes() * 8
+	var sum float64
+	n := 0
+	for c := 0; c < totalBits && n < 4096; c += 97 {
+		if member[c] {
+			continue
+		}
+		t, err := w.f.MeasureProgramTime(c)
+		if err != nil {
+			return 0, err
+		}
+		sum += t
+		n++
+	}
+	if n == 0 {
+		return 0, errors.New("flashsteg: no baseline cells available")
+	}
+	return sum / float64(n), nil
+}

@@ -1,0 +1,144 @@
+package flashsteg
+
+import (
+	"errors"
+	"fmt"
+
+	"invisiblebits/internal/flash"
+	"invisiblebits/internal/rng"
+)
+
+// ZuckCapacityFraction doubles the Wang capacity: "the more recent
+// voltage-based technique doubles this capacity by hiding information
+// within the public data" (§5.3).
+const ZuckCapacityFraction = 2 * WangCapacityFraction
+
+// Zuck is the voltage-level baseline: hidden bits ride on the threshold
+// voltage of cells that hold programmed (0) public data. A hidden 1 is
+// encoded by overcharging the cell; a hidden 0 leaves it at the normal
+// programmed level. Both read identically at the digital reference —
+// "as long as the cover data is not erased or re-programmed, the hidden
+// data remains stored" (§8).
+type Zuck struct {
+	f   *flash.Array
+	key uint64
+
+	// carriers are the selected programmed-cell indices, one per hidden
+	// bit; populated by EncodeWithCover and recomputed by the receiver
+	// from the key + cover data.
+	carriers []int
+}
+
+// NewZuck builds the scheme over f with a shared key.
+func NewZuck(f *flash.Array, key uint64) (*Zuck, error) {
+	if f == nil {
+		return nil, errors.New("flashsteg: nil flash")
+	}
+	return &Zuck{f: f, key: key}, nil
+}
+
+// CapacityBytes returns the hidden capacity given the flash size.
+func (z *Zuck) CapacityBytes() int {
+	return int(float64(z.f.Bytes()*8)*ZuckCapacityFraction) / 8
+}
+
+// selectCarriers deterministically picks programmed (0) bits of the cover
+// region in keyed order. Both sides run the same selection, so only the
+// key and the cover data need to be shared.
+func (z *Zuck) selectCarriers(coverBytes, hiddenBits int) ([]int, error) {
+	data, err := z.f.Read(0, coverBytes)
+	if err != nil {
+		return nil, err
+	}
+	var programmed []int
+	for i := 0; i < coverBytes*8; i++ {
+		if data[i/8]&(1<<(i%8)) == 0 {
+			programmed = append(programmed, i)
+		}
+	}
+	if len(programmed) < hiddenBits {
+		return nil, fmt.Errorf("flashsteg: cover has %d programmed bits, need %d", len(programmed), hiddenBits)
+	}
+	order := rng.NewSource(z.key).Perm(len(programmed))
+	carriers := make([]int, hiddenBits)
+	for i := range carriers {
+		carriers[i] = programmed[order[i]]
+	}
+	return carriers, nil
+}
+
+// EncodeWithCover programs cover (public, typically encrypted data) into
+// the flash starting at page 0, then overcharges the keyed selection of
+// programmed cells to hide msg.
+func (z *Zuck) EncodeWithCover(cover, msg []byte) error {
+	if len(msg) > z.CapacityBytes() {
+		return fmt.Errorf("flashsteg: message %d bytes exceeds Zuck capacity %d", len(msg), z.CapacityBytes())
+	}
+	pageBytes := z.f.Spec().PageBytes
+	lastPage := (len(cover) + pageBytes - 1) / pageBytes
+	for p := 0; p < lastPage; p++ {
+		if err := z.f.ErasePage(p); err != nil {
+			return err
+		}
+	}
+	if _, err := z.f.Program(0, cover); err != nil {
+		return err
+	}
+	carriers, err := z.selectCarriers(len(cover), len(msg)*8)
+	if err != nil {
+		return err
+	}
+	z.carriers = carriers
+	for i := 0; i < len(msg)*8; i++ {
+		if msg[i/8]&(1<<(i%8)) == 0 {
+			continue
+		}
+		if err := z.f.Overcharge(carriers[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Decode recomputes the carrier selection from the (current) cover data
+// and margin-reads each carrier against the mid-level reference.
+func (z *Zuck) Decode(coverBytes, msgBytes int) ([]byte, error) {
+	carriers, err := z.selectCarriers(coverBytes, msgBytes*8)
+	if err != nil {
+		return nil, err
+	}
+	spec := z.f.Spec()
+	mid := (spec.VtProgrammed + spec.VtOvercharged) / 2
+	out := make([]byte, msgBytes)
+	for i, cell := range carriers {
+		v, err := z.f.MarginRead(cell)
+		if err != nil {
+			return nil, err
+		}
+		if v > mid {
+			out[i/8] |= 1 << (i % 8)
+		}
+	}
+	return out, nil
+}
+
+// RewriteAttack is the active adversary of §8: "an active adversary can
+// promptly stop covert communication by copying the encrypted cover data
+// and re-programming it again without modification." It reads the first
+// coverBytes, erases those pages, and programs the same digital data
+// back — destroying any analog state riding on it.
+func RewriteAttack(f *flash.Array, coverBytes int) error {
+	data, err := f.Read(0, coverBytes)
+	if err != nil {
+		return err
+	}
+	pageBytes := f.Spec().PageBytes
+	lastPage := (coverBytes + pageBytes - 1) / pageBytes
+	for p := 0; p < lastPage; p++ {
+		if err := f.ErasePage(p); err != nil {
+			return err
+		}
+	}
+	_, err = f.Program(0, data)
+	return err
+}

@@ -1,0 +1,206 @@
+// Package fleet implements multi-device operations around Invisible
+// Bits. §5.3 observes that "devices can be encoded in parallel. Given the
+// importance of capacity in a steganographic covert channel, one can
+// encode many devices and select the one with the least error" — yielding
+// the paper's 160× best-device capacity factor. This package provides:
+//
+//   - Characterize: encode a calibration payload on every device in
+//     parallel and measure each one's single-copy channel error.
+//   - SelectBest: the least-error device of a characterized fleet.
+//   - Stripe/Gather: split one message across several devices (each
+//     carrying an independently encrypted shard with its own per-device
+//     nonce), for messages that exceed a single SRAM.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"invisiblebits/internal/core"
+	"invisiblebits/internal/rig"
+	"invisiblebits/internal/rng"
+	"invisiblebits/internal/stats"
+)
+
+// Characterization is one device's measured channel quality.
+type Characterization struct {
+	Index        int
+	DeviceID     string
+	ChannelError float64
+}
+
+// Characterize stress-tests every rig in parallel with a pseudo-random
+// calibration payload at its device's Table 4 operating point and
+// measures the single-copy error. The devices are left encoded with the
+// calibration pattern; callers re-encode the real payload afterwards
+// (stress composes, so characterization costs headroom, not correctness —
+// but best practice is to characterize sacrificial devices of the same
+// lot, which is how the paper frames device selection).
+func Characterize(rigs []*rig.Rig, captures int) ([]Characterization, error) {
+	if len(rigs) == 0 {
+		return nil, errors.New("fleet: no devices")
+	}
+	out := make([]Characterization, len(rigs))
+	errs := make([]error, len(rigs))
+	var wg sync.WaitGroup
+	for i, r := range rigs {
+		wg.Add(1)
+		go func(i int, r *rig.Rig) {
+			defer wg.Done()
+			out[i], errs[i] = characterizeOne(i, r, captures)
+		}(i, r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func characterizeOne(i int, r *rig.Rig, captures int) (Characterization, error) {
+	dev := r.Device()
+	if !dev.SRAM.Powered() {
+		if _, err := dev.PowerOn(25); err != nil {
+			return Characterization{}, err
+		}
+	}
+	payload := make([]byte, dev.SRAM.Bytes())
+	rng.NewSource(rng.HashString("fleet/" + dev.DeviceID())).Bytes(payload)
+	if err := dev.SRAM.Write(payload); err != nil {
+		return Characterization{}, err
+	}
+	if err := dev.StressBypassed(dev.Model.Accelerated(), dev.Model.EncodingHours); err != nil {
+		return Characterization{}, err
+	}
+	maj, err := dev.SRAM.CaptureMajority(captures, 25)
+	if err != nil {
+		return Characterization{}, err
+	}
+	inv := make([]byte, len(maj))
+	for k, b := range maj {
+		inv[k] = ^b
+	}
+	return Characterization{
+		Index:        i,
+		DeviceID:     dev.DeviceID(),
+		ChannelError: stats.BitErrorRate(inv, payload),
+	}, nil
+}
+
+// SelectBest returns the characterization with the lowest channel error.
+func SelectBest(chars []Characterization) (Characterization, error) {
+	if len(chars) == 0 {
+		return Characterization{}, errors.New("fleet: empty characterization set")
+	}
+	best := chars[0]
+	for _, c := range chars[1:] {
+		if c.ChannelError < best.ChannelError {
+			best = c
+		}
+	}
+	return best, nil
+}
+
+// Shard is one device's portion of a striped message.
+type Shard struct {
+	Index  int
+	Record *core.Record
+}
+
+// StripeResult describes a striped encoding.
+type StripeResult struct {
+	Shards       []Shard
+	MessageBytes int
+}
+
+// Stripe splits message across the rigs' devices, encoding shard i on
+// device i with the shared options. Each shard is encrypted independently
+// under the device's own nonce (footnote 4's cross-device protection
+// comes for free). Devices are encoded in parallel — the paper's
+// observation that encoding time is dominated by the soak, which all
+// devices serve simultaneously in one chamber.
+func Stripe(rigs []*rig.Rig, message []byte, opts core.Options) (*StripeResult, error) {
+	if len(rigs) == 0 {
+		return nil, errors.New("fleet: no devices")
+	}
+	if len(message) == 0 {
+		return nil, core.ErrEmptyMessage
+	}
+	// Plan shard sizes against each device's capacity.
+	sizes := make([]int, len(rigs))
+	remaining := len(message)
+	for i, r := range rigs {
+		capBytes := core.MaxMessageBytes(r.Device().SRAM.Bytes(), opts.Codec)
+		take := capBytes
+		if take > remaining {
+			take = remaining
+		}
+		sizes[i] = take
+		remaining -= take
+	}
+	if remaining > 0 {
+		return nil, fmt.Errorf("fleet: message exceeds fleet capacity by %d bytes", remaining)
+	}
+
+	res := &StripeResult{MessageBytes: len(message), Shards: make([]Shard, 0, len(rigs))}
+	type job struct {
+		idx   int
+		start int
+		n     int
+	}
+	var jobs []job
+	off := 0
+	for i, n := range sizes {
+		if n > 0 {
+			jobs = append(jobs, job{idx: i, start: off, n: n})
+			off += n
+		}
+	}
+	records := make([]*core.Record, len(jobs))
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	for j, jb := range jobs {
+		wg.Add(1)
+		go func(j int, jb job) {
+			defer wg.Done()
+			records[j], errs[j] = core.Encode(rigs[jb.idx], message[jb.start:jb.start+jb.n], opts)
+		}(j, jb)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for j, jb := range jobs {
+		res.Shards = append(res.Shards, Shard{Index: jb.idx, Record: records[j]})
+	}
+	return res, nil
+}
+
+// Gather decodes every shard and reassembles the message. The rigs slice
+// must be indexed consistently with the Stripe call (shard i names its
+// device by Index).
+func Gather(rigs []*rig.Rig, striped *StripeResult, opts core.Options) ([]byte, error) {
+	if striped == nil {
+		return nil, errors.New("fleet: nil stripe result")
+	}
+	out := make([]byte, 0, striped.MessageBytes)
+	for _, shard := range striped.Shards {
+		if shard.Index < 0 || shard.Index >= len(rigs) {
+			return nil, fmt.Errorf("fleet: shard names device %d of %d", shard.Index, len(rigs))
+		}
+		part, err := core.Decode(rigs[shard.Index], shard.Record, opts)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: shard %d: %w", shard.Index, err)
+		}
+		out = append(out, part...)
+	}
+	if len(out) != striped.MessageBytes {
+		return nil, fmt.Errorf("fleet: reassembled %d bytes, want %d", len(out), striped.MessageBytes)
+	}
+	return out, nil
+}

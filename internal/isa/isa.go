@@ -1,0 +1,202 @@
+// Package isa defines IB32, the small fixed-width RISC instruction set
+// the simulated microcontrollers execute. The paper's encoding tool
+// "takes a payload expressed as a binary file, and returns an assembly
+// program that writes that payload to the SRAM" and then busy-waits
+// (§4.2); IB32 is the target of that tool in this reproduction, rich
+// enough for payload writers, power-on-state retainers, camouflage
+// programs, and the pseudo-random write workload of §5.1.4.
+//
+// # Encoding
+//
+// Every instruction is one 32-bit little-endian word:
+//
+//	[31:26] opcode
+//	[25:22] rd
+//	[21:18] rs
+//	[17:14] rt
+//	[13:0]  imm14 (signed)        — ALU immediates and load/store offsets
+//
+// MOVI/MOVT use [25:22] rd and [15:0] imm16. Branches use a signed
+// 26-bit word offset in [25:0], relative to the *next* instruction.
+//
+// Registers r0–r15; r14 is the link register for BL/RET, r15 is not
+// directly addressable as the PC (branches are the only control flow).
+package isa
+
+import "fmt"
+
+// Opcode enumerates IB32 operations.
+type Opcode uint8
+
+// IB32 opcodes.
+const (
+	OpNOP Opcode = iota
+	OpHALT
+	OpMOVI // rd = imm16 (zero-extended)
+	OpMOVT // rd = (imm16 << 16) | (rd & 0xFFFF)
+	OpMOV  // rd = rs
+	OpADD  // rd = rs + rt
+	OpSUB  // rd = rs - rt
+	OpAND  // rd = rs & rt
+	OpORR  // rd = rs | rt
+	OpXOR  // rd = rs ^ rt
+	OpLSL  // rd = rs << (rt & 31)
+	OpLSR  // rd = rs >> (rt & 31) (logical)
+	OpADDI // rd = rs + imm14 (sign-extended)
+	OpLDR  // rd = mem32[rs + imm14]
+	OpSTR  // mem32[rs + imm14] = rt
+	OpLDRB // rd = mem8[rs + imm14] (zero-extended)
+	OpSTRB // mem8[rs + imm14] = rt & 0xFF
+	OpCMP  // flags = compare(rs, rt)
+	OpB    // pc += 4 + 4*imm26
+	OpBEQ  // if Z
+	OpBNE  // if !Z
+	OpBLT  // if signed less-than
+	OpBGE  // if !LT
+	OpBL   // r14 = pc + 4; pc += 4 + 4*imm26
+	OpRET  // pc = r14
+	opCount
+)
+
+var opNames = [...]string{
+	"nop", "halt", "movi", "movt", "mov", "add", "sub", "and", "orr",
+	"xor", "lsl", "lsr", "addi", "ldr", "str", "ldrb", "strb", "cmp",
+	"b", "beq", "bne", "blt", "bge", "bl", "ret",
+}
+
+// String returns the assembler mnemonic.
+func (op Opcode) String() string {
+	if int(op) < len(opNames) {
+		return opNames[op]
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// Valid reports whether the opcode is defined.
+func (op Opcode) Valid() bool { return op < opCount }
+
+// LinkRegister is the register BL writes and RET reads.
+const LinkRegister = 14
+
+// NumRegisters is the size of the register file.
+const NumRegisters = 16
+
+// Instruction is a decoded IB32 instruction.
+type Instruction struct {
+	Op         Opcode
+	Rd, Rs, Rt uint8
+	// Imm holds imm16 for MOVI/MOVT (unsigned 0..65535), the signed imm14
+	// for ALU/memory forms, or the signed word offset for branches.
+	Imm int32
+}
+
+const (
+	imm14Min = -(1 << 13)
+	imm14Max = 1<<13 - 1
+	imm26Min = -(1 << 25)
+	imm26Max = 1<<25 - 1
+)
+
+// Kind helpers classify instruction shapes for encode/decode/assembly.
+
+// IsBranch reports whether the op uses the 26-bit branch offset form.
+func (op Opcode) IsBranch() bool {
+	switch op {
+	case OpB, OpBEQ, OpBNE, OpBLT, OpBGE, OpBL:
+		return true
+	}
+	return false
+}
+
+// IsMovImm reports whether the op is MOVI or MOVT.
+func (op Opcode) IsMovImm() bool { return op == OpMOVI || op == OpMOVT }
+
+// Encode packs the instruction into its 32-bit word. It returns an error
+// for out-of-range fields so the assembler can report bad programs
+// instead of silently corrupting them.
+func (ins Instruction) Encode() (uint32, error) {
+	if !ins.Op.Valid() {
+		return 0, fmt.Errorf("isa: invalid opcode %d", ins.Op)
+	}
+	if ins.Rd >= NumRegisters || ins.Rs >= NumRegisters || ins.Rt >= NumRegisters {
+		return 0, fmt.Errorf("isa: register out of range in %s", ins.Op)
+	}
+	w := uint32(ins.Op) << 26
+	switch {
+	case ins.Op.IsBranch():
+		if ins.Imm < imm26Min || ins.Imm > imm26Max {
+			return 0, fmt.Errorf("isa: branch offset %d out of range", ins.Imm)
+		}
+		w |= uint32(ins.Imm) & 0x03FFFFFF
+	case ins.Op.IsMovImm():
+		if ins.Imm < 0 || ins.Imm > 0xFFFF {
+			return 0, fmt.Errorf("isa: imm16 %d out of range", ins.Imm)
+		}
+		w |= uint32(ins.Rd) << 22
+		w |= uint32(ins.Imm) & 0xFFFF
+	default:
+		if ins.Imm < imm14Min || ins.Imm > imm14Max {
+			return 0, fmt.Errorf("isa: imm14 %d out of range", ins.Imm)
+		}
+		w |= uint32(ins.Rd) << 22
+		w |= uint32(ins.Rs) << 18
+		w |= uint32(ins.Rt) << 14
+		w |= uint32(ins.Imm) & 0x3FFF
+	}
+	return w, nil
+}
+
+// Decode unpacks a 32-bit word. Undefined opcodes return an error (the
+// CPU raises a fault).
+func Decode(w uint32) (Instruction, error) {
+	op := Opcode(w >> 26)
+	if !op.Valid() {
+		return Instruction{}, fmt.Errorf("isa: undefined opcode %d in %#08x", op, w)
+	}
+	ins := Instruction{Op: op}
+	switch {
+	case op.IsBranch():
+		imm := int32(w & 0x03FFFFFF)
+		if imm&(1<<25) != 0 {
+			imm |= ^int32(0x03FFFFFF) // sign extend
+		}
+		ins.Imm = imm
+	case op.IsMovImm():
+		ins.Rd = uint8((w >> 22) & 0xF)
+		ins.Imm = int32(w & 0xFFFF)
+	default:
+		ins.Rd = uint8((w >> 22) & 0xF)
+		ins.Rs = uint8((w >> 18) & 0xF)
+		ins.Rt = uint8((w >> 14) & 0xF)
+		imm := int32(w & 0x3FFF)
+		if imm&(1<<13) != 0 {
+			imm |= ^int32(0x3FFF)
+		}
+		ins.Imm = imm
+	}
+	return ins, nil
+}
+
+// String renders the instruction in assembler syntax.
+func (ins Instruction) String() string {
+	switch {
+	case ins.Op == OpNOP, ins.Op == OpHALT, ins.Op == OpRET:
+		return ins.Op.String()
+	case ins.Op.IsBranch():
+		return fmt.Sprintf("%s %+d", ins.Op, ins.Imm)
+	case ins.Op.IsMovImm():
+		return fmt.Sprintf("%s r%d, #%d", ins.Op, ins.Rd, ins.Imm)
+	case ins.Op == OpMOV:
+		return fmt.Sprintf("mov r%d, r%d", ins.Rd, ins.Rs)
+	case ins.Op == OpADDI:
+		return fmt.Sprintf("addi r%d, r%d, #%d", ins.Rd, ins.Rs, ins.Imm)
+	case ins.Op == OpLDR, ins.Op == OpLDRB:
+		return fmt.Sprintf("%s r%d, [r%d, #%d]", ins.Op, ins.Rd, ins.Rs, ins.Imm)
+	case ins.Op == OpSTR, ins.Op == OpSTRB:
+		return fmt.Sprintf("%s r%d, [r%d, #%d]", ins.Op, ins.Rt, ins.Rs, ins.Imm)
+	case ins.Op == OpCMP:
+		return fmt.Sprintf("cmp r%d, r%d", ins.Rs, ins.Rt)
+	default:
+		return fmt.Sprintf("%s r%d, r%d, r%d", ins.Op, ins.Rd, ins.Rs, ins.Rt)
+	}
+}

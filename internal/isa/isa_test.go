@@ -1,0 +1,133 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []Instruction{
+		{Op: OpNOP},
+		{Op: OpHALT},
+		{Op: OpMOVI, Rd: 3, Imm: 0xBEEF},
+		{Op: OpMOVT, Rd: 15, Imm: 0x2000},
+		{Op: OpMOV, Rd: 1, Rs: 2},
+		{Op: OpADD, Rd: 1, Rs: 2, Rt: 3},
+		{Op: OpADDI, Rd: 4, Rs: 4, Imm: -1},
+		{Op: OpADDI, Rd: 4, Rs: 4, Imm: 8191},
+		{Op: OpLDR, Rd: 5, Rs: 6, Imm: -8192},
+		{Op: OpSTR, Rs: 1, Rt: 2, Imm: 124},
+		{Op: OpSTRB, Rs: 1, Rt: 2, Imm: 0},
+		{Op: OpCMP, Rs: 7, Rt: 8},
+		{Op: OpB, Imm: -1},
+		{Op: OpBL, Imm: 1 << 20},
+		{Op: OpBEQ, Imm: -(1 << 25)},
+		{Op: OpRET},
+	}
+	for _, ins := range cases {
+		w, err := ins.Encode()
+		if err != nil {
+			t.Fatalf("%v: %v", ins, err)
+		}
+		got, err := Decode(w)
+		if err != nil {
+			t.Fatalf("%v: decode: %v", ins, err)
+		}
+		// Fields not used by the format are normalized to zero by Decode;
+		// compare the re-encoding instead for full fidelity.
+		w2, err := got.Encode()
+		if err != nil {
+			t.Fatalf("%v: re-encode: %v", got, err)
+		}
+		if w2 != w {
+			t.Errorf("%v: round trip %#08x -> %v -> %#08x", ins, w, got, w2)
+		}
+		if got.Op != ins.Op || got.Imm != ins.Imm {
+			t.Errorf("%v: decoded op/imm mismatch: %v", ins, got)
+		}
+	}
+}
+
+func TestEncodeRejectsOutOfRange(t *testing.T) {
+	bad := []Instruction{
+		{Op: opCount},
+		{Op: OpADD, Rd: 16},
+		{Op: OpMOVI, Rd: 1, Imm: 0x10000},
+		{Op: OpMOVI, Rd: 1, Imm: -1},
+		{Op: OpADDI, Rd: 1, Imm: 8192},
+		{Op: OpADDI, Rd: 1, Imm: -8193},
+		{Op: OpB, Imm: 1 << 25},
+		{Op: OpB, Imm: -(1 << 25) - 1},
+	}
+	for _, ins := range bad {
+		if _, err := ins.Encode(); err == nil {
+			t.Errorf("%+v encoded without error", ins)
+		}
+	}
+}
+
+func TestDecodeRejectsUndefinedOpcode(t *testing.T) {
+	if _, err := Decode(uint32(opCount) << 26); err == nil {
+		t.Error("undefined opcode decoded")
+	}
+	if _, err := Decode(0xFFFFFFFF); err == nil {
+		t.Error("all-ones word decoded")
+	}
+}
+
+func TestDecodeEncodeProperty(t *testing.T) {
+	// Every word with a valid opcode must survive decode→encode→decode.
+	f := func(raw uint32) bool {
+		op := Opcode(raw >> 26)
+		if !op.Valid() {
+			return true
+		}
+		ins, err := Decode(raw)
+		if err != nil {
+			return false
+		}
+		w, err := ins.Encode()
+		if err != nil {
+			return false
+		}
+		ins2, err := Decode(w)
+		if err != nil {
+			return false
+		}
+		return ins2 == ins
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStrings(t *testing.T) {
+	cases := map[string]Instruction{
+		"nop":              {Op: OpNOP},
+		"movi r3, #48879":  {Op: OpMOVI, Rd: 3, Imm: 0xBEEF},
+		"mov r1, r2":       {Op: OpMOV, Rd: 1, Rs: 2},
+		"add r1, r2, r3":   {Op: OpADD, Rd: 1, Rs: 2, Rt: 3},
+		"addi r4, r4, #-1": {Op: OpADDI, Rd: 4, Rs: 4, Imm: -1},
+		"ldr r5, [r6, #8]": {Op: OpLDR, Rd: 5, Rs: 6, Imm: 8},
+		"str r2, [r1, #0]": {Op: OpSTR, Rs: 1, Rt: 2},
+		"cmp r7, r8":       {Op: OpCMP, Rs: 7, Rt: 8},
+		"b -1":             {Op: OpB, Imm: -1},
+		"ret":              {Op: OpRET},
+	}
+	for want, ins := range cases {
+		if got := ins.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestOpcodeNamesComplete(t *testing.T) {
+	if len(opNames) != int(opCount) {
+		t.Fatalf("opNames has %d entries for %d opcodes", len(opNames), opCount)
+	}
+	for op := Opcode(0); op < opCount; op++ {
+		if op.String() == "" {
+			t.Errorf("opcode %d has empty name", op)
+		}
+	}
+}

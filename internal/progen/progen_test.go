@@ -1,0 +1,223 @@
+package progen
+
+import (
+	"bytes"
+	"testing"
+
+	"invisiblebits/internal/cpu"
+	"invisiblebits/internal/device"
+	"invisiblebits/internal/rng"
+)
+
+func newDevice(t *testing.T) *device.Device {
+	t.Helper()
+	m, err := device.ByName("MSP432P401")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := device.New(m, "progen-test", device.WithSRAMLimit(4<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// loadAndRun assembles src, loads it, powers on, and runs to busy-wait.
+func loadAndRun(t *testing.T, d *device.Device, src string, maxSteps uint64) cpu.StopReason {
+	t.Helper()
+	prog, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.LoadProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.PowerOn(25); err != nil {
+		t.Fatal(err)
+	}
+	reason, err := d.Run(maxSteps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reason
+}
+
+func TestWriterProgramWritesExactPayload(t *testing.T) {
+	d := newDevice(t)
+	payload := make([]byte, d.SRAM.Bytes())
+	rng.NewSource(42).Bytes(payload)
+
+	src, err := WriterProgram(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reason := loadAndRun(t, d, src, 10_000_000)
+	if reason != cpu.StopBusyWait {
+		t.Fatalf("stop reason = %v, want busy-wait", reason)
+	}
+	mem, err := d.ReadSRAM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mem, payload) {
+		t.Fatal("SRAM contents differ from payload after writer ran")
+	}
+}
+
+func TestWriterProgramPartialPayload(t *testing.T) {
+	// A payload smaller than SRAM writes only its own extent.
+	d := newDevice(t)
+	payload := []byte{0xDE, 0xAD, 0xBE, 0xEF, 0x01, 0x02, 0x03, 0x04}
+	src, err := WriterProgram(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reason := loadAndRun(t, d, src, 100000); reason != cpu.StopBusyWait {
+		t.Fatalf("reason = %v", reason)
+	}
+	mem, _ := d.ReadSRAM()
+	if !bytes.Equal(mem[:8], payload) {
+		t.Fatalf("prefix = % x", mem[:8])
+	}
+}
+
+func TestWriterProgramValidation(t *testing.T) {
+	if _, err := WriterProgram(nil); err == nil {
+		t.Error("empty payload accepted")
+	}
+	if _, err := WriterProgram([]byte{1, 2, 3}); err == nil {
+		t.Error("unaligned payload accepted")
+	}
+}
+
+func TestRetainerProgramDoesNotTouchSRAM(t *testing.T) {
+	d := newDevice(t)
+	prog, err := Assemble(RetainerProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.LoadProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := d.PowerOn(25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reason, err := d.Run(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reason != cpu.StopBusyWait {
+		t.Fatalf("reason = %v", reason)
+	}
+	mem, _ := d.ReadSRAM()
+	if !bytes.Equal(mem, snap) {
+		t.Fatal("retainer modified the power-on state")
+	}
+}
+
+func TestCamouflageProgramRuns(t *testing.T) {
+	d := newDevice(t)
+	prog, err := Assemble(CamouflageProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.LoadProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.PowerOn(25); err != nil {
+		t.Fatal(err)
+	}
+	reason, err := d.Run(5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reason != cpu.StopStepLimit {
+		t.Fatalf("camouflage should run forever; got %v", reason)
+	}
+	// It must have published ticks into SRAM (functional device).
+	mem, _ := d.ReadSRAM()
+	if mem[0] == 0 && mem[1] == 0 && mem[2] == 0 && mem[3] == 0 {
+		t.Error("camouflage never wrote its tick counter")
+	}
+}
+
+func TestWorkloadProgramMatchesSoftwareLFSR(t *testing.T) {
+	// The assembly LFSR must produce exactly the same stream as the Go
+	// reference (internal/rng.LFSR32 seeded with 1).
+	d := newDevice(t)
+	src, err := WorkloadProgram(d.SRAM.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.LoadProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.PowerOn(25); err != nil {
+		t.Fatal(err)
+	}
+	// Enough steps for at least one full SRAM sweep (7 instr per word).
+	words := d.SRAM.Bytes() / 4
+	if reason, err := d.Run(uint64(words*8 + 100)); err != nil || reason != cpu.StopStepLimit {
+		t.Fatalf("reason=%v err=%v", reason, err)
+	}
+	mem, _ := d.ReadSRAM()
+	ref := rng.NewLFSR32(1)
+	for i := 0; i < 16; i++ {
+		want := ref.Next()
+		got := uint32(mem[4*i]) | uint32(mem[4*i+1])<<8 |
+			uint32(mem[4*i+2])<<16 | uint32(mem[4*i+3])<<24
+		if got != want {
+			t.Fatalf("word %d = %#x, want %#x", i, got, want)
+		}
+	}
+}
+
+func TestWorkloadProgramValidation(t *testing.T) {
+	if _, err := WorkloadProgram(0); err == nil {
+		t.Error("zero size accepted")
+	}
+	if _, err := WorkloadProgram(5); err == nil {
+		t.Error("unaligned size accepted")
+	}
+}
+
+func TestWriterProgramFitsInFlash(t *testing.T) {
+	// A full 64 KB payload writer must fit in the MSP432's 256 KB flash.
+	m, _ := device.ByName("MSP432P401")
+	d, err := device.New(m, "full")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, d.SRAM.Bytes())
+	rng.NewSource(1).Bytes(payload)
+	src, err := WriterProgram(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Image) > m.FlashBytes {
+		t.Fatalf("writer image %d bytes exceeds flash %d", len(prog.Image), m.FlashBytes)
+	}
+	if err := d.LoadProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkWriterProgramGeneration64KB(b *testing.B) {
+	payload := make([]byte, 64<<10)
+	rng.NewSource(1).Bytes(payload)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := WriterProgram(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

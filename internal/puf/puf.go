@@ -1,0 +1,119 @@
+// Package puf implements SRAM physical-unclonable-function primitives on
+// top of the simulated arrays, plus the two aging attacks that footnote 2
+// of the Invisible Bits paper warns about: "modest aging has been used as
+// a denial-of-service attack on SRAM PUFs … the results of our
+// extreme/controlled aging suggest that it is possible to clone SRAM
+// PUFs."
+//
+// The PUF here is the classic power-on-state fingerprint (Holcomb et al.,
+// cited by the paper as [17]): enroll a majority-voted reference,
+// authenticate by fractional Hamming distance. Directed aging breaks both
+// directions of its security argument:
+//
+//   - DoS: holding a device's own power-on state under stress pushes
+//     every cell toward flipping; the marginal cells the fingerprint's
+//     noise budget relies on flip first, driving the distance past the
+//     matching threshold.
+//   - Cloning: holding the *complement* of a victim's fingerprint biases
+//     a blank device's power-on state toward that fingerprint.
+package puf
+
+import (
+	"errors"
+	"fmt"
+
+	"invisiblebits/internal/analog"
+	"invisiblebits/internal/device"
+	"invisiblebits/internal/stats"
+)
+
+// DefaultThreshold is a typical SRAM-PUF matching threshold: fractional
+// Hamming distance below it authenticates. Clean re-measurements sit
+// around 1–3 %; unrelated devices around 50 %.
+const DefaultThreshold = 0.15
+
+// Fingerprint is an enrolled PUF reference.
+type Fingerprint struct {
+	DeviceID string
+	Captures int
+	Bits     []byte
+}
+
+// Enroll captures a majority-voted power-on fingerprint.
+func Enroll(dev *device.Device, captures int) (*Fingerprint, error) {
+	if captures < 1 || captures%2 == 0 {
+		return nil, fmt.Errorf("puf: enrollment needs an odd capture count, got %d", captures)
+	}
+	bits, err := dev.SRAM.CaptureMajority(captures, 25)
+	if err != nil {
+		return nil, err
+	}
+	return &Fingerprint{DeviceID: dev.DeviceID(), Captures: captures, Bits: bits}, nil
+}
+
+// AuthResult reports an authentication attempt.
+type AuthResult struct {
+	Distance  float64
+	Threshold float64
+	Match     bool
+}
+
+// Authenticate re-measures the device and compares against the reference.
+func (f *Fingerprint) Authenticate(dev *device.Device, threshold float64) (AuthResult, error) {
+	if threshold <= 0 || threshold >= 0.5 {
+		return AuthResult{}, errors.New("puf: threshold must be in (0, 0.5)")
+	}
+	probe, err := dev.SRAM.CaptureMajority(f.Captures, 25)
+	if err != nil {
+		return AuthResult{}, err
+	}
+	if len(probe) != len(f.Bits) {
+		return AuthResult{}, errors.New("puf: device size does not match enrollment")
+	}
+	d := stats.BitErrorRate(probe, f.Bits)
+	return AuthResult{Distance: d, Threshold: threshold, Match: d < threshold}, nil
+}
+
+// DoSAttack ages the victim with its own power-on state for hours at the
+// given conditions (the Roelke & Stan attack the paper cites as [37]).
+// Holding the power-on state stresses every cell toward its complement;
+// marginal cells flip, inflating the authentication distance.
+func DoSAttack(dev *device.Device, cond analog.Conditions, hours float64) error {
+	snap, err := dev.SRAM.PowerCycle(25)
+	if err != nil {
+		return err
+	}
+	if err := dev.SRAM.Write(snap); err != nil {
+		return err
+	}
+	return dev.SRAM.Stress(cond, hours)
+}
+
+// CloneOnto drives target's power-on state toward the victim fingerprint
+// by holding its complement under accelerated stress — the footnote 2
+// cloning construction. target must be at least as large as the
+// fingerprint.
+func CloneOnto(target *device.Device, f *Fingerprint, cond analog.Conditions, hours float64) error {
+	if target.SRAM.Bytes() < len(f.Bits) {
+		return fmt.Errorf("puf: target SRAM %d bytes < fingerprint %d bytes",
+			target.SRAM.Bytes(), len(f.Bits))
+	}
+	complement := make([]byte, len(f.Bits))
+	for i, b := range f.Bits {
+		complement[i] = ^b
+	}
+	if !target.SRAM.Powered() {
+		if _, err := target.PowerOn(25); err != nil {
+			return err
+		}
+	}
+	if err := target.SRAM.WriteAt(0, complement); err != nil {
+		return err
+	}
+	return target.SRAM.Stress(cond, hours)
+}
+
+// ResponseEntropy estimates the fingerprint's byte entropy — clean PUFs
+// should be near 8 bits/byte; a cloned or heavily aged device still
+// passes this test, which is exactly why aging attacks are insidious.
+func (f *Fingerprint) ResponseEntropy() float64 { return stats.ByteEntropy(f.Bits) }

@@ -1,0 +1,155 @@
+package puf
+
+import (
+	"testing"
+
+	"invisiblebits/internal/device"
+)
+
+func newDev(t *testing.T, serial string) *device.Device {
+	t.Helper()
+	m, err := device.ByName("ATSAML11E16A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := device.New(m, serial, device.WithSRAMLimit(4<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestEnrollAuthenticateSameDevice(t *testing.T) {
+	dev := newDev(t, "puf-1")
+	fp, err := Enroll(dev, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fp.Authenticate(dev, DefaultThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Match {
+		t.Fatalf("same device rejected: distance %v", res.Distance)
+	}
+	if res.Distance > 0.05 {
+		t.Errorf("re-measurement distance %v, want ≲0.03", res.Distance)
+	}
+}
+
+func TestAuthenticateRejectsStranger(t *testing.T) {
+	victim := newDev(t, "puf-2")
+	stranger := newDev(t, "puf-3")
+	fp, err := Enroll(victim, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fp.Authenticate(stranger, DefaultThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Match {
+		t.Fatalf("stranger accepted at distance %v", res.Distance)
+	}
+	if res.Distance < 0.4 {
+		t.Errorf("stranger distance %v, want ≈0.5", res.Distance)
+	}
+}
+
+func TestEnrollValidation(t *testing.T) {
+	dev := newDev(t, "puf-4")
+	if _, err := Enroll(dev, 4); err == nil {
+		t.Error("even capture count accepted")
+	}
+	fp, err := Enroll(dev, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fp.Authenticate(dev, 0); err == nil {
+		t.Error("zero threshold accepted")
+	}
+	if _, err := fp.Authenticate(dev, 0.6); err == nil {
+		t.Error("threshold above 0.5 accepted")
+	}
+}
+
+func TestDoSAttackBreaksAuthentication(t *testing.T) {
+	dev := newDev(t, "puf-5")
+	fp, err := Enroll(dev, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sanity: authenticates before the attack.
+	pre, err := fp.Authenticate(dev, DefaultThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pre.Match {
+		t.Fatal("precondition failed")
+	}
+	if err := DoSAttack(dev, dev.Model.Accelerated(), 6); err != nil {
+		t.Fatal(err)
+	}
+	post, err := fp.Authenticate(dev, DefaultThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if post.Match {
+		t.Fatalf("device still authenticates after DoS (distance %v)", post.Distance)
+	}
+	if post.Distance <= pre.Distance {
+		t.Errorf("DoS did not increase distance: %v -> %v", pre.Distance, post.Distance)
+	}
+}
+
+func TestCloneOntoPassesAuthentication(t *testing.T) {
+	victim := newDev(t, "puf-6")
+	blank := newDev(t, "puf-7")
+	fp, err := Enroll(victim, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Blank device is rejected before the attack.
+	pre, err := fp.Authenticate(blank, DefaultThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pre.Match {
+		t.Fatal("blank device already matched")
+	}
+	if err := CloneOnto(blank, fp, blank.Model.Accelerated(), blank.Model.EncodingHours); err != nil {
+		t.Fatal(err)
+	}
+	post, err := fp.Authenticate(blank, DefaultThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !post.Match {
+		t.Fatalf("clone rejected at distance %v", post.Distance)
+	}
+	// The clone's response still looks statistically healthy — the attack
+	// is invisible to entropy checks.
+	cloneFP, err := Enroll(blank, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := cloneFP.ResponseEntropy(); h < 7.5 {
+		t.Errorf("clone response entropy %v — detectable, unexpectedly", h)
+	}
+}
+
+func TestCloneOntoSizeCheck(t *testing.T) {
+	victim := newDev(t, "puf-8")
+	fp, err := Enroll(victim, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := device.ByName("ATSAML11E16A")
+	small, err := device.New(m, "tiny", device.WithSRAMLimit(1<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CloneOnto(small, fp, m.Accelerated(), 1); err == nil {
+		t.Error("undersized target accepted")
+	}
+}

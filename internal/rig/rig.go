@@ -1,0 +1,234 @@
+// Package rig simulates the paper's evaluation platform (Fig. 5): a
+// controller board driving a target device's supply rail, a thermal
+// chamber, a debugger link, and automated power-on-state sampling. The
+// rig owns the simulated clock — stress time, shelf time, and chamber
+// ramps all advance it — so experiments can report encoding times in the
+// paper's units (hours) while running in milliseconds.
+//
+// The controller "supplies power directly if the target device consumes a
+// small amount of power … but switches to an external power supply unit
+// if the target demands higher current"; complex devices additionally
+// need the §7.2 regulator bypass before their core rail can be
+// overdriven.
+package rig
+
+import (
+	"errors"
+	"fmt"
+
+	"invisiblebits/internal/analog"
+	"invisiblebits/internal/asm"
+	"invisiblebits/internal/cpu"
+	"invisiblebits/internal/device"
+)
+
+// ChamberRampCPerMin is the thermal chamber's ramp rate. Ramps consume
+// simulated time but (as in the paper's methodology) aging during the
+// short ramp is neglected relative to hours-long soaks.
+const ChamberRampCPerMin = 5.0
+
+// Rig couples a device to the evaluation hardware.
+type Rig struct {
+	dev *device.Device
+
+	clockHours float64
+	chamberC   float64
+	supplyV    float64
+	bypassed   bool
+
+	events []string
+}
+
+// New mounts a device in the rig at ambient conditions with the supply at
+// the device's nominal voltage.
+func New(dev *device.Device) *Rig {
+	r := &Rig{
+		dev:      dev,
+		chamberC: dev.Model.TNomC,
+		supplyV:  dev.Model.VNomV,
+	}
+	r.logf("mounted %s (serial %s)", dev.Model.Name, dev.Serial)
+	return r
+}
+
+// Device returns the mounted device.
+func (r *Rig) Device() *device.Device { return r.dev }
+
+// ClockHours returns elapsed simulated time.
+func (r *Rig) ClockHours() float64 { return r.clockHours }
+
+// Conditions returns the present electrical/thermal environment.
+func (r *Rig) Conditions() analog.Conditions {
+	return analog.Conditions{VoltageV: r.supplyV, TempC: r.chamberC}
+}
+
+// Events returns the rig's action log (most recent last).
+func (r *Rig) Events() []string {
+	out := make([]string, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+func (r *Rig) logf(format string, args ...any) {
+	r.events = append(r.events, fmt.Sprintf("[t=%.2fh] ", r.clockHours)+fmt.Sprintf(format, args...))
+}
+
+// SetTemperature ramps the chamber to target °C, consuming ramp time.
+func (r *Rig) SetTemperature(targetC float64) {
+	delta := targetC - r.chamberC
+	if delta < 0 {
+		delta = -delta
+	}
+	r.clockHours += delta / ChamberRampCPerMin / 60
+	r.chamberC = targetC
+	r.logf("chamber -> %.0f°C", targetC)
+}
+
+// ErrNeedsBypass is returned when overdriving a regulated core rail
+// without first calling BypassRegulator (§7.2).
+var ErrNeedsBypass = errors.New("rig: target regulates its core rail; call BypassRegulator first")
+
+// SetVoltage drives the supply rail. Overdriving a device that regulates
+// its core requires the §7.2 bypass.
+func (r *Rig) SetVoltage(v float64) error {
+	if v <= 0 {
+		return fmt.Errorf("rig: non-positive supply voltage %v", v)
+	}
+	if v > r.dev.Model.VNomV*1.05 && r.dev.Model.RequiresRegulatorBypass && !r.bypassed {
+		return ErrNeedsBypass
+	}
+	r.supplyV = v
+	r.logf("supply -> %.2fV", v)
+	return nil
+}
+
+// BypassRegulator attaches the rig to the regulator's inductor pin so the
+// core rail can be driven directly (§7.2: "we exploit this pin to reach
+// the core supply line directly and elevate the core voltage").
+func (r *Rig) BypassRegulator() error {
+	if !r.dev.Model.RequiresRegulatorBypass {
+		return fmt.Errorf("rig: %s exposes its core rail; no bypass needed", r.dev.Model.Name)
+	}
+	r.bypassed = true
+	r.logf("regulator bypassed via inductor pin")
+	return nil
+}
+
+// LoadProgram flashes firmware through the debugger.
+func (r *Rig) LoadProgram(prog *asm.Program) error {
+	if err := r.dev.LoadProgram(prog); err != nil {
+		return err
+	}
+	r.logf("flashed %d-byte image", len(prog.Image))
+	return nil
+}
+
+// PowerOn powers the device at the chamber temperature. If the device is
+// already powered the rig cycles it (with full discharge) first — the
+// controller always takes the rail through ground before a fresh ramp.
+func (r *Rig) PowerOn() ([]byte, error) {
+	if r.dev.SRAM.Powered() {
+		r.PowerOff()
+	}
+	snap, err := r.dev.PowerOn(r.chamberC)
+	if err != nil {
+		return nil, err
+	}
+	r.logf("power on at %.2fV/%.0f°C", r.supplyV, r.chamberC)
+	return snap, nil
+}
+
+// PowerOff drops power; the rig always discharges fully, eliminating
+// remanence as the paper's methodology requires ("driving the supply
+// voltage of the device to the ground state", §5).
+func (r *Rig) PowerOff() {
+	r.dev.PowerOff(true)
+	r.logf("power off (full discharge)")
+}
+
+// RunFirmware executes the loaded program; payload writers and retainers
+// end in a busy-wait, which is the expected outcome.
+func (r *Rig) RunFirmware(maxSteps uint64) (cpu.StopReason, error) {
+	reason, err := r.dev.Run(maxSteps)
+	if err != nil {
+		return reason, err
+	}
+	r.logf("firmware ran to %v", reason)
+	return reason, nil
+}
+
+// StressFor soaks the powered device for hours at the present conditions,
+// aging its SRAM with whatever the firmware left there (Algorithm 1,
+// lines 5–6). Simulated time advances.
+func (r *Rig) StressFor(hours float64) error {
+	if hours <= 0 {
+		return fmt.Errorf("rig: non-positive stress duration %v", hours)
+	}
+	cond := r.Conditions()
+	var err error
+	if r.bypassed {
+		err = r.dev.StressBypassed(cond, hours)
+	} else {
+		err = r.dev.Stress(cond, hours)
+	}
+	if err != nil {
+		return err
+	}
+	r.clockHours += hours
+	r.logf("stressed %.1fh at %v", hours, cond)
+	return nil
+}
+
+// ShelveFor stores the device for hours (natural recovery). A shelved
+// device is by definition unpowered, so the rig drops power first.
+func (r *Rig) ShelveFor(hours float64) error {
+	if r.dev.SRAM.Powered() {
+		r.PowerOff()
+	}
+	if err := r.dev.Shelve(hours); err != nil {
+		return err
+	}
+	r.clockHours += hours
+	r.logf("shelved %.1fh", hours)
+	return nil
+}
+
+// SampleVotes captures n power-on states and returns the per-cell count
+// of 1 readings — the soft information that ecc.SoftDecoder consumes.
+// The device is left powered.
+func (r *Rig) SampleVotes(n int) ([]uint16, error) {
+	if r.dev.SRAM.Powered() {
+		r.dev.PowerOff(true)
+	}
+	votes, err := r.dev.SRAM.CaptureVotes(n, r.chamberC)
+	if err != nil {
+		return nil, err
+	}
+	r.dev.PowerOff(true)
+	if _, err := r.dev.PowerOn(r.chamberC); err != nil {
+		return nil, err
+	}
+	r.logf("sampled %d power-on states (per-cell votes)", n)
+	return votes, nil
+}
+
+// SampleMajority captures n power-on states at the chamber temperature
+// and majority-votes them (Algorithm 2, lines 1–6). The device is left
+// powered. Sampling is non-destructive (copy tolerance): it does not
+// advance the aging clock measurably.
+func (r *Rig) SampleMajority(n int) ([]byte, error) {
+	if r.dev.SRAM.Powered() {
+		r.dev.PowerOff(true)
+	}
+	maj, err := r.dev.SRAM.CaptureMajority(n, r.chamberC)
+	if err != nil {
+		return nil, err
+	}
+	// Re-arm the CPU so firmware can run after sampling.
+	r.dev.PowerOff(true)
+	if _, err := r.dev.PowerOn(r.chamberC); err != nil {
+		return nil, err
+	}
+	r.logf("sampled %d power-on states (majority vote)", n)
+	return maj, nil
+}

@@ -1,0 +1,96 @@
+package rng
+
+// LFSR32 is a 32-bit Galois linear feedback shift register with the
+// maximal-length tap polynomial 0xA3000000 (x^32 + x^30 + x^26 + x^25 + 1).
+// The paper's normal-operation workload generator (§5.1.4) pairs an LFSR
+// with a glibc-style LCG "to avoid repetition of numbers in [a]
+// long-running experiment"; we implement the same tandem.
+type LFSR32 struct {
+	state uint32
+}
+
+// NewLFSR32 returns an LFSR seeded with seed; a zero seed is remapped to 1
+// because the all-zero state is a fixed point of the register.
+func NewLFSR32(seed uint32) *LFSR32 {
+	if seed == 0 {
+		seed = 1
+	}
+	return &LFSR32{state: seed}
+}
+
+// Next advances the register one step and returns the new state.
+func (l *LFSR32) Next() uint32 {
+	lsb := l.state & 1
+	l.state >>= 1
+	if lsb != 0 {
+		l.state ^= 0xA3000000
+	}
+	return l.state
+}
+
+// GlibcLCG is the linear congruential generator from glibc's rand(3) in
+// its TYPE_0 configuration: x_{n+1} = (1103515245·x_n + 12345) mod 2^31.
+// This is the exact recurrence quoted in §5.1.4 of the paper.
+type GlibcLCG struct {
+	state uint32
+}
+
+// NewGlibcLCG returns an LCG seeded with seed (mod 2^31).
+func NewGlibcLCG(seed uint32) *GlibcLCG {
+	return &GlibcLCG{state: seed & 0x7fffffff}
+}
+
+// Next advances the generator and returns the new 31-bit state.
+func (g *GlibcLCG) Next() uint32 {
+	g.state = (1103515245*g.state + 12345) & 0x7fffffff
+	return g.state
+}
+
+// WorkloadWriter reproduces the paper's pseudo-random write workload: the
+// LFSR produces raw words and is periodically re-seeded from the LCG so the
+// combined sequence does not cycle over week-long (simulated) runs.
+type WorkloadWriter struct {
+	lfsr    *LFSR32
+	lcg     *GlibcLCG
+	count   int
+	reseedN int
+}
+
+// NewWorkloadWriter builds the tandem generator. reseedEvery controls how
+// many words are drawn from the LFSR before the LCG re-seeds it; the paper
+// does not state the interval, so we default to the LFSR period guard of
+// 1<<20 words when reseedEvery <= 0.
+func NewWorkloadWriter(seed uint32, reseedEvery int) *WorkloadWriter {
+	if reseedEvery <= 0 {
+		reseedEvery = 1 << 20
+	}
+	return &WorkloadWriter{
+		lfsr:    NewLFSR32(seed),
+		lcg:     NewGlibcLCG(seed ^ 0x5deece66),
+		reseedN: reseedEvery,
+	}
+}
+
+// NextWord returns the next 32-bit word of the write workload.
+func (w *WorkloadWriter) NextWord() uint32 {
+	if w.count >= w.reseedN {
+		w.count = 0
+		s := w.lcg.Next()
+		if s == 0 {
+			s = 1
+		}
+		w.lfsr = NewLFSR32(s)
+	}
+	w.count++
+	return w.lfsr.Next()
+}
+
+// Fill writes len(buf) workload bytes into buf, little-endian word order.
+func (w *WorkloadWriter) Fill(buf []byte) {
+	for i := 0; i < len(buf); i += 4 {
+		v := w.NextWord()
+		for k := 0; k < 4 && i+k < len(buf); k++ {
+			buf[i+k] = byte(v >> (8 * k))
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package spice
+
+import (
+	"errors"
+	"math"
+)
+
+// Cell is the 6T SRAM bit cell of Fig. 2a. Naming follows the paper:
+//
+//   - Inverter-1 = M1 (NMOS) + M2 (PMOS): input node A, output node B.
+//   - Inverter-2 = M3 (NMOS) + M4 (PMOS): input node B, output node A.
+//   - M5/M6 are the access transistors; they stay off during power-on and
+//     are omitted from the transient (their junction load is folded into
+//     the node capacitance).
+//
+// The cell's logic state is the voltage at node A, so "|vth4| < |vth2| →
+// M4 switches on before M2 … the cell's power-on state is 1" (§2.1).
+type Cell struct {
+	M1, M2, M3, M4 MOSFET
+	// CNodeF is the lumped capacitance at each storage node, in farads.
+	CNodeF float64
+}
+
+// NewCell returns a perfectly symmetric 45 nm-class cell. Real cells are
+// never symmetric; perturb the Vth fields to model process variation and
+// aging.
+func NewCell() Cell {
+	return Cell{
+		M1:     Default45nm(NMOS),
+		M2:     Default45nm(PMOS),
+		M3:     Default45nm(NMOS),
+		M4:     Default45nm(PMOS),
+		CNodeF: 0.5e-15,
+	}
+}
+
+// RampSpec describes the power-on supply ramp.
+type RampSpec struct {
+	VddV     float64 // final supply voltage
+	RampS    float64 // 0→Vdd linear ramp duration, seconds
+	TotalS   float64 // total simulated time
+	StepS    float64 // integration step
+	SamplePS float64 // waveform sampling interval, seconds (0 = every 10 steps)
+}
+
+// DefaultRamp matches the paper's observation window: the cell settles
+// "after 2ns of powering the cell up" (Fig. 2b).
+func DefaultRamp() RampSpec {
+	return RampSpec{VddV: 1.0, RampS: 0.5e-9, TotalS: 3e-9, StepS: 0.05e-12, SamplePS: 10e-12}
+}
+
+// Waveform is a sampled transient: supply and both storage nodes.
+type Waveform struct {
+	TimeS []float64
+	VddV  []float64
+	VAV   []float64
+	VBV   []float64
+}
+
+// Result reports the outcome of a power-on transient.
+type Result struct {
+	Waveform Waveform
+	// State is the resolved logic value at node A (true = 1).
+	State bool
+	// Resolved reports whether the nodes separated by at least half the
+	// supply; a false value means the cell was still metastable at the end
+	// of the window.
+	Resolved bool
+	// SettleS is the time at which |VA−VB| first exceeded Vdd/2.
+	SettleS float64
+}
+
+// ErrBadRamp is returned for non-positive timing parameters.
+var ErrBadRamp = errors.New("spice: ramp parameters must be positive with StepS <= TotalS")
+
+// PowerOn integrates the cell from an unpowered state ("all wires are at
+// the ground voltage", §2.1) through the supply ramp and returns the
+// resolved power-on state.
+func (c Cell) PowerOn(spec RampSpec) (Result, error) {
+	if spec.VddV <= 0 || spec.RampS <= 0 || spec.TotalS <= 0 ||
+		spec.StepS <= 0 || spec.StepS > spec.TotalS {
+		return Result{}, ErrBadRamp
+	}
+	sample := spec.SamplePS
+	if sample <= 0 {
+		sample = 10 * spec.StepS
+	}
+
+	var res Result
+	va, vb := 0.0, 0.0
+	nextSample := 0.0
+	steps := int(spec.TotalS/spec.StepS) + 1
+	invC := 1 / c.CNodeF
+
+	for i := 0; i <= steps; i++ {
+		t := float64(i) * spec.StepS
+		vdd := spec.VddV
+		if t < spec.RampS {
+			vdd = spec.VddV * t / spec.RampS
+		}
+
+		if t >= nextSample {
+			res.Waveform.TimeS = append(res.Waveform.TimeS, t)
+			res.Waveform.VddV = append(res.Waveform.VddV, vdd)
+			res.Waveform.VAV = append(res.Waveform.VAV, va)
+			res.Waveform.VBV = append(res.Waveform.VBV, vb)
+			nextSample += sample
+		}
+
+		// Node A: pulled up by M4 (PMOS, gate B) and down by M3 (NMOS, gate B).
+		iUpA := c.M4.DrainCurrent(vdd-vb, vdd-va)
+		iDownA := c.M3.DrainCurrent(vb, va)
+		// Node B: pulled up by M2 (PMOS, gate A) and down by M1 (NMOS, gate A).
+		iUpB := c.M2.DrainCurrent(vdd-va, vdd-vb)
+		iDownB := c.M1.DrainCurrent(va, vb)
+
+		va += spec.StepS * (iUpA - iDownA) * invC
+		vb += spec.StepS * (iUpB - iDownB) * invC
+		va = clamp(va, 0, vdd)
+		vb = clamp(vb, 0, vdd)
+
+		if !res.Resolved && math.Abs(va-vb) > spec.VddV/2 {
+			res.Resolved = true
+			res.SettleS = t
+		}
+	}
+	res.State = va > vb
+	return res, nil
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// AgePMOS applies an NBTI threshold-voltage shift (in volts) to the PMOS
+// that is active while the cell holds state. Holding 1 (node A high)
+// keeps M4 conducting, so M4 ages; holding 0 ages M2. This is the
+// data-directed aging mechanism of §2.2.
+func (c *Cell) AgePMOS(heldState bool, deltaVthV float64) {
+	if heldState {
+		c.M4.VthV += deltaVthV
+	} else {
+		c.M2.VthV += deltaVthV
+	}
+}
+
+// PMOSMismatchV returns |vth2| − |vth4|; positive values bias the cell
+// toward powering on to 1 (M4 wins the race). This is the decision
+// variable the reduced-order array model tracks.
+func (c Cell) PMOSMismatchV() float64 { return c.M2.VthV - c.M4.VthV }

@@ -1,0 +1,193 @@
+package spice
+
+import (
+	"math"
+	"testing"
+
+	"invisiblebits/internal/rng"
+)
+
+func TestDrainCurrentRegions(t *testing.T) {
+	m := Default45nm(NMOS)
+	// Off: essentially zero current far below threshold.
+	if i := m.DrainCurrent(0, 1); i > 1e-9 {
+		t.Errorf("off current = %v", i)
+	}
+	// Saturation grows ~quadratically with overdrive.
+	i1 := m.DrainCurrent(m.VthV+0.2, 1.0)
+	i2 := m.DrainCurrent(m.VthV+0.4, 1.0)
+	if r := i2 / i1; r < 3.5 || r > 4.6 {
+		t.Errorf("saturation current ratio = %v, want ~4", r)
+	}
+	// Triode current below saturation current at same overdrive.
+	if tri := m.DrainCurrent(m.VthV+0.4, 0.05); tri >= i2 {
+		t.Errorf("triode %v >= saturation %v", tri, i2)
+	}
+	// Zero drain bias ⇒ zero current, even in subthreshold.
+	if i := m.DrainCurrent(m.VthV-0.05, 0); i != 0 {
+		t.Errorf("current with Vds=0: %v", i)
+	}
+	// Negative drain bias clamps.
+	if i := m.DrainCurrent(1.0, -0.3); i != 0 {
+		t.Errorf("negative-Vds current: %v", i)
+	}
+}
+
+func TestDrainCurrentContinuityAtThreshold(t *testing.T) {
+	m := Default45nm(PMOS)
+	below := m.DrainCurrent(m.VthV-1e-6, 0.5)
+	above := m.DrainCurrent(m.VthV+1e-6, 0.5)
+	if math.Abs(below-above) > 1e-7 {
+		t.Errorf("current discontinuous at threshold: %v vs %v", below, above)
+	}
+}
+
+func TestPowerOnRejectsBadSpec(t *testing.T) {
+	c := NewCell()
+	bad := []RampSpec{
+		{},
+		{VddV: 1, RampS: 1e-9, TotalS: 1e-9, StepS: 0},
+		{VddV: 1, RampS: 1e-9, TotalS: 1e-9, StepS: 2e-9},
+		{VddV: -1, RampS: 1e-9, TotalS: 1e-9, StepS: 1e-12},
+	}
+	for i, spec := range bad {
+		if _, err := c.PowerOn(spec); err == nil {
+			t.Errorf("spec %d accepted", i)
+		}
+	}
+}
+
+func TestPowerOnBiasedCellResolves(t *testing.T) {
+	c := NewCell()
+	c.M4.VthV -= 0.02 // |vth4| < |vth2| ⇒ M4 wins ⇒ state 1 (§2.1)
+	res, err := c.PowerOn(DefaultRamp())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Resolved {
+		t.Fatal("biased cell did not resolve")
+	}
+	if !res.State {
+		t.Fatal("cell with weaker |vth4| should power on to 1")
+	}
+	// Paper: nodes settle within ~2 ns.
+	if res.SettleS > 2.5e-9 {
+		t.Errorf("settle time %v too slow", res.SettleS)
+	}
+	// Final node voltages must be complementary rails.
+	wf := res.Waveform
+	lastA := wf.VAV[len(wf.VAV)-1]
+	lastB := wf.VBV[len(wf.VBV)-1]
+	if lastA < 0.9 || lastB > 0.1 {
+		t.Errorf("nodes not at rails: A=%v B=%v", lastA, lastB)
+	}
+}
+
+func TestPowerOnOppositeBias(t *testing.T) {
+	c := NewCell()
+	c.M2.VthV -= 0.02 // M2 stronger ⇒ node B wins ⇒ state 0
+	res, err := c.PowerOn(DefaultRamp())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.State {
+		t.Fatal("cell with weaker |vth2| should power on to 0")
+	}
+}
+
+func TestAgingFlipsPowerOnState(t *testing.T) {
+	// Reproduce Fig. 2b: a cell biased to 1 flips to 0 after sufficient
+	// NBTI aging of M4 (the PMOS active while holding 1).
+	c := NewCell()
+	c.M4.VthV -= 0.015 // manufacturing bias toward 1
+	pre, err := c.PowerOn(DefaultRamp())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pre.State {
+		t.Fatal("precondition: cell should start biased to 1")
+	}
+
+	c.AgePMOS(true, 0.05) // hold 1 → age M4
+	post, err := c.PowerOn(DefaultRamp())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if post.State {
+		t.Fatal("aged cell should now power on to 0")
+	}
+}
+
+func TestAgePMOSTargetsCorrectDevice(t *testing.T) {
+	c := NewCell()
+	v2, v4 := c.M2.VthV, c.M4.VthV
+	c.AgePMOS(true, 0.01)
+	if c.M4.VthV != v4+0.01 || c.M2.VthV != v2 {
+		t.Fatal("holding 1 must age M4 only")
+	}
+	c.AgePMOS(false, 0.02)
+	if c.M2.VthV != v2+0.02 {
+		t.Fatal("holding 0 must age M2")
+	}
+}
+
+func TestTransientAgreesWithReducedOrderModel(t *testing.T) {
+	// The array simulator reduces the cell to sign(PMOS mismatch). Verify
+	// that reduction against the transistor-level race for a population of
+	// randomly mismatched cells. Only clearly asymmetric cells (|Δvth| >
+	// 5 mV) are required to agree; near-symmetric cells are genuinely
+	// metastable and noise-decided in real silicon.
+	src := rng.NewSource(1234)
+	agree, total := 0, 0
+	for i := 0; i < 60; i++ {
+		c := NewCell()
+		c.M2.VthV += src.NormScaled(0, 0.03)
+		c.M4.VthV += src.NormScaled(0, 0.03)
+		if math.Abs(c.PMOSMismatchV()) < 0.005 {
+			continue
+		}
+		res, err := c.PowerOn(DefaultRamp())
+		if err != nil {
+			t.Fatal(err)
+		}
+		total++
+		if res.State == (c.PMOSMismatchV() > 0) {
+			agree++
+		}
+	}
+	if total < 30 {
+		t.Fatalf("too few asymmetric cells sampled: %d", total)
+	}
+	if agree != total {
+		t.Errorf("reduced-order model disagreed with transient on %d/%d cells", total-agree, total)
+	}
+}
+
+func TestWaveformMonotoneSupplyRamp(t *testing.T) {
+	c := NewCell()
+	c.M4.VthV -= 0.02
+	res, err := c.PowerOn(DefaultRamp())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.Waveform.VddV); i++ {
+		if res.Waveform.VddV[i] < res.Waveform.VddV[i-1]-1e-12 {
+			t.Fatal("supply ramp not monotone")
+		}
+	}
+	if got := res.Waveform.VddV[len(res.Waveform.VddV)-1]; got != 1.0 {
+		t.Errorf("final Vdd = %v", got)
+	}
+}
+
+func BenchmarkPowerOnTransient(b *testing.B) {
+	c := NewCell()
+	c.M4.VthV -= 0.02
+	spec := DefaultRamp()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.PowerOn(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+// Package spice is a miniature transient circuit simulator for the
+// conventional 6-transistor SRAM cell of Fig. 2a. It plays the role
+// HSpice + MOSRA play in the paper (§2.2): demonstrating, at the
+// transistor level, that the cell's power-on state is decided by a
+// hardware race between the two cross-coupled inverters, and that NBTI
+// aging of the winning PMOS flips the outcome of that race (Fig. 2b).
+//
+// The array-scale simulator (internal/sram) uses a reduced-order model —
+// power-on value = sign(mismatch + aging + noise). This package exists to
+// validate that reduction: cross-module tests check that the transient
+// solver and the reduced-order model agree on the race winner.
+//
+// Devices follow the long-channel square-law MOSFET model with a small
+// subthreshold leak for numerical robustness; parameters default to
+// 45 nm-class predictive-technology values, matching the paper's use of
+// the 45 nm PTM.
+package spice
+
+import "math"
+
+// MOSType distinguishes the two device polarities.
+type MOSType int
+
+// MOSFET polarities.
+const (
+	NMOS MOSType = iota
+	PMOS
+)
+
+// MOSFET is a square-law transistor. Vth is stored as a magnitude for
+// both polarities (the paper writes |vth| for PMOS throughout).
+type MOSFET struct {
+	Type MOSType
+	// VthV is the threshold-voltage magnitude in volts.
+	VthV float64
+	// KPrime is the process transconductance µCox in A/V².
+	KPrime float64
+	// WOverL is the aspect ratio W/L.
+	WOverL float64
+	// Lambda is the channel-length modulation coefficient (1/V).
+	Lambda float64
+}
+
+// Default45nm returns a transistor with 45 nm-class predictive values.
+// PMOS mobility is roughly 40 % of NMOS.
+func Default45nm(t MOSType) MOSFET {
+	m := MOSFET{Type: t, VthV: 0.40, KPrime: 450e-6, WOverL: 2.0, Lambda: 0.05}
+	if t == PMOS {
+		m.KPrime = 180e-6
+		m.VthV = 0.38
+		m.WOverL = 3.0 // widened PMOS to balance drive strength
+	}
+	return m
+}
+
+// subthresholdSlope is the exponential interpolation slope (V) around
+// threshold. Smaller values sharpen the turn-on; 30 mV keeps the model
+// within a few percent of the hard square law one overdrive above Vth
+// while staying infinitely differentiable through it.
+const subthresholdSlope = 0.03
+
+// DrainCurrent returns the drain-source current for an NMOS given
+// (Vgs, Vds), or the source-drain current for a PMOS given (Vsg, Vsd).
+// Callers pass polarity-normalized, non-negative voltage differences;
+// negative Vds is clamped to zero (the cell never drives its transistors
+// into reverse conduction during power-on).
+//
+// The model is the EKV-style smooth interpolation of the square law:
+//
+//	I = 2·β·φ²·ln²(1 + e^{(Vg−Vth)/(2φ)}) · (1 − e^{−Vd/φ}) · (1 + λ·Vd)
+//
+// which tends to ½·β·(Vg−Vth)² in strong inversion/saturation, to an
+// exponential subthreshold leak below Vth, and to a current linear in Vd
+// near the origin (triode-like) — all with no discontinuities, which the
+// explicit-Euler transient integrator needs.
+func (m MOSFET) DrainCurrent(vGate, vDrain float64) float64 {
+	if vDrain < 0 {
+		vDrain = 0
+	}
+	beta := m.KPrime * m.WOverL
+	vOv := vGate - m.VthV
+	x := vOv / (2 * subthresholdSlope)
+	var lnTerm float64
+	if x > 30 {
+		lnTerm = x // ln(1+e^x) → x; avoids float64 overflow in Exp
+	} else {
+		lnTerm = math.Log1p(math.Exp(x))
+	}
+	inv := 2 * subthresholdSlope * subthresholdSlope * lnTerm * lnTerm
+	drain := 1 - math.Exp(-vDrain/subthresholdSlope)
+	return beta * inv * drain * (1 + m.Lambda*vDrain)
+}

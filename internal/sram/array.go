@@ -1,0 +1,246 @@
+// Package sram models an embedded SRAM array at the analog level of
+// detail Invisible Bits needs: per-cell process variation, data-directed
+// NBTI aging of the cross-coupled inverters, noisy power-on state
+// sampling, data remanence, and ordinary digital read/write operation.
+//
+// # Reduced-order cell model
+//
+// The transistor-level race of §2.1 (validated in internal/spice) reduces
+// to one decision variable per cell:
+//
+//	bias B = mismatch + S0 − S1      (all in mV)
+//
+// where mismatch is the static |vth2|−|vth4| asymmetry from process
+// variation, S0 is the aging accumulated while the cell held logic 0
+// (stressing M2, biasing future power-ons toward 1), and S1 the aging
+// while holding 1 (stressing M4, biasing toward 0). A power-on event
+// samples `B + noise > 0` with fresh Gaussian thermal noise — giving the
+// temporal randomness that makes majority voting across captures
+// meaningful (§4.3) and the spatial randomness that makes clean SRAM a
+// fingerprint (§2).
+//
+// Mismatch is drawn from a per-device seed, so a given (simulated) device
+// exhibits the same power-on fingerprint across program runs, like real
+// silicon. A small smooth across-die gradient component reproduces the
+// slightly positive Moran's I the paper measures on unstressed devices
+// (Table 2: 0.009–0.011).
+package sram
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"invisiblebits/internal/analog"
+	"invisiblebits/internal/rng"
+)
+
+// Spec describes the physical and statistical properties of an array.
+type Spec struct {
+	// Rows and Cols give the physical layout; Rows*Cols is the bit count
+	// and must be a multiple of 8.
+	Rows, Cols int
+	// MismatchSigmaMv is the standard deviation of the local (white)
+	// component of per-cell inverter mismatch.
+	MismatchSigmaMv float64
+	// GradientFrac scales the smooth across-die variation component as a
+	// fraction of MismatchSigmaMv (≈0.08 reproduces the paper's Moran's I
+	// of ~0.01 on clean devices). The field is centered so it never biases
+	// the device-level mean.
+	GradientFrac float64
+	// NoiseSigmaMv is the per-power-on thermal noise standard deviation at
+	// the nominal temperature.
+	NoiseSigmaMv float64
+	// NoiseTempRefC anchors the √T scaling of thermal noise.
+	NoiseTempRefC float64
+	// ExtremeFrac is the fraction of cells with defect-class mismatch far
+	// beyond the Gaussian population. These are §5.1.1's cells whose
+	// "manufacturing mismatch between the inverters can be so large that
+	// stress-induced degradation fails to overcome such bias" — they set
+	// the error floor of Invisible Bits.
+	ExtremeFrac float64
+	// ExtremeMinMv and ExtremeMaxMv bound the uniform magnitude of the
+	// defect-class mismatch.
+	ExtremeMinMv, ExtremeMaxMv float64
+	// Aging is the device's NBTI response.
+	Aging analog.Params
+	// Seed determines the mismatch pattern (device identity); the noise
+	// stream is split from it.
+	Seed uint64
+}
+
+// DefaultSpec returns an MSP432-class 64 KB array specification.
+func DefaultSpec() Spec {
+	return Spec{
+		Rows:            512,
+		Cols:            1024,
+		MismatchSigmaMv: 30,
+		GradientFrac:    0.08,
+		NoiseSigmaMv:    1.2,
+		NoiseTempRefC:   25,
+		ExtremeFrac:     0.005,
+		ExtremeMinMv:    150,
+		ExtremeMaxMv:    500,
+		Aging: analog.Params{
+			A0MvPerHourN:    analog.CalibrateA0(0.66, 45.4, 10),
+			TimeExponent:    0.66,
+			GammaPerVolt:    1.6,
+			ActivationEV:    0.19,
+			Ref:             analog.Conditions{VoltageV: 3.3, TempC: 85},
+			RecFastFrac:     0.12,
+			RecSlowFrac:     0.16,
+			TauFastHours:    100,
+			TauSlowHours:    1350,
+			RecActivationEV: 0.30,
+			RecTRefC:        25,
+		},
+		Seed: 1,
+	}
+}
+
+// Validate reports whether the spec is usable.
+func (s Spec) Validate() error {
+	if s.Rows <= 0 || s.Cols <= 0 {
+		return fmt.Errorf("sram: non-positive dimensions %dx%d", s.Rows, s.Cols)
+	}
+	if (s.Rows*s.Cols)%8 != 0 {
+		return fmt.Errorf("sram: bit count %d not byte-aligned", s.Rows*s.Cols)
+	}
+	if s.MismatchSigmaMv <= 0 || s.NoiseSigmaMv < 0 || s.GradientFrac < 0 {
+		return errors.New("sram: mismatch/noise parameters out of range")
+	}
+	if s.ExtremeFrac < 0 || s.ExtremeFrac >= 1 || (s.ExtremeFrac > 0 && s.ExtremeMaxMv < s.ExtremeMinMv) {
+		return errors.New("sram: defect-population parameters out of range")
+	}
+	return s.Aging.Validate()
+}
+
+// Array is a simulated SRAM. The zero value is unusable; use New.
+type Array struct {
+	spec Spec
+	n    int // cell count
+
+	mismatch []float32 // static per-cell mismatch, mV
+
+	// Per-direction stress pools (mV). s0* accumulate while holding 0 and
+	// push power-on toward 1; s1* push toward 0.
+	s0Perm, s0Fast, s0Slow []float32
+	s1Perm, s1Fast, s1Slow []float32
+
+	data     []byte // current digital contents, bit-packed row-major
+	powered  bool
+	remanent bool // charge left on nodes by a non-discharged power-off
+
+	noise *rng.Source
+}
+
+// New builds an array with a fresh, unaged mismatch pattern.
+func New(spec Spec) (*Array, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	n := spec.Rows * spec.Cols
+	a := &Array{
+		spec:     spec,
+		n:        n,
+		mismatch: make([]float32, n),
+		s0Perm:   make([]float32, n),
+		s0Fast:   make([]float32, n),
+		s0Slow:   make([]float32, n),
+		s1Perm:   make([]float32, n),
+		s1Fast:   make([]float32, n),
+		s1Slow:   make([]float32, n),
+		data:     make([]byte, n/8),
+	}
+	seedSrc := rng.NewSource(spec.Seed)
+	mismatchSrc := seedSrc.Split()
+	a.noise = seedSrc.Split()
+	a.synthesizeMismatch(mismatchSrc)
+	return a, nil
+}
+
+// synthesizeMismatch draws the white local component and superimposes a
+// smooth low-frequency across-die field (random sinusoids + planar tilt).
+func (a *Array) synthesizeMismatch(src *rng.Source) {
+	sigma := a.spec.MismatchSigmaMv
+	gAmp := sigma * a.spec.GradientFrac
+
+	type wave struct{ kr, kc, phase, amp float64 }
+	waves := make([]wave, 4)
+	for i := range waves {
+		waves[i] = wave{
+			kr:    (src.Float64()*2 - 1) * 3 * math.Pi / float64(a.spec.Rows),
+			kc:    (src.Float64()*2 - 1) * 3 * math.Pi / float64(a.spec.Cols),
+			phase: src.Float64() * 2 * math.Pi,
+			amp:   gAmp * (0.5 + src.Float64()),
+		}
+	}
+	tiltR := (src.Float64()*2 - 1) * gAmp / float64(a.spec.Rows)
+	tiltC := (src.Float64()*2 - 1) * gAmp / float64(a.spec.Cols)
+
+	// First pass: compute the smooth field's mean so it can be centered.
+	// An uncentered gradient would bias the whole device's power-on state
+	// away from 0.5, which real silicon does not show (Table 5's clean
+	// biases are 0.500–0.502).
+	var smoothMean float64
+	smoothAt := func(r, c int) float64 {
+		s := tiltR*float64(r) + tiltC*float64(c)
+		for _, w := range waves {
+			s += w.amp * math.Sin(w.kr*float64(r)+w.kc*float64(c)+w.phase)
+		}
+		return s
+	}
+	for r := 0; r < a.spec.Rows; r++ {
+		for c := 0; c < a.spec.Cols; c++ {
+			smoothMean += smoothAt(r, c)
+		}
+	}
+	smoothMean /= float64(a.n)
+
+	i := 0
+	for r := 0; r < a.spec.Rows; r++ {
+		for c := 0; c < a.spec.Cols; c++ {
+			smooth := smoothAt(r, c) - smoothMean
+			if a.spec.ExtremeFrac > 0 && src.Float64() < a.spec.ExtremeFrac {
+				mag := a.spec.ExtremeMinMv +
+					src.Float64()*(a.spec.ExtremeMaxMv-a.spec.ExtremeMinMv)
+				if src.Float64() < 0.5 {
+					mag = -mag
+				}
+				a.mismatch[i] = float32(mag + smooth)
+			} else {
+				a.mismatch[i] = float32(src.NormScaled(0, sigma) + smooth)
+			}
+			i++
+		}
+	}
+}
+
+// Spec returns the array's construction parameters.
+func (a *Array) Spec() Spec { return a.spec }
+
+// Cells returns the number of bit cells.
+func (a *Array) Cells() int { return a.n }
+
+// Bytes returns the array capacity in bytes.
+func (a *Array) Bytes() int { return a.n / 8 }
+
+// Rows and Cols expose the physical layout for spatial statistics.
+func (a *Array) Rows() int { return a.spec.Rows }
+
+// Cols returns the number of columns in the physical layout.
+func (a *Array) Cols() int { return a.spec.Cols }
+
+// Powered reports whether the array currently has supply voltage.
+func (a *Array) Powered() bool { return a.powered }
+
+// bias returns cell i's decision variable in mV.
+func (a *Array) bias(i int) float64 {
+	return float64(a.mismatch[i]) +
+		float64(a.s0Perm[i]) + float64(a.s0Fast[i]) + float64(a.s0Slow[i]) -
+		float64(a.s1Perm[i]) - float64(a.s1Fast[i]) - float64(a.s1Slow[i])
+}
+
+// Bias exposes the decision variable for cell i (mV); used by tests,
+// calibration, and the PUF-cloning example.
+func (a *Array) Bias(i int) float64 { return a.bias(i) }

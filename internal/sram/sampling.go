@@ -1,0 +1,150 @@
+package sram
+
+import (
+	"fmt"
+
+	"invisiblebits/internal/analog"
+	"invisiblebits/internal/rng"
+)
+
+// CaptureMajority performs captures power cycles at tempC and returns the
+// per-bit majority across them — the receiver's noise filter from §4.3:
+// "While any odd number of state captures works, we find that taking five
+// captures is sufficient to filter noise." The array is left powered with
+// the final capture as its contents.
+func (a *Array) CaptureMajority(captures int, tempC float64) ([]byte, error) {
+	if captures < 1 || captures%2 == 0 {
+		return nil, fmt.Errorf("sram: majority voting needs an odd capture count, got %d", captures)
+	}
+	counts := make([]uint16, a.n)
+	for k := 0; k < captures; k++ {
+		var snap []byte
+		var err error
+		if a.powered {
+			snap, err = a.PowerCycle(tempC)
+		} else {
+			snap, err = a.PowerOn(tempC)
+		}
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < a.n; i++ {
+			if snap[i/8]&(1<<(i%8)) != 0 {
+				counts[i]++
+			}
+		}
+	}
+	out := make([]byte, a.n/8)
+	threshold := uint16(captures/2) + 1
+	for i, c := range counts {
+		if c >= threshold {
+			out[i/8] |= 1 << (i % 8)
+		}
+	}
+	return out, nil
+}
+
+// CaptureVotes performs captures power cycles at tempC and returns, for
+// each cell, how many captures read 1. This is the soft information
+// behind majority voting: a cell reading 5/5 ones is far more trustworthy
+// than one reading 3/5, and the soft-decision decoder (ecc.SoftDecoder)
+// exploits exactly that. The array is left powered.
+func (a *Array) CaptureVotes(captures int, tempC float64) ([]uint16, error) {
+	if captures < 1 {
+		return nil, fmt.Errorf("sram: need at least one capture, got %d", captures)
+	}
+	counts := make([]uint16, a.n)
+	for k := 0; k < captures; k++ {
+		var snap []byte
+		var err error
+		if a.powered {
+			snap, err = a.PowerCycle(tempC)
+		} else {
+			snap, err = a.PowerOn(tempC)
+		}
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < a.n; i++ {
+			if snap[i/8]&(1<<(i%8)) != 0 {
+				counts[i]++
+			}
+		}
+	}
+	return counts, nil
+}
+
+// BiasMap estimates each cell's power-on bias (fraction of 1s) over the
+// given number of captures — the quantity Fig. 3a–c histograms.
+func (a *Array) BiasMap(captures int, tempC float64) ([]float64, error) {
+	if captures < 1 {
+		return nil, fmt.Errorf("sram: need at least one capture, got %d", captures)
+	}
+	counts := make([]uint32, a.n)
+	for k := 0; k < captures; k++ {
+		var snap []byte
+		var err error
+		if a.powered {
+			snap, err = a.PowerCycle(tempC)
+		} else {
+			snap, err = a.PowerOn(tempC)
+		}
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < a.n; i++ {
+			if snap[i/8]&(1<<(i%8)) != 0 {
+				counts[i]++
+			}
+		}
+	}
+	out := make([]float64, a.n)
+	inv := 1 / float64(captures)
+	for i, c := range counts {
+		out[i] = float64(c) * inv
+	}
+	return out, nil
+}
+
+// OperateRandom simulates ordinary software running on the device: it
+// repeatedly fills the SRAM with pseudo-random words from the paper's
+// LFSR+LCG workload generator and lets the device sit at conditions c for
+// each epoch (§5.1.4). Cells therefore alternate held values epoch to
+// epoch; reinforcement and opposition average out while the encoded
+// direction's recoverable pools relax only during opposing epochs — which
+// is why normal operation degrades the message *less* than shelving.
+func (a *Array) OperateRandom(w *rng.WorkloadWriter, c analog.Conditions, hours, epochHours float64) error {
+	if !a.powered {
+		return ErrUnpowered
+	}
+	if hours <= 0 {
+		return nil
+	}
+	if epochHours <= 0 {
+		return fmt.Errorf("sram: epochHours must be positive, got %v", epochHours)
+	}
+	buf := make([]byte, a.Bytes())
+	for remaining := hours; remaining > 0; remaining -= epochHours {
+		dt := epochHours
+		if remaining < dt {
+			dt = remaining
+		}
+		w.Fill(buf)
+		if err := a.Write(buf); err != nil {
+			return err
+		}
+		if err := a.Stress(c, dt); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// StressWithPattern is a convenience for the encoding pipeline: write
+// pattern, stress, in one step.
+func (a *Array) StressWithPattern(pattern []byte, c analog.Conditions, hours float64) error {
+	if err := a.Write(pattern); err != nil {
+		return err
+	}
+	return a.Stress(c, hours)
+}

@@ -1,0 +1,67 @@
+package sram
+
+import (
+	"errors"
+	"fmt"
+)
+
+// State is a serializable snapshot of an array's mutable condition: the
+// accumulated aging pools and the digital contents. The mismatch pattern
+// is NOT part of the state — it is reproduced from the spec seed, exactly
+// as real silicon carries its fingerprint implicitly. Gob/JSON-encodable.
+type State struct {
+	Seed     uint64 // must match the array being restored into
+	Powered  bool
+	Remanent bool
+	Data     []byte
+	S0Perm   []float32
+	S0Fast   []float32
+	S0Slow   []float32
+	S1Perm   []float32
+	S1Fast   []float32
+	S1Slow   []float32
+}
+
+// StateSnapshot captures the array's current mutable state.
+func (a *Array) StateSnapshot() State {
+	cp := func(src []float32) []float32 {
+		out := make([]float32, len(src))
+		copy(out, src)
+		return out
+	}
+	data := make([]byte, len(a.data))
+	copy(data, a.data)
+	return State{
+		Seed:     a.spec.Seed,
+		Powered:  a.powered,
+		Remanent: a.remanent,
+		Data:     data,
+		S0Perm:   cp(a.s0Perm), S0Fast: cp(a.s0Fast), S0Slow: cp(a.s0Slow),
+		S1Perm: cp(a.s1Perm), S1Fast: cp(a.s1Fast), S1Slow: cp(a.s1Slow),
+	}
+}
+
+// ErrStateMismatch is returned when a state snapshot does not belong to
+// the array it is being restored into.
+var ErrStateMismatch = errors.New("sram: state snapshot belongs to a different array")
+
+// RestoreState loads a snapshot previously taken from an array with the
+// same spec (same seed and geometry).
+func (a *Array) RestoreState(s State) error {
+	if s.Seed != a.spec.Seed {
+		return fmt.Errorf("%w: seed %d vs %d", ErrStateMismatch, s.Seed, a.spec.Seed)
+	}
+	if len(s.Data) != len(a.data) || len(s.S0Perm) != a.n {
+		return fmt.Errorf("%w: geometry differs", ErrStateMismatch)
+	}
+	copy(a.data, s.Data)
+	copy(a.s0Perm, s.S0Perm)
+	copy(a.s0Fast, s.S0Fast)
+	copy(a.s0Slow, s.S0Slow)
+	copy(a.s1Perm, s.S1Perm)
+	copy(a.s1Fast, s.S1Fast)
+	copy(a.s1Slow, s.S1Slow)
+	a.powered = s.Powered
+	a.remanent = s.Remanent
+	return nil
+}

@@ -1,0 +1,109 @@
+package stats
+
+import "math"
+
+// lowerIncompleteGammaRegularized computes P(a, x) = γ(a,x)/Γ(a) using the
+// series expansion for x < a+1 and the continued fraction otherwise — the
+// standard route to the chi-square CDF.
+func lowerIncompleteGammaRegularized(a, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x < a+1 {
+		// Series: P(a,x) = x^a e^-x / Γ(a+1) · Σ x^n / (a+1)...(a+n)
+		sum := 1.0 / a
+		term := sum
+		for n := 1; n < 500; n++ {
+			term *= x / (a + float64(n))
+			sum += term
+			if math.Abs(term) < math.Abs(sum)*1e-15 {
+				break
+			}
+		}
+		return sum * math.Exp(-x+a*math.Log(x)-lgamma(a))
+	}
+	// Continued fraction for Q(a,x) (Lentz's method).
+	const tiny = 1e-300
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i < 500; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		delta := d * c
+		h *= delta
+		if math.Abs(delta-1) < 1e-15 {
+			break
+		}
+	}
+	q := math.Exp(-x+a*math.Log(x)-lgamma(a)) * h
+	return 1 - q
+}
+
+// ChiSquareCDF returns P(X <= x) for a chi-square variable with k degrees
+// of freedom.
+func ChiSquareCDF(x float64, k int) float64 {
+	if k <= 0 {
+		panic("stats: ChiSquareCDF requires k > 0")
+	}
+	if x <= 0 {
+		return 0
+	}
+	return lowerIncompleteGammaRegularized(float64(k)/2, x/2)
+}
+
+// ChiSquareResult reports a Pearson goodness-of-fit test.
+type ChiSquareResult struct {
+	Statistic float64
+	DF        int
+	PValue    float64 // P(X² >= statistic) under the null
+}
+
+// ChiSquareUniform tests observed category counts against the uniform
+// distribution. The steganalysis battery applies it to byte-symbol counts
+// of the power-on state: a clean (or encrypted) SRAM is uniform over the
+// 256 symbols; structured plain-text payloads are wildly non-uniform.
+func ChiSquareUniform(counts []int) ChiSquareResult {
+	k := len(counts)
+	if k < 2 {
+		panic("stats: ChiSquareUniform requires at least 2 categories")
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return ChiSquareResult{DF: k - 1, PValue: 1}
+	}
+	expected := float64(total) / float64(k)
+	var stat float64
+	for _, c := range counts {
+		d := float64(c) - expected
+		stat += d * d / expected
+	}
+	return ChiSquareResult{
+		Statistic: stat,
+		DF:        k - 1,
+		PValue:    1 - ChiSquareCDF(stat, k-1),
+	}
+}
+
+// SymbolCounts tallies byte-symbol occurrences (the integer form of
+// SymbolDistribution, for the chi-square test).
+func SymbolCounts(data []byte) []int {
+	counts := make([]int, 256)
+	for _, b := range data {
+		counts[b]++
+	}
+	return counts
+}

@@ -1,0 +1,106 @@
+package stats
+
+import (
+	"testing"
+
+	"invisiblebits/internal/rng"
+)
+
+func TestChiSquareCDFKnownValues(t *testing.T) {
+	// Standard table values: P(X² <= x) for k df.
+	cases := []struct {
+		x    float64
+		k    int
+		want float64
+		tol  float64
+	}{
+		{3.841, 1, 0.95, 2e-4},  // 95th percentile, 1 df
+		{5.991, 2, 0.95, 2e-4},  // 2 df
+		{11.070, 5, 0.95, 2e-4}, // 5 df
+		{18.307, 10, 0.95, 2e-4},
+		{2.706, 1, 0.90, 2e-4},
+		{0, 3, 0, 1e-12},
+	}
+	for _, c := range cases {
+		if got := ChiSquareCDF(c.x, c.k); !approxEqual(got, c.want, c.tol) {
+			t.Errorf("ChiSquareCDF(%v, %d) = %v, want %v", c.x, c.k, got, c.want)
+		}
+	}
+}
+
+func TestChiSquareCDFLargeDF(t *testing.T) {
+	// For large k the chi-square mean is k: CDF at the mean ≈ 0.5 (slightly
+	// above due to skew).
+	got := ChiSquareCDF(255, 255)
+	if got < 0.45 || got > 0.55 {
+		t.Errorf("CDF at mean = %v", got)
+	}
+}
+
+func TestChiSquareCDFPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for k=0")
+		}
+	}()
+	ChiSquareCDF(1, 0)
+}
+
+func TestChiSquareUniformAcceptsUniform(t *testing.T) {
+	src := rng.NewSource(10)
+	data := make([]byte, 64<<10)
+	src.Bytes(data)
+	res := ChiSquareUniform(SymbolCounts(data))
+	if res.DF != 255 {
+		t.Fatalf("df = %d", res.DF)
+	}
+	if res.PValue < 0.001 {
+		t.Errorf("uniform data rejected: p = %v (stat %v)", res.PValue, res.Statistic)
+	}
+}
+
+func TestChiSquareUniformRejectsStructured(t *testing.T) {
+	// ASCII text: heavily concentrated symbol distribution.
+	text := []byte("the quick brown fox jumps over the lazy dog ")
+	data := make([]byte, 0, 64<<10)
+	for len(data) < 64<<10 {
+		data = append(data, text...)
+	}
+	res := ChiSquareUniform(SymbolCounts(data))
+	if res.PValue > 1e-10 {
+		t.Errorf("structured data accepted: p = %v", res.PValue)
+	}
+}
+
+func TestChiSquareUniformEdges(t *testing.T) {
+	res := ChiSquareUniform(make([]int, 256))
+	if res.PValue != 1 {
+		t.Errorf("empty counts p = %v", res.PValue)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for single category")
+		}
+	}()
+	ChiSquareUniform([]int{5})
+}
+
+func TestIncompleteGammaConsistency(t *testing.T) {
+	// P(a, x) must be monotone in x and hit both regimes (series and
+	// continued fraction) consistently at the crossover x = a+1.
+	const a = 4.0
+	prev := 0.0
+	for x := 0.5; x < 20; x += 0.5 {
+		p := lowerIncompleteGammaRegularized(a, x)
+		if p < prev-1e-12 {
+			t.Fatalf("P(a,x) decreased at x=%v", x)
+		}
+		if p < 0 || p > 1 {
+			t.Fatalf("P(a,%v) = %v out of range", x, p)
+		}
+		prev = p
+	}
+	if prev < 0.998 {
+		t.Errorf("P(4, 19.5) = %v, want ≈1", prev)
+	}
+}

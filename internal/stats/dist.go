@@ -1,0 +1,173 @@
+// Package stats implements the statistical machinery Invisible Bits uses
+// for calibration and steganalysis: normal and Student-t distributions,
+// Welch's t-test (§6), Moran's I spatial autocorrelation (§5.1.2, Table 2,
+// Table 5), Shannon entropy over byte symbols (Fig. 12), Hamming-weight
+// histograms (Fig. 11, Fig. 14), and the repetition-code Bernoulli error
+// model of Equation 1 (§5.2).
+package stats
+
+import "math"
+
+// NormalCDF returns Φ(x), the standard normal cumulative distribution.
+func NormalCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+// NormalQuantile returns Φ⁻¹(p) for p in (0, 1) using the
+// Acklam/Wichura-style rational approximation refined by one Newton step.
+// It panics if p is outside (0, 1).
+func NormalQuantile(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		panic("stats: NormalQuantile requires p in (0,1)")
+	}
+	// Rational approximation (Acklam 2003), |relative error| < 1.15e-9.
+	const (
+		a1 = -3.969683028665376e+01
+		a2 = 2.209460984245205e+02
+		a3 = -2.759285104469687e+02
+		a4 = 1.383577518672690e+02
+		a5 = -3.066479806614716e+01
+		a6 = 2.506628277459239e+00
+
+		b1 = -5.447609879822406e+01
+		b2 = 1.615858368580409e+02
+		b3 = -1.556989798598866e+02
+		b4 = 6.680131188771972e+01
+		b5 = -1.328068155288572e+01
+
+		c1 = -7.784894002430293e-03
+		c2 = -3.223964580411365e-01
+		c3 = -2.400758277161838e+00
+		c4 = -2.549732539343734e+00
+		c5 = 4.374664141464968e+00
+		c6 = 2.938163982698783e+00
+
+		d1 = 7.784695709041462e-03
+		d2 = 3.224671290700398e-01
+		d3 = 2.445134137142996e+00
+		d4 = 3.754408661907416e+00
+
+		pLow  = 0.02425
+		pHigh = 1 - pLow
+	)
+	var x float64
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		x = (((((c1*q+c2)*q+c3)*q+c4)*q+c5)*q + c6) /
+			((((d1*q+d2)*q+d3)*q+d4)*q + 1)
+	case p <= pHigh:
+		q := p - 0.5
+		r := q * q
+		x = (((((a1*r+a2)*r+a3)*r+a4)*r+a5)*r + a6) * q /
+			(((((b1*r+b2)*r+b3)*r+b4)*r+b5)*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		x = -(((((c1*q+c2)*q+c3)*q+c4)*q+c5)*q + c6) /
+			((((d1*q+d2)*q+d3)*q+d4)*q + 1)
+	}
+	// One Newton–Raphson refinement against the true CDF.
+	e := NormalCDF(x) - p
+	u := e * math.Sqrt(2*math.Pi) * math.Exp(x*x/2)
+	return x - u/(1+x*u/2)
+}
+
+// regularizedIncompleteBeta computes I_x(a, b) via the continued-fraction
+// expansion (Lentz's method), the standard route to the Student-t CDF.
+func regularizedIncompleteBeta(a, b, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	lbeta := lgamma(a) + lgamma(b) - lgamma(a+b)
+	front := math.Exp(a*math.Log(x)+b*math.Log(1-x)-lbeta) / a
+	// Use the symmetry relation to keep the continued fraction convergent.
+	if x > (a+1)/(a+b+2) {
+		return 1 - regularizedIncompleteBeta(b, a, 1-x)
+	}
+	const (
+		maxIter = 300
+		eps     = 1e-14
+		tiny    = 1e-300
+	)
+	c, d := 1.0, 1.0-(a+b)*x/(a+1)
+	if math.Abs(d) < tiny {
+		d = tiny
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		fm := float64(m)
+		// Even step.
+		num := fm * (b - fm) * x / ((a + 2*fm - 1) * (a + 2*fm))
+		d = 1 + num*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + num/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		h *= d * c
+		// Odd step.
+		num = -(a + fm) * (a + b + fm) * x / ((a + 2*fm) * (a + 2*fm + 1))
+		d = 1 + num*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + num/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		delta := d * c
+		h *= delta
+		if math.Abs(delta-1) < eps {
+			break
+		}
+	}
+	return front * h
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// StudentTCDF returns P(T <= t) for a Student-t variable with df degrees
+// of freedom (df may be fractional, as produced by the Welch–Satterthwaite
+// approximation).
+func StudentTCDF(t, df float64) float64 {
+	if df <= 0 {
+		panic("stats: StudentTCDF requires df > 0")
+	}
+	if t == 0 {
+		return 0.5
+	}
+	x := df / (df + t*t)
+	p := 0.5 * regularizedIncompleteBeta(df/2, 0.5, x)
+	if t > 0 {
+		return 1 - p
+	}
+	return p
+}
+
+// BinomialCoefficient returns C(n, k) as a float64; it is exact for the
+// modest n used by the repetition-code model and avoids overflow by
+// multiplying incrementally.
+func BinomialCoefficient(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	c := 1.0
+	for i := 0; i < k; i++ {
+		c = c * float64(n-i) / float64(i+1)
+	}
+	return c
+}

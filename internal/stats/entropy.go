@@ -1,0 +1,78 @@
+package stats
+
+import "math"
+
+// SymbolDistribution counts byte-symbol frequencies over data, the way the
+// paper divides "the power-on state of an SRAM into byte granularity
+// (symbol)" and counts "the frequency of each 2⁸ symbols" (§6, Fig. 12).
+func SymbolDistribution(data []byte) [256]float64 {
+	var counts [256]float64
+	for _, b := range data {
+		counts[b]++
+	}
+	if len(data) > 0 {
+		inv := 1 / float64(len(data))
+		for i := range counts {
+			counts[i] *= inv
+		}
+	}
+	return counts
+}
+
+// ShannonEntropy returns H = Σ −P(xᵢ)·log₂ P(xᵢ) over a probability
+// distribution. For byte symbols the maximum is 8 bits.
+func ShannonEntropy(p []float64) float64 {
+	var h float64
+	for _, pi := range p {
+		if pi > 0 {
+			h -= pi * math.Log2(pi)
+		}
+	}
+	return h
+}
+
+// ByteEntropy computes the Shannon entropy of data's byte-symbol
+// distribution, in bits per symbol (0..8).
+func ByteEntropy(data []byte) float64 {
+	d := SymbolDistribution(data)
+	return ShannonEntropy(d[:])
+}
+
+// NormalizedByteEntropy divides ByteEntropy by the number of possible
+// symbols (256), matching the paper's normalization: "The normalized (by
+// the number of symbols) entropy of an SRAM's power-on state is 0.0312"
+// (= 8/256 for a maximally random state).
+func NormalizedByteEntropy(data []byte) float64 {
+	return ByteEntropy(data) / 256
+}
+
+// PerSymbolEntropy returns each symbol's −P·log₂P contribution, the series
+// plotted against "Symbols" in Fig. 12. A uniformly random SRAM yields a
+// flat line near 8/256 ≈ 0.031; plain-text payloads concentrate mass on a
+// few symbols, producing spikes up to the single-symbol maximum of
+// log₂(e)/e ≈ 0.531.
+func PerSymbolEntropy(data []byte) [256]float64 {
+	d := SymbolDistribution(data)
+	var out [256]float64
+	for i, pi := range d {
+		if pi > 0 {
+			out[i] = -pi * math.Log2(pi)
+		}
+	}
+	return out
+}
+
+// BitEntropy returns the Shannon entropy of a Bernoulli(p) bit, in bits.
+func BitEntropy(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		return 0
+	}
+	return -p*math.Log2(p) - (1-p)*math.Log2(1-p)
+}
+
+// BinarySymmetricChannelCapacity returns 1 − H(p), the capacity in
+// bits/cell of the binary symmetric channel induced by a bit error rate p.
+// §5.2's guidance on ECC selection is grounded in this quantity.
+func BinarySymmetricChannelCapacity(p float64) float64 {
+	return 1 - BitEntropy(p)
+}

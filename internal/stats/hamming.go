@@ -1,0 +1,127 @@
+package stats
+
+import "math/bits"
+
+// HammingWeight returns the number of set bits in data.
+func HammingWeight(data []byte) int {
+	w := 0
+	for _, b := range data {
+		w += bits.OnesCount8(b)
+	}
+	return w
+}
+
+// HammingDistance returns the number of differing bits between a and b.
+// It panics if the lengths differ: comparing payloads of unequal size is
+// always a caller bug in this codebase.
+func HammingDistance(a, b []byte) int {
+	if len(a) != len(b) {
+		panic("stats: HammingDistance on unequal lengths")
+	}
+	d := 0
+	for i := range a {
+		d += bits.OnesCount8(a[i] ^ b[i])
+	}
+	return d
+}
+
+// BitErrorRate returns HammingDistance(a,b) / (8·len(a)).
+func BitErrorRate(a, b []byte) float64 {
+	if len(a) == 0 {
+		return 0
+	}
+	return float64(HammingDistance(a, b)) / float64(8*len(a))
+}
+
+// BlockHammingWeights splits data into blockBytes-sized blocks and returns
+// the Hamming weight of each. The paper plots "the distribution of Hamming
+// weights for the SRAM when adjacent cells are grouped into fixed-size
+// blocks" (Fig. 11 uses 128-bit = 16-byte blocks; Fig. 14 likewise). A
+// trailing partial block is dropped so every weight shares the same
+// support [0, 8·blockBytes].
+func BlockHammingWeights(data []byte, blockBytes int) []int {
+	if blockBytes <= 0 {
+		panic("stats: BlockHammingWeights requires blockBytes > 0")
+	}
+	n := len(data) / blockBytes
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, HammingWeight(data[i*blockBytes:(i+1)*blockBytes]))
+	}
+	return out
+}
+
+// Histogram bins values into nBins equal-width bins over [min, max].
+type Histogram struct {
+	Min, Max float64
+	Counts   []int
+	Total    int
+}
+
+// NewHistogram builds a histogram of xs over [min, max] with nBins bins.
+// Values outside the range clamp to the edge bins, so Total always equals
+// len(xs).
+func NewHistogram(xs []float64, min, max float64, nBins int) Histogram {
+	if nBins <= 0 {
+		panic("stats: NewHistogram requires nBins > 0")
+	}
+	h := Histogram{Min: min, Max: max, Counts: make([]int, nBins)}
+	width := (max - min) / float64(nBins)
+	for _, x := range xs {
+		idx := 0
+		if width > 0 {
+			idx = int((x - min) / width)
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= nBins {
+			idx = nBins - 1
+		}
+		h.Counts[idx]++
+		h.Total++
+	}
+	return h
+}
+
+// Density returns the normalized histogram (fractions summing to 1).
+func (h Histogram) Density() []float64 {
+	d := make([]float64, len(h.Counts))
+	if h.Total == 0 {
+		return d
+	}
+	for i, c := range h.Counts {
+		d[i] = float64(c) / float64(h.Total)
+	}
+	return d
+}
+
+// BinCenters returns the midpoint of each bin.
+func (h Histogram) BinCenters() []float64 {
+	n := len(h.Counts)
+	centers := make([]float64, n)
+	width := (h.Max - h.Min) / float64(n)
+	for i := range centers {
+		centers[i] = h.Min + width*(float64(i)+0.5)
+	}
+	return centers
+}
+
+// IntsToFloats converts an int slice for histogram/summary consumption.
+func IntsToFloats(xs []int) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(x)
+	}
+	return out
+}
+
+// MeanBias returns the fraction of set bits in data — the paper's "mean
+// power-on bias" column in Table 5 (≈0.500 for clean and encrypted chips,
+// ≈0.535 for plain-text encodings).
+func MeanBias(data []byte) float64 {
+	if len(data) == 0 {
+		return 0
+	}
+	return float64(HammingWeight(data)) / float64(8*len(data))
+}

@@ -1,0 +1,133 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// MoranResult reports Moran's I spatial autocorrelation and its
+// significance under the randomization assumption.
+type MoranResult struct {
+	I        float64 // observed statistic
+	Expected float64 // E[I] = -1/(N-1) under the null
+	Variance float64 // Var[I] under randomization
+	Z        float64 // (I - E[I]) / sqrt(Var[I])
+	PValue   float64 // two-tailed normal-approximation p-value
+	N        int     // number of observations
+}
+
+// ErrDegenerateField is returned when Moran's I is undefined (constant
+// field or fewer than two cells).
+var ErrDegenerateField = errors.New("stats: Moran's I undefined for constant or near-empty field")
+
+// MoranI2D computes Moran's I for a binary (or real-valued) field laid out
+// as rows×cols in row-major order, using rook contiguity (4-neighbour)
+// weights. This mirrors the paper's use of Moran's I on SRAM power-on
+// states (§5.1.2): "A Moran's I statistic close to zero indicates that
+// error is spatially random … closer to 1.0 indicates a positive
+// correlation".
+//
+// Rook weights keep the weight matrix sparse and symmetric; for the N in
+// play (tens of KB of cells) the exact analytic moments are computed, not
+// simulated.
+func MoranI2D(field []float64, rows, cols int) (MoranResult, error) {
+	n := rows * cols
+	if n != len(field) {
+		return MoranResult{}, errors.New("stats: field length does not match rows*cols")
+	}
+	if n < 2 {
+		return MoranResult{}, ErrDegenerateField
+	}
+
+	var sum float64
+	for _, v := range field {
+		sum += v
+	}
+	mean := sum / float64(n)
+
+	var m2 float64 // Σ zᵢ²
+	var m4 float64 // Σ zᵢ⁴ (for the randomization variance)
+	z := make([]float64, n)
+	for i, v := range field {
+		d := v - mean
+		z[i] = d
+		m2 += d * d
+		m4 += d * d * d * d
+	}
+	if m2 == 0 {
+		return MoranResult{}, ErrDegenerateField
+	}
+
+	// Cross-product over rook neighbours. Each undirected edge contributes
+	// twice to Σᵢ Σⱼ wᵢⱼ zᵢ zⱼ with binary weights.
+	var cross float64
+	var s0 float64 // Σ wᵢⱼ
+	for r := 0; r < rows; r++ {
+		base := r * cols
+		for c := 0; c < cols; c++ {
+			i := base + c
+			if c+1 < cols {
+				cross += 2 * z[i] * z[i+1]
+				s0 += 2
+			}
+			if r+1 < rows {
+				cross += 2 * z[i] * z[i+cols]
+				s0 += 2
+			}
+		}
+	}
+
+	fn := float64(n)
+	iStat := (fn / s0) * (cross / m2)
+	expected := -1 / (fn - 1)
+
+	// Analytic moments under randomization (Cliff & Ord). For binary rook
+	// weights: S1 = 2·s0 (each wᵢⱼ = wⱼᵢ = 1 ⇒ (wᵢⱼ+wⱼᵢ)² = 4 per ordered
+	// pair, halved), and S2 = Σᵢ (Σⱼ wᵢⱼ + Σⱼ wⱼᵢ)² = Σᵢ (2·degᵢ)².
+	s1 := 2 * s0
+	var s2 float64
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			deg := 0.0
+			if c+1 < cols {
+				deg++
+			}
+			if c > 0 {
+				deg++
+			}
+			if r+1 < rows {
+				deg++
+			}
+			if r > 0 {
+				deg++
+			}
+			s2 += (2 * deg) * (2 * deg)
+		}
+	}
+	b2 := fn * m4 / (m2 * m2) // sample kurtosis
+	num := fn*((fn*fn-3*fn+3)*s1-fn*s2+3*s0*s0) -
+		b2*((fn*fn-fn)*s1-2*fn*s2+6*s0*s0)
+	den := (fn - 1) * (fn - 2) * (fn - 3) * s0 * s0
+	variance := num/den - expected*expected
+	if variance < 0 {
+		variance = 0
+	}
+
+	res := MoranResult{I: iStat, Expected: expected, Variance: variance, N: n}
+	if variance > 0 {
+		res.Z = (iStat - expected) / math.Sqrt(variance)
+		res.PValue = 2 * (1 - NormalCDF(math.Abs(res.Z)))
+	}
+	return res, nil
+}
+
+// MoranIBits converts a bit field to floats and delegates to MoranI2D.
+func MoranIBits(bits []byte, rows, cols int) (MoranResult, error) {
+	f := make([]float64, len(bits))
+	for i, b := range bits {
+		if b != 0 {
+			f[i] = 1
+		}
+	}
+	return MoranI2D(f, rows, cols)
+}

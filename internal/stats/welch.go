@@ -1,0 +1,77 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// Summary holds the first two moments of a sample.
+type Summary struct {
+	N        int
+	Mean     float64
+	Variance float64 // unbiased (n-1 denominator)
+}
+
+// Summarize computes sample size, mean, and unbiased variance.
+func Summarize(xs []float64) Summary {
+	n := len(xs)
+	if n == 0 {
+		return Summary{}
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	mean := sum / float64(n)
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	variance := 0.0
+	if n > 1 {
+		variance = ss / float64(n-1)
+	}
+	return Summary{N: n, Mean: mean, Variance: variance}
+}
+
+// WelchResult reports Welch's unequal-variance t-test.
+type WelchResult struct {
+	T            float64 // t statistic
+	DF           float64 // Welch–Satterthwaite degrees of freedom
+	POneTailed   float64 // P(T >= |t|) — the paper reports one-tailed p (§6)
+	PTwoTailed   float64
+	MeanA, MeanB float64
+}
+
+// ErrInsufficientData is returned when a test cannot be computed.
+var ErrInsufficientData = errors.New("stats: need at least two observations per sample with nonzero variance")
+
+// WelchTTest runs Welch's two-sample t-test on a and b. The paper applies
+// it to mean Hamming weights of encoded-encrypted vs. clean devices with
+// the null hypothesis "the chips have no hidden messages (identical mean
+// Hamming weight)"; a one-tailed p above the significance threshold means
+// the adversary cannot reject the null (§6, p = 0.071).
+func WelchTTest(a, b []float64) (WelchResult, error) {
+	sa, sb := Summarize(a), Summarize(b)
+	if sa.N < 2 || sb.N < 2 {
+		return WelchResult{}, ErrInsufficientData
+	}
+	va := sa.Variance / float64(sa.N)
+	vb := sb.Variance / float64(sb.N)
+	if va+vb == 0 {
+		return WelchResult{}, ErrInsufficientData
+	}
+	t := (sa.Mean - sb.Mean) / math.Sqrt(va+vb)
+	df := (va + vb) * (va + vb) /
+		(va*va/float64(sa.N-1) + vb*vb/float64(sb.N-1))
+	pOne := 1 - StudentTCDF(math.Abs(t), df)
+	return WelchResult{
+		T:          t,
+		DF:         df,
+		POneTailed: pOne,
+		PTwoTailed: 2 * pOne,
+		MeanA:      sa.Mean,
+		MeanB:      sb.Mean,
+	}, nil
+}

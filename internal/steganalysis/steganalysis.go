@@ -1,0 +1,185 @@
+// Package steganalysis packages the adversary's statistical battery from
+// §6 of the paper into a reusable detector: mean power-on bias, Moran's I
+// spatial autocorrelation, normalized byte entropy, and block
+// Hamming-weight statistics, with clean-device reference bands and a
+// combined verdict. It also implements the §7.1 multiple-snapshot
+// adversary: comparing captures taken at different times for temporal
+// discrepancies.
+//
+// The detector is exactly what a border inspector could run; Invisible
+// Bits' design goal is that encrypted encodings pass it (Table 5) while
+// plain-text encodings fail it.
+package steganalysis
+
+import (
+	"fmt"
+	"strings"
+
+	"invisiblebits/internal/device"
+	"invisiblebits/internal/stats"
+)
+
+// Bands holds the clean-device acceptance intervals. Defaults follow the
+// paper's measured clean population (Table 5, Fig. 11/12).
+type Bands struct {
+	BiasLow, BiasHigh float64 // mean power-on bias
+	MoranIMax         float64 // spatial autocorrelation
+	EntropyMin        float64 // normalized byte entropy (max 8/256)
+	BlockBytes        int     // Hamming-weight block size
+	ChiSquareAlpha    float64 // significance threshold for symbol uniformity
+}
+
+// DefaultBands returns the paper-derived clean-device intervals.
+func DefaultBands() Bands {
+	return Bands{
+		BiasLow: 0.49, BiasHigh: 0.51, MoranIMax: 0.05,
+		EntropyMin: 0.029, BlockBytes: 16, ChiSquareAlpha: 1e-4,
+	}
+}
+
+// Finding is one statistic with its verdict.
+type Finding struct {
+	Name       string
+	Value      float64
+	Band       string
+	Suspicious bool
+}
+
+// Report is the detector's output for one device snapshot.
+type Report struct {
+	DeviceID string
+	Findings []Finding
+	// BlockWeights is the raw Hamming-weight sample for plotting.
+	BlockWeights []int
+}
+
+// Suspicious reports whether any statistic fell outside its band.
+func (r *Report) Suspicious() bool {
+	for _, f := range r.Findings {
+		if f.Suspicious {
+			return true
+		}
+	}
+	return false
+}
+
+// Reasons lists the out-of-band statistics.
+func (r *Report) Reasons() []string {
+	var out []string
+	for _, f := range r.Findings {
+		if f.Suspicious {
+			out = append(out, fmt.Sprintf("%s = %.4f (clean band %s)", f.Name, f.Value, f.Band))
+		}
+	}
+	return out
+}
+
+// String renders a one-line verdict.
+func (r *Report) String() string {
+	if !r.Suspicious() {
+		return "indistinguishable from a clean device"
+	}
+	return "SUSPICIOUS: " + strings.Join(r.Reasons(), "; ")
+}
+
+// AnalyzeSnapshot runs the battery on a single majority-voted power-on
+// capture with the given physical layout.
+func AnalyzeSnapshot(deviceID string, snap []byte, rows, cols int, bands Bands) (*Report, error) {
+	if rows*cols != len(snap)*8 {
+		return nil, fmt.Errorf("steganalysis: layout %dx%d does not match %d bytes", rows, cols, len(snap))
+	}
+	rep := &Report{DeviceID: deviceID}
+
+	bias := stats.MeanBias(snap)
+	rep.Findings = append(rep.Findings, Finding{
+		Name: "mean power-on bias", Value: bias,
+		Band:       fmt.Sprintf("[%.3f, %.3f]", bands.BiasLow, bands.BiasHigh),
+		Suspicious: bias < bands.BiasLow || bias > bands.BiasHigh,
+	})
+
+	bits := make([]byte, rows*cols)
+	for i := range bits {
+		if snap[i/8]&(1<<(i%8)) != 0 {
+			bits[i] = 1
+		}
+	}
+	moran, err := stats.MoranIBits(bits, rows, cols)
+	if err != nil {
+		return nil, err
+	}
+	rep.Findings = append(rep.Findings, Finding{
+		Name: "Moran's I", Value: moran.I,
+		Band:       fmt.Sprintf("< %.3f", bands.MoranIMax),
+		Suspicious: moran.I > bands.MoranIMax,
+	})
+
+	entropy := stats.NormalizedByteEntropy(snap)
+	rep.Findings = append(rep.Findings, Finding{
+		Name: "normalized entropy", Value: entropy,
+		Band:       fmt.Sprintf("> %.4f", bands.EntropyMin),
+		Suspicious: entropy < bands.EntropyMin,
+	})
+
+	rep.BlockWeights = stats.BlockHammingWeights(snap, bands.BlockBytes)
+	mean := stats.Summarize(stats.IntsToFloats(rep.BlockWeights)).Mean
+	mid := float64(bands.BlockBytes * 8 / 2)
+	rep.Findings = append(rep.Findings, Finding{
+		Name: "mean block Hamming weight", Value: mean,
+		Band:       fmt.Sprintf("≈ %.0f", mid),
+		Suspicious: mean < mid*0.97 || mean > mid*1.03,
+	})
+
+	// Pearson chi-square on the byte-symbol distribution: a sharper form
+	// of the entropy check (Fig. 12's analysis as a hypothesis test).
+	chi := stats.ChiSquareUniform(stats.SymbolCounts(snap))
+	rep.Findings = append(rep.Findings, Finding{
+		Name: "symbol χ² p-value", Value: chi.PValue,
+		Band:       fmt.Sprintf("> %.4f", bands.ChiSquareAlpha),
+		Suspicious: chi.PValue < bands.ChiSquareAlpha,
+	})
+	return rep, nil
+}
+
+// AnalyzeDevice captures a majority snapshot from the device and runs the
+// battery.
+func AnalyzeDevice(dev *device.Device, captures int, bands Bands) (*Report, error) {
+	if dev.SRAM.Powered() {
+		dev.PowerOff(true)
+	}
+	snap, err := dev.SRAM.CaptureMajority(captures, 25)
+	if err != nil {
+		return nil, err
+	}
+	return AnalyzeSnapshot(dev.DeviceID(), snap, dev.SRAM.Rows(), dev.SRAM.Cols(), bands)
+}
+
+// TemporalComparison is the §7.1 multiple-snapshot adversary's view of
+// two captures taken at different times.
+type TemporalComparison struct {
+	DriftFraction float64 // fraction of bits that changed
+	WelchP        float64 // one-tailed p for mean block-weight shift
+	Suspicious    bool
+}
+
+// CompareSnapshots contrasts two captures of the same device. The paper
+// concludes "the difference in the snapshots captured at multiple points
+// in time is indistinguishable from measurement errors" (§7.1) — drift
+// above the noise budget or a significant block-weight shift flags the
+// device.
+func CompareSnapshots(a, b []byte, blockBytes int, maxDrift float64) (TemporalComparison, error) {
+	if len(a) != len(b) {
+		return TemporalComparison{}, fmt.Errorf("steganalysis: snapshot sizes differ")
+	}
+	drift := stats.BitErrorRate(a, b)
+	wa := stats.IntsToFloats(stats.BlockHammingWeights(a, blockBytes))
+	wb := stats.IntsToFloats(stats.BlockHammingWeights(b, blockBytes))
+	test, err := stats.WelchTTest(wa, wb)
+	if err != nil {
+		return TemporalComparison{}, err
+	}
+	return TemporalComparison{
+		DriftFraction: drift,
+		WelchP:        test.POneTailed,
+		Suspicious:    drift > maxDrift || test.POneTailed < 0.01,
+	}, nil
+}

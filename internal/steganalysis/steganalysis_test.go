@@ -1,0 +1,168 @@
+package steganalysis
+
+import (
+	"strings"
+	"testing"
+
+	"invisiblebits/internal/device"
+	"invisiblebits/internal/imaging"
+	"invisiblebits/internal/rng"
+	"invisiblebits/internal/stegocrypt"
+)
+
+func newDev(t *testing.T, serial string) *device.Device {
+	t.Helper()
+	m, err := device.ByName("MSP432P401")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := device.New(m, serial, device.WithSRAMLimit(8<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// encode stresses a payload into the device.
+func encode(t *testing.T, d *device.Device, payload []byte) {
+	t.Helper()
+	if !d.SRAM.Powered() {
+		if _, err := d.PowerOn(25); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.SRAM.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Stress(d.Model.Accelerated(), d.Model.EncodingHours); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// tiledImage builds a structured (detectable) payload aligned to rows.
+func tiledImage(d *device.Device) []byte {
+	unit := imaging.Glyph().Pack()
+	rowBytes := d.SRAM.Cols() / 8
+	row := make([]byte, rowBytes)
+	for i := range row {
+		row[i] = unit[i%len(unit)]
+	}
+	out := make([]byte, d.SRAM.Bytes())
+	for i := range out {
+		out[i] = row[i%rowBytes]
+	}
+	return out
+}
+
+func TestCleanDevicePasses(t *testing.T) {
+	d := newDev(t, "clean")
+	rep, err := AnalyzeDevice(d, 5, DefaultBands())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Suspicious() {
+		t.Fatalf("clean device flagged: %v", rep)
+	}
+	if !strings.Contains(rep.String(), "indistinguishable") {
+		t.Errorf("verdict = %q", rep.String())
+	}
+	if len(rep.Findings) != 5 {
+		t.Errorf("findings = %d", len(rep.Findings))
+	}
+	if len(rep.BlockWeights) == 0 {
+		t.Error("no block weights sampled")
+	}
+}
+
+func TestPlaintextEncodingFlagged(t *testing.T) {
+	d := newDev(t, "plain")
+	encode(t, d, tiledImage(d))
+	rep, err := AnalyzeDevice(d, 5, DefaultBands())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Suspicious() {
+		t.Fatalf("structured plain-text encoding passed: %v", rep)
+	}
+	if len(rep.Reasons()) == 0 {
+		t.Error("suspicious report without reasons")
+	}
+}
+
+func TestEncryptedEncodingPasses(t *testing.T) {
+	d := newDev(t, "enc")
+	key := stegocrypt.KeyFromPassphrase("k")
+	ct, err := stegocrypt.StreamXOR(key, d.DeviceID(), tiledImage(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	encode(t, d, ct)
+	rep, err := AnalyzeDevice(d, 5, DefaultBands())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Suspicious() {
+		t.Fatalf("encrypted encoding flagged: %v", rep)
+	}
+}
+
+func TestAnalyzeSnapshotLayoutValidation(t *testing.T) {
+	if _, err := AnalyzeSnapshot("x", make([]byte, 8), 4, 4, DefaultBands()); err == nil {
+		t.Fatal("bad layout accepted")
+	}
+}
+
+func TestCompareSnapshotsCleanDrift(t *testing.T) {
+	d := newDev(t, "temporal")
+	key := stegocrypt.KeyFromPassphrase("k")
+	ct, err := stegocrypt.StreamXOR(key, d.DeviceID(), tiledImage(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	encode(t, d, ct)
+	d.PowerOff(true)
+	m1, err := d.SRAM.CaptureMajority(5, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.PowerOff(true)
+	if err := d.Shelve(24); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := d.SRAM.CaptureMajority(5, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := CompareSnapshots(m1, m2, 16, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Suspicious {
+		t.Fatalf("day-apart snapshots of an encoded device flagged: %+v", cmp)
+	}
+	if cmp.DriftFraction <= 0 {
+		t.Error("expected nonzero measurement drift")
+	}
+}
+
+func TestCompareSnapshotsDetectsWipe(t *testing.T) {
+	// A device that was re-encoded between inspections drifts massively.
+	src := rng.NewSource(1)
+	a := make([]byte, 1024)
+	b := make([]byte, 1024)
+	src.Bytes(a)
+	src.Bytes(b)
+	cmp, err := CompareSnapshots(a, b, 16, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cmp.Suspicious || cmp.DriftFraction < 0.4 {
+		t.Fatalf("independent snapshots not flagged: %+v", cmp)
+	}
+}
+
+func TestCompareSnapshotsSizeMismatch(t *testing.T) {
+	if _, err := CompareSnapshots(make([]byte, 16), make([]byte, 32), 16, 0.05); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}

@@ -1,0 +1,168 @@
+package trng
+
+import (
+	"math"
+	"testing"
+
+	"invisiblebits/internal/device"
+	"invisiblebits/internal/stats"
+)
+
+func newDev(t *testing.T, serial string) *device.Device {
+	t.Helper()
+	m, err := device.ByName("MSP432P401")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := device.New(m, serial, device.WithSRAMLimit(8<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestCalibrateFindsMetastableCells(t *testing.T) {
+	d := newDev(t, "trng-1")
+	src, err := Calibrate(d, 15, 0.2, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := src.NoisyCellCount()
+	total := d.SRAM.Cells()
+	frac := float64(n) / float64(total)
+	// With σ_noise/σ_mismatch ≈ 0.04, roughly 1–4% of cells are flaky.
+	if frac < 0.002 || frac > 0.08 {
+		t.Fatalf("metastable fraction = %v (%d cells)", frac, n)
+	}
+}
+
+func TestCalibrateValidation(t *testing.T) {
+	d := newDev(t, "trng-2")
+	if _, err := Calibrate(d, 2, 0.2, 0.8); err == nil {
+		t.Error("too few captures accepted")
+	}
+	if _, err := Calibrate(d, 15, 0.8, 0.2); err == nil {
+		t.Error("inverted band accepted")
+	}
+	// An impossible band yields no cells.
+	if _, err := Calibrate(d, 15, 0.4999, 0.5001); err == nil {
+		t.Error("empty selection did not error")
+	}
+}
+
+func TestReadProducesBalancedBits(t *testing.T) {
+	d := newDev(t, "trng-3")
+	src, err := Calibrate(d, 15, 0.2, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, 512)
+	n, err := src.Read(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(out) {
+		t.Fatalf("read %d bytes", n)
+	}
+	// Von Neumann output is unbiased by construction; allow 4σ.
+	bias := stats.MeanBias(out)
+	se := 0.5 / math.Sqrt(float64(len(out)*8))
+	if math.Abs(bias-0.5) > 4*se {
+		t.Errorf("extracted bias = %v (se %v)", bias, se)
+	}
+	// And reasonably high byte entropy.
+	if h := stats.ByteEntropy(out); h < 7.0 {
+		t.Errorf("entropy = %v bits/byte", h)
+	}
+}
+
+func TestReadOutputPassesHealthTests(t *testing.T) {
+	d := newDev(t, "trng-4")
+	src, err := Calibrate(d, 15, 0.25, 0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, 256)
+	if _, err := src.Read(out); err != nil {
+		t.Fatal(err)
+	}
+	bits := BitsOf(out)
+	// SP 800-90B-ish cutoffs for a full-entropy source.
+	if err := RepetitionCount(bits, 36); err != nil {
+		t.Errorf("repetition count: %v", err)
+	}
+	if err := AdaptiveProportion(bits, 512, 400); err != nil {
+		t.Errorf("adaptive proportion: %v", err)
+	}
+}
+
+func TestHealthTestsCatchDegenerateStreams(t *testing.T) {
+	stuck := make([]byte, 256) // all zero bits
+	if err := RepetitionCount(stuck, 36); err == nil {
+		t.Error("stuck-at-0 stream passed repetition count")
+	}
+	if err := AdaptiveProportion(stuck, 128, 100); err == nil {
+		t.Error("stuck-at-0 stream passed adaptive proportion")
+	}
+	// Alternating stream: passes repetition, trivially balanced.
+	alt := make([]byte, 256)
+	for i := range alt {
+		alt[i] = byte(i & 1)
+	}
+	if err := RepetitionCount(alt, 36); err != nil {
+		t.Errorf("alternating stream failed repetition count: %v", err)
+	}
+}
+
+func TestHealthTestValidation(t *testing.T) {
+	if err := RepetitionCount(nil, 1); err == nil {
+		t.Error("cutoff 1 accepted")
+	}
+	if err := AdaptiveProportion(nil, 0, 0); err == nil {
+		t.Error("bad window accepted")
+	}
+	if err := AdaptiveProportion(nil, 10, 4); err == nil {
+		t.Error("cutoff below half accepted")
+	}
+}
+
+func TestImproveWithAgingGrowsPopulation(t *testing.T) {
+	// The [25] technique: short self-state aging pushes biased cells
+	// toward the metastable point.
+	d := newDev(t, "trng-5")
+	before, err := Calibrate(d, 15, 0.2, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nBefore := before.NoisyCellCount()
+
+	if err := ImproveWithAging(d, d.Model.Accelerated(), 2); err != nil {
+		t.Fatal(err)
+	}
+	after, err := Calibrate(d, 15, 0.2, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nAfter := after.NoisyCellCount()
+	if nAfter <= nBefore {
+		t.Fatalf("aging did not grow the entropy population: %d -> %d", nBefore, nAfter)
+	}
+	// The improved source still produces healthy output.
+	out := make([]byte, 128)
+	if _, err := after.Read(out); err != nil {
+		t.Fatal(err)
+	}
+	if err := RepetitionCount(BitsOf(out), 36); err != nil {
+		t.Errorf("post-aging stream: %v", err)
+	}
+}
+
+func TestBitsOf(t *testing.T) {
+	bits := BitsOf([]byte{0b00000101})
+	want := []byte{1, 0, 1, 0, 0, 0, 0, 0}
+	for i := range want {
+		if bits[i] != want[i] {
+			t.Fatalf("bit %d = %d", i, bits[i])
+		}
+	}
+}

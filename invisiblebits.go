@@ -1,0 +1,234 @@
+// Package invisiblebits is a Go implementation and full-system simulation
+// of "Invisible Bits: Hiding Secret Messages in SRAM's Analog Domain"
+// (Mahmod & Hicks, ASPLOS 2022): a steganographic channel that encodes
+// data by directing and accelerating NBTI transistor aging in a device's
+// embedded SRAM, and reads it back through the SRAM's power-on state.
+//
+// The public API wraps the internal pipeline:
+//
+//	model, _ := invisiblebits.Model("MSP432P401")
+//	dev, _ := invisiblebits.NewDevice(model, "serial-0001")
+//	carrier := invisiblebits.NewCarrier(dev)
+//
+//	key := invisiblebits.KeyFromPassphrase("pre-shared secret")
+//	rec, _ := carrier.Hide([]byte("message"), invisiblebits.Options{
+//	    Codec: invisiblebits.PaperCodec(),
+//	    Key:   &key,
+//	})
+//	// ... the device travels across a border, is inspected, shelved ...
+//	msg, _ := carrier.Reveal(rec, invisiblebits.Options{
+//	    Codec: invisiblebits.PaperCodec(),
+//	    Key:   &key,
+//	})
+//
+// Everything physical — the SRAM cell array, transistor aging, the
+// thermal chamber, the target CPU executing payload-writer firmware — is
+// simulated; see DESIGN.md for the substitution map and calibration
+// anchors, and EXPERIMENTS.md for the paper-vs-measured results.
+package invisiblebits
+
+import (
+	"io"
+
+	"invisiblebits/internal/analog"
+	"invisiblebits/internal/core"
+	"invisiblebits/internal/device"
+	"invisiblebits/internal/ecc"
+	"invisiblebits/internal/fleet"
+	"invisiblebits/internal/rig"
+	"invisiblebits/internal/stegocrypt"
+)
+
+// Re-exported building blocks. The concrete types live in internal
+// packages; these aliases are the supported public surface.
+type (
+	// DeviceModel is a catalog entry from the paper's Table 1.
+	DeviceModel = device.Model
+	// Device is an instantiated board with simulated silicon.
+	Device = device.Device
+	// Rig is the evaluation platform driving power/temperature (Fig. 5).
+	Rig = rig.Rig
+	// Options configures Hide/Reveal (ECC codec, encryption key, stress
+	// time, capture count).
+	Options = core.Options
+	// Record is the encode receipt holding the pre-shared parameters.
+	Record = core.Record
+	// Codec is an error-correcting code layered on the channel (§5.2).
+	Codec = ecc.Codec
+	// Key is a pre-shared AES-256 key.
+	Key = stegocrypt.Key
+	// Conditions is a voltage/temperature operating point.
+	Conditions = analog.Conditions
+)
+
+// Model looks up a device model by name (e.g. "MSP432P401"). See Models
+// for the full Table 1 catalog.
+func Model(name string) (DeviceModel, error) { return device.ByName(name) }
+
+// Models returns the paper's Table 1 device catalog.
+func Models() []DeviceModel {
+	out := make([]DeviceModel, len(device.Catalog))
+	copy(out, device.Catalog)
+	return out
+}
+
+// NewDevice instantiates a model with a serial number. The serial seeds
+// the simulated process variation, so a given (model, serial) pair always
+// exhibits the same SRAM fingerprint — like a real chip.
+func NewDevice(model DeviceModel, serial string) (*Device, error) {
+	return device.New(model, serial)
+}
+
+// NewDeviceSampled instantiates a device with its SRAM capped at
+// sramBytes — useful for fast experimentation with large parts (the
+// BCM2837 carries 768 KB of cache). Capacity math still uses the model's
+// real size.
+func NewDeviceSampled(model DeviceModel, serial string, sramBytes int) (*Device, error) {
+	return device.New(model, serial, device.WithSRAMLimit(sramBytes))
+}
+
+// Carrier couples a device to an evaluation rig and exposes the
+// steganographic operations.
+type Carrier struct {
+	rig *rig.Rig
+}
+
+// NewCarrier mounts a device on a fresh rig at nominal conditions.
+func NewCarrier(dev *Device) *Carrier { return &Carrier{rig: rig.New(dev)} }
+
+// Rig exposes the underlying evaluation platform for advanced workflows
+// (custom stress schedules, event logs, simulated clock).
+func (c *Carrier) Rig() *Rig { return c.rig }
+
+// Device returns the mounted device.
+func (c *Carrier) Device() *Device { return c.rig.Device() }
+
+// Hide encodes message into the device's analog domain (Algorithm 1):
+// optional ECC and AES-CTR layers, payload-writer firmware, accelerated
+// aging, camouflage firmware. The returned Record carries the pre-shared
+// decode parameters (never the key).
+func (c *Carrier) Hide(message []byte, opts Options) (*Record, error) {
+	return core.Encode(c.rig, message, opts)
+}
+
+// Reveal extracts the message (Algorithm 2): retainer firmware, N
+// power-on captures, majority vote, inversion, decryption, ECC decode.
+func (c *Carrier) Reveal(rec *Record, opts Options) ([]byte, error) {
+	return core.Decode(c.rig, rec, opts)
+}
+
+// Shelve stores the unpowered device for the given number of simulated
+// hours; stress-induced changes partially recover (§5.1.3).
+func (c *Carrier) Shelve(hours float64) error { return c.rig.ShelveFor(hours) }
+
+// ShelveAt stores the device at a specific temperature. Hot storage
+// accelerates natural recovery — an adversary can "bake" a suspect
+// device to degrade a potential message, but the permanent component of
+// the encoding bounds the damage (see the sram baking-attack test).
+func (c *Carrier) ShelveAt(hours, tempC float64) error {
+	if c.rig.Device().SRAM.Powered() {
+		c.rig.PowerOff()
+	}
+	return c.rig.Device().ShelveAt(hours, tempC)
+}
+
+// KeyFromPassphrase derives a pre-shared key from a passphrase.
+func KeyFromPassphrase(pass string) Key { return stegocrypt.KeyFromPassphrase(pass) }
+
+// --- codecs -------------------------------------------------------------------
+
+// Repetition returns an n-copy repetition codec (odd n), the paper's
+// high-error-regime workhorse.
+func Repetition(n int) (Codec, error) { return ecc.NewRepetition(n) }
+
+// Hamming74 returns the Hamming(7,4) codec for the low-error regime.
+func Hamming74() Codec { return ecc.Hamming74{} }
+
+// Compose chains two codecs; inner is nearest the channel.
+func Compose(outer, inner Codec) Codec { return ecc.Composite{Outer: outer, Inner: inner} }
+
+// PaperCodec returns the end-to-end system's code from Fig. 13:
+// Hamming(7,4) followed by 7-copy repetition.
+func PaperCodec() Codec {
+	rep, err := ecc.NewRepetition(7)
+	if err != nil {
+		panic(err) // 7 is statically odd; cannot fail
+	}
+	return ecc.Composite{Outer: ecc.Hamming74{}, Inner: rep}
+}
+
+// MaxMessageBytes returns the largest message that fits on sramBytes of
+// SRAM under codec (nil = no ECC) — the §5.3 capacity measure.
+func MaxMessageBytes(sramBytes int, codec Codec) int {
+	return core.MaxMessageBytes(sramBytes, codec)
+}
+
+// Hamming1511 returns the higher-rate (15,11) Hamming codec.
+func Hamming1511() Codec { return ecc.Hamming1511{} }
+
+// Secded84 returns the extended Hamming(8,4) SECDED codec (corrects
+// single errors, detects doubles without miscorrecting).
+func Secded84() Codec { return ecc.Secded84{} }
+
+// Plan is one feasible ECC configuration for a measured channel.
+type Plan = ecc.Plan
+
+// RecommendECC enumerates ECC configurations meeting targetError on a
+// channel with the given single-copy error, sorted by capacity — §5.2's
+// code-selection guidance as an algorithm.
+func RecommendECC(channelError, targetError float64, sramBytes int) ([]Plan, error) {
+	return ecc.Recommend(channelError, targetError, sramBytes)
+}
+
+// BestECC returns the highest-capacity plan meeting the target.
+func BestECC(channelError, targetError float64, sramBytes int) (Plan, error) {
+	return ecc.Best(channelError, targetError, sramBytes)
+}
+
+// --- fleet operations ----------------------------------------------------------
+
+// FleetCharacterization is one device's measured channel quality.
+type FleetCharacterization = fleet.Characterization
+
+// StripedMessage describes a message striped across several carriers.
+type StripedMessage = fleet.StripeResult
+
+func rigsOf(carriers []*Carrier) []*rig.Rig {
+	rigs := make([]*rig.Rig, len(carriers))
+	for i, c := range carriers {
+		rigs[i] = c.rig
+	}
+	return rigs
+}
+
+// CharacterizeFleet measures every carrier's single-copy channel error in
+// parallel (§5.3: "one can encode many devices and select the one with
+// the least error"). The devices end up holding a calibration pattern.
+func CharacterizeFleet(carriers []*Carrier, captures int) ([]FleetCharacterization, error) {
+	return fleet.Characterize(rigsOf(carriers), captures)
+}
+
+// SelectBestDevice picks the least-error characterization.
+func SelectBestDevice(chars []FleetCharacterization) (FleetCharacterization, error) {
+	return fleet.SelectBest(chars)
+}
+
+// StripeMessage splits a message across several carriers, encoding the
+// shards in parallel. Each shard is independently encrypted under its
+// device's nonce.
+func StripeMessage(carriers []*Carrier, message []byte, opts Options) (*StripedMessage, error) {
+	return fleet.Stripe(rigsOf(carriers), message, opts)
+}
+
+// GatherMessage decodes and reassembles a striped message.
+func GatherMessage(carriers []*Carrier, striped *StripedMessage, opts Options) ([]byte, error) {
+	return fleet.Gather(rigsOf(carriers), striped, opts)
+}
+
+// SaveDevice serializes a device (silicon identity + aging state) so it
+// can be handed to another party — the simulation's equivalent of mailing
+// the physical chip or carrying it across a border.
+func SaveDevice(dev *Device, w io.Writer) error { return dev.Save(w) }
+
+// LoadDevice reconstructs a device from a SaveDevice image.
+func LoadDevice(r io.Reader) (*Device, error) { return device.Load(r) }

@@ -1,0 +1,97 @@
+package invisiblebits
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	model, err := Model("MSP432P401")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := NewDeviceSampled(model, "api-test", 8<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	carrier := NewCarrier(dev)
+
+	key := KeyFromPassphrase("pre-shared secret")
+	opts := Options{Codec: PaperCodec(), Key: &key}
+	msg := []byte("public API round trip")
+
+	rec, err := carrier.Hide(msg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := carrier.Shelve(14 * 24); err != nil {
+		t.Fatal(err)
+	}
+	got, err := carrier.Reveal(rec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("revealed %q, want %q", got, msg)
+	}
+}
+
+func TestModelsCatalog(t *testing.T) {
+	ms := Models()
+	if len(ms) != 12 {
+		t.Fatalf("catalog size = %d", len(ms))
+	}
+	// The returned slice must be a copy.
+	ms[0].Name = "tampered"
+	if Models()[0].Name == "tampered" {
+		t.Fatal("Models exposes internal catalog")
+	}
+	if _, err := Model("nope"); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}
+
+func TestCodecConstructors(t *testing.T) {
+	if _, err := Repetition(4); err == nil {
+		t.Error("even repetition accepted")
+	}
+	rep, err := Repetition(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := Compose(Hamming74(), rep)
+	if comp.Name() != "hamming(7,4)+repetition(5)" {
+		t.Errorf("name = %q", comp.Name())
+	}
+	if PaperCodec().Name() != "hamming(7,4)+repetition(7)" {
+		t.Errorf("paper codec = %q", PaperCodec().Name())
+	}
+}
+
+func TestMaxMessageBytesPublic(t *testing.T) {
+	rep5, err := Repetition(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := MaxMessageBytes(64<<10, rep5); got != 13107 {
+		t.Errorf("capacity = %d, want 13107 (12.8KB, §5.3)", got)
+	}
+}
+
+func TestCarrierAccessors(t *testing.T) {
+	model, _ := Model("ATSAML11E16A")
+	dev, err := NewDevice(model, "acc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCarrier(dev)
+	if c.Device() != dev {
+		t.Error("Device accessor broken")
+	}
+	if c.Rig() == nil || c.Rig().Device() != dev {
+		t.Error("Rig accessor broken")
+	}
+	if dev.SRAM.Bytes() != model.SRAMBytes {
+		t.Errorf("full-size device has %d bytes", dev.SRAM.Bytes())
+	}
+}
