@@ -8,6 +8,7 @@
 //	ibexperiments -run all              run everything (the default)
 //	ibexperiments -run all -summary     one verdict line per experiment
 //	ibexperiments -full                 use full-size SRAM arrays (slower)
+//	ibexperiments -faultdrill           rehearse a fleet campaign under faults
 package main
 
 import (
@@ -25,8 +26,16 @@ func main() {
 		summary = flag.Bool("summary", false, "print one-line summaries only")
 		full    = flag.Bool("full", false, "full-size SRAM arrays (paper scale; slower)")
 		sram    = flag.Int("sram-limit", 0, "override SRAM sample size in bytes")
+		drill   = flag.Bool("faultdrill", false, "run the fleet fault drill and exit")
 	)
 	flag.Parse()
+
+	if *drill {
+		if err := runFaultDrill(*sram); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *list {
 		for _, info := range experiments.List() {

@@ -1,0 +1,102 @@
+package invisiblebits
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+)
+
+func newTestCarrier(t *testing.T, serial string, p FaultProfile) *Carrier {
+	t.Helper()
+	model, err := Model("MSP432P401")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := NewDeviceSampled(model, serial, 4<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewFaultyCarrier(dev, p)
+}
+
+func TestFaultyCarrierRoundTrip(t *testing.T) {
+	// A zero profile must behave exactly like a clean carrier; a flaky
+	// link must be absorbed by the retry layer.
+	for _, tc := range []struct {
+		name string
+		p    FaultProfile
+	}{
+		{"zero-profile", FaultProfile{}},
+		{"flaky-link", FaultProfile{Seed: 11, LinkDropRate: 0.25}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			c := newTestCarrier(t, "api-"+tc.name, tc.p)
+			key := KeyFromPassphrase("fault api")
+			opts := Options{Codec: PaperCodec(), Key: &key}
+			msg := []byte("public fault surface")
+			rec, err := c.Hide(msg, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := c.Reveal(rec, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, msg) {
+				t.Fatalf("got %q", got)
+			}
+		})
+	}
+}
+
+func TestFaultClassifiersPublic(t *testing.T) {
+	c := newTestCarrier(t, "api-doomed", FaultProfile{FailAtHours: 2})
+	_, err := c.Hide([]byte("never lands"), Options{})
+	if err == nil {
+		t.Fatal("doomed carrier encoded successfully")
+	}
+	if !IsPermanentFault(err) || IsTransientFault(err) {
+		t.Fatalf("death misclassified: %v", err)
+	}
+}
+
+func TestResilientStripePublicAPI(t *testing.T) {
+	// The README scenario: one primary dies mid-soak, its shard re-routes
+	// to a spare, and the gathered message survives.
+	profiles := []FaultProfile{{}, {FailAtHours: 2}, {}}
+	carriers := make([]*Carrier, len(profiles))
+	for i, p := range profiles {
+		carriers[i] = newTestCarrier(t, fmt.Sprintf("api-stripe-%d", i), p)
+	}
+	spare := newTestCarrier(t, "api-stripe-spare", FaultProfile{})
+
+	key := KeyFromPassphrase("resilient api")
+	opts := Options{Codec: PaperCodec(), Key: &key}
+	per := MaxMessageBytes(4<<10, opts.Codec)
+	msg := bytes.Repeat([]byte("invisible"), (per*2+20)/9)
+
+	striped, err := StripeMessageWith(context.Background(), carriers, msg, opts,
+		StripeResilience{Spares: []*Carrier{spare}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if carriers[1].Device().Alive() {
+		t.Error("doomed primary survived its soak")
+	}
+
+	all := append(append([]*Carrier(nil), carriers...), spare)
+	rep, err := GatherReportFor(context.Background(), all, striped, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Complete {
+		t.Fatalf("gather incomplete: %v", rep.Err())
+	}
+	if !bytes.Equal(rep.Message, msg) {
+		t.Fatal("resilient stripe lost data")
+	}
+	if got, err := GatherMessage(all, striped, opts); err != nil || !bytes.Equal(got, msg) {
+		t.Fatalf("legacy gather over survivors: %v", err)
+	}
+}

@@ -10,11 +10,13 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"invisiblebits/internal/cpu"
 	"invisiblebits/internal/ecc"
+	"invisiblebits/internal/faults"
 	"invisiblebits/internal/progen"
 	"invisiblebits/internal/rig"
 	"invisiblebits/internal/stegocrypt"
@@ -23,6 +25,18 @@ import (
 // DefaultCaptures is the paper's power-on sample count: "we find that
 // taking five captures is sufficient to filter noise" (§4.3).
 const DefaultCaptures = 5
+
+// DefaultMaxRetries bounds how many times a transient fault (a dropped
+// debugger link, a lost capture burst) is retried before the operation
+// is abandoned. Only errors classified faults.IsTransient are retried,
+// so the budget is never consumed on a fault-free rig.
+const DefaultMaxRetries = 3
+
+// DefaultRetryBackoffHours is the simulated time charged before the
+// first retry; it doubles per attempt. In the lab, re-seating a probe
+// and re-running a burst costs real bench time, and the simulation
+// charges it to the same clock that prices encoding-hours.
+const DefaultRetryBackoffHours = 0.25
 
 // defaultMaxSteps bounds payload-writer execution; a full 320 KB writer
 // needs ~600k instructions, so this is generous.
@@ -49,6 +63,12 @@ type Options struct {
 	// paper's §4.3 scheme; requires the codec to implement
 	// ecc.SoftDecoder).
 	Soft bool
+	// MaxRetries bounds retries of transiently-faulting link operations:
+	// 0 means DefaultMaxRetries, negative disables retrying entirely.
+	MaxRetries int
+	// RetryBackoffHours is the simulated-clock backoff before the first
+	// retry (doubling per attempt); 0 means DefaultRetryBackoffHours.
+	RetryBackoffHours float64
 }
 
 func (o Options) codec() ecc.Codec {
@@ -63,6 +83,29 @@ func (o Options) captures() int {
 		return DefaultCaptures
 	}
 	return o.Captures
+}
+
+func (o Options) maxRetries() int {
+	if o.MaxRetries < 0 {
+		return 0
+	}
+	if o.MaxRetries == 0 {
+		return DefaultMaxRetries
+	}
+	return o.MaxRetries
+}
+
+func (o Options) backoffHours() float64 {
+	if o.RetryBackoffHours <= 0 {
+		return DefaultRetryBackoffHours
+	}
+	return o.RetryBackoffHours
+}
+
+// retry wraps one link operation in the bounded-retry policy, charging
+// exponential backoff to the rig's simulated clock.
+func (o Options) retry(ctx context.Context, r *rig.Rig, op func() error) error {
+	return faults.Retry(ctx, r, o.maxRetries(), o.backoffHours(), op)
 }
 
 // Record is the encode-side receipt. It carries exactly what the paper
@@ -134,6 +177,14 @@ func BuildPayload(message []byte, deviceID string, opts Options) ([]byte, error)
 // (Algorithm 1). On return the device is powered off at nominal
 // conditions with camouflage firmware loaded (unless SkipCamouflage).
 func Encode(r *rig.Rig, message []byte, opts Options) (*Record, error) {
+	return EncodeContext(context.Background(), r, message, opts)
+}
+
+// EncodeContext is Encode with cancellation and failure tolerance:
+// transient link faults (flash and capture bursts) are retried up to
+// Options.MaxRetries with backoff charged to the rig's simulated clock,
+// and ctx cancellation propagates into the hours-long stress soak.
+func EncodeContext(ctx context.Context, r *rig.Rig, message []byte, opts Options) (*Record, error) {
 	dev := r.Device()
 	payload, err := BuildPayload(message, dev.DeviceID(), opts)
 	if err != nil {
@@ -149,7 +200,7 @@ func Encode(r *rig.Rig, message []byte, opts Options) (*Record, error) {
 	if err := r.SetVoltage(dev.Model.VNomV); err != nil {
 		return nil, err
 	}
-	if err := writePayloadToSRAM(r, payload); err != nil {
+	if err := writePayloadToSRAM(ctx, r, payload, opts); err != nil {
 		return nil, err
 	}
 
@@ -167,7 +218,7 @@ func Encode(r *rig.Rig, message []byte, opts Options) (*Record, error) {
 	if hours <= 0 {
 		hours = dev.Model.EncodingHours
 	}
-	if err := r.StressFor(hours); err != nil {
+	if err := r.StressForContext(ctx, hours); err != nil {
 		return nil, err
 	}
 
@@ -182,7 +233,7 @@ func Encode(r *rig.Rig, message []byte, opts Options) (*Record, error) {
 		if err != nil {
 			return nil, fmt.Errorf("core: camouflage: %w", err)
 		}
-		if err := r.LoadProgram(camo); err != nil {
+		if err := opts.retry(ctx, r, func() error { return r.LoadProgram(camo) }); err != nil {
 			return nil, err
 		}
 	}
@@ -202,13 +253,15 @@ func Encode(r *rig.Rig, message []byte, opts Options) (*Record, error) {
 // payload-writer firmware on their own CPU; cache-SRAM devices (no
 // on-chip flash) are written through the debug port, mirroring the
 // paper's co-processor access path for the BCM2837 (§5).
-func writePayloadToSRAM(r *rig.Rig, payload []byte) error {
+func writePayloadToSRAM(ctx context.Context, r *rig.Rig, payload []byte, opts Options) error {
 	dev := r.Device()
 	if dev.Flash == nil {
-		if _, err := r.PowerOn(); err != nil {
-			return err
-		}
-		return dev.SRAM.WriteAt(0, payload)
+		return opts.retry(ctx, r, func() error {
+			if _, err := r.PowerOn(); err != nil {
+				return err
+			}
+			return dev.SRAM.WriteAt(0, payload)
+		})
 	}
 	src, err := progen.WriterProgram(payload)
 	if err != nil {
@@ -218,26 +271,38 @@ func writePayloadToSRAM(r *rig.Rig, payload []byte) error {
 	if err != nil {
 		return fmt.Errorf("core: assemble writer: %w", err)
 	}
-	if err := r.LoadProgram(prog); err != nil {
-		return err
-	}
-	if _, err := r.PowerOn(); err != nil {
-		return err
-	}
-	reason, err := r.RunFirmware(defaultMaxSteps)
-	if err != nil {
-		return err
-	}
-	if reason != cpu.StopBusyWait {
-		return fmt.Errorf("core: payload writer stopped with %v, want busy-wait", reason)
-	}
-	return nil
+	// The flash + run sequence retries as a unit: a link drop mid-flash
+	// leaves the image suspect, so the whole write is re-driven.
+	return opts.retry(ctx, r, func() error {
+		if err := r.LoadProgram(prog); err != nil {
+			return err
+		}
+		if _, err := r.PowerOn(); err != nil {
+			return err
+		}
+		reason, err := r.RunFirmware(defaultMaxSteps)
+		if err != nil {
+			return err
+		}
+		if reason != cpu.StopBusyWait {
+			return fmt.Errorf("core: payload writer stopped with %v, want busy-wait", reason)
+		}
+		return nil
+	})
 }
 
 // Decode recovers the hidden message from the rig's device (Algorithm 2).
 // The receiving party supplies the pre-shared parameters: the record's
 // codec/shape information and, if the message was encrypted, the key.
 func Decode(r *rig.Rig, rec *Record, opts Options) ([]byte, error) {
+	return DecodeContext(context.Background(), r, rec, opts)
+}
+
+// DecodeContext is Decode with cancellation and failure tolerance:
+// transient link faults during the retainer flash and the capture burst
+// are retried per Options.MaxRetries, with backoff charged to the rig's
+// simulated clock.
+func DecodeContext(ctx context.Context, r *rig.Rig, rec *Record, opts Options) ([]byte, error) {
 	if rec == nil {
 		return nil, errors.New("core: nil record")
 	}
@@ -247,7 +312,7 @@ func Decode(r *rig.Rig, rec *Record, opts Options) ([]byte, error) {
 		if err != nil {
 			return nil, fmt.Errorf("core: retainer: %w", err)
 		}
-		if err := r.LoadProgram(ret); err != nil {
+		if err := opts.retry(ctx, r, func() error { return r.LoadProgram(ret) }); err != nil {
 			return nil, err
 		}
 	}
@@ -265,10 +330,15 @@ func Decode(r *rig.Rig, rec *Record, opts Options) ([]byte, error) {
 		return nil, fmt.Errorf("core: codec %q does not match record's %q", codec.Name(), rec.CodecName)
 	}
 	if opts.Soft {
-		return decodeSoft(r, rec, opts, codec, captures)
+		return decodeSoft(ctx, r, rec, opts, codec, captures)
 	}
 
-	maj, err := r.SampleMajority(captures)
+	var maj []byte
+	err := opts.retry(ctx, r, func() error {
+		var serr error
+		maj, serr = r.SampleMajorityContext(ctx, captures)
+		return serr
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -303,12 +373,17 @@ func Decode(r *rig.Rig, rec *Record, opts Options) ([]byte, error) {
 // per-payload-bit confidences, decryption flips confidences where the
 // keystream is 1 (XOR in probability space), and the codec's SoftDecoder
 // combines them.
-func decodeSoft(r *rig.Rig, rec *Record, opts Options, codec ecc.Codec, captures int) ([]byte, error) {
+func decodeSoft(ctx context.Context, r *rig.Rig, rec *Record, opts Options, codec ecc.Codec, captures int) ([]byte, error) {
 	soft, ok := codec.(ecc.SoftDecoder)
 	if !ok {
 		return nil, fmt.Errorf("core: codec %s does not support soft decoding", codec.Name())
 	}
-	votes, err := r.SampleVotes(captures)
+	var votes []uint16
+	err := opts.retry(ctx, r, func() error {
+		var serr error
+		votes, serr = r.SampleVotesContext(ctx, captures)
+		return serr
+	})
 	if err != nil {
 		return nil, err
 	}

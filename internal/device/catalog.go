@@ -66,6 +66,24 @@ func (m Model) Accelerated() analog.Conditions {
 	return analog.Conditions{VoltageV: m.VAccV, TempC: m.TAccC}
 }
 
+// OverdriveSafetyFactor is the headroom above the characterized
+// accelerated voltage that the rig will still apply. §7.2 cautions that
+// elevating a core rail beyond the stress point the lot was
+// characterized at risks destroying the device outright; the rig
+// enforces this ceiling rather than trusting every experiment script.
+const OverdriveSafetyFactor = 1.25
+
+// SafeVoltageCeiling returns the absolute maximum supply voltage the
+// rig may apply to this device: the larger of the nominal and Table 4
+// accelerated voltages, with OverdriveSafetyFactor of headroom.
+func (m Model) SafeVoltageCeiling() float64 {
+	v := m.VNomV
+	if m.VAccV > v {
+		v = m.VAccV
+	}
+	return v * OverdriveSafetyFactor
+}
+
 // AgingParams derives the device's calibrated NBTI parameter set: the
 // prefactor is anchored so that EncodingHours of stress at the
 // accelerated condition produce exactly the threshold shift that yields

@@ -26,7 +26,8 @@ type Device struct {
 	SRAM  *sram.Array
 	Flash *flash.Array
 
-	cpu *cpu.CPU
+	cpu   *cpu.CPU
+	fatal error // non-nil once the device has died permanently
 }
 
 // Option customizes device construction.
@@ -105,6 +106,35 @@ func geometry(bits int) (rows, cols int) {
 // nonce (§4.1: "the nonce is the manufacturer's device ID").
 func (d *Device) DeviceID() string { return d.Model.Name + ":" + d.Serial }
 
+// --- health -------------------------------------------------------------------
+
+// Kill marks the device permanently dead (latch-up, bond-wire failure,
+// overdrive accident). Every active operation afterwards fails with an
+// error wrapping cause, so fault classification (faults.IsPermanent)
+// survives the device layer. The first cause wins; later Kill calls are
+// no-ops.
+func (d *Device) Kill(cause error) {
+	if d.fatal == nil {
+		if cause == nil {
+			cause = fmt.Errorf("killed")
+		}
+		d.fatal = cause
+		d.SRAM.PowerOff(true)
+		d.cpu = nil
+	}
+}
+
+// Alive reports whether the device still responds.
+func (d *Device) Alive() bool { return d.fatal == nil }
+
+// guard returns the death error for active operations on a dead device.
+func (d *Device) guard() error {
+	if d.fatal != nil {
+		return fmt.Errorf("device %s: %w", d.Model.Name, d.fatal)
+	}
+	return nil
+}
+
 // --- debugger interface ------------------------------------------------------
 
 // LoadProgram writes an assembled image into Flash via the debug port,
@@ -112,6 +142,9 @@ func (d *Device) DeviceID() string { return d.Model.Name + ":" + d.Serial }
 // "assembles this program and loads it onto the target device using the
 // debugger" (§4.2).
 func (d *Device) LoadProgram(prog *asm.Program) error {
+	if err := d.guard(); err != nil {
+		return err
+	}
 	if d.Flash == nil {
 		return fmt.Errorf("device %s: no on-chip flash to program", d.Model.Name)
 	}
@@ -142,6 +175,9 @@ func (d *Device) ReadSRAM() ([]byte, error) { return d.SRAM.Read() }
 // PowerOn ramps the supply at ambient tempC, resolving the SRAM power-on
 // state, and resets the CPU to the Flash entry point.
 func (d *Device) PowerOn(tempC float64) ([]byte, error) {
+	if err := d.guard(); err != nil {
+		return nil, err
+	}
 	snap, err := d.SRAM.PowerOn(tempC)
 	if err != nil {
 		return nil, err
@@ -165,6 +201,9 @@ func (d *Device) PowerCycle(tempC float64) ([]byte, error) {
 
 // Run executes the loaded firmware for at most maxSteps instructions.
 func (d *Device) Run(maxSteps uint64) (cpu.StopReason, error) {
+	if err := d.guard(); err != nil {
+		return cpu.StopFault, err
+	}
 	if d.cpu == nil {
 		return cpu.StopFault, fmt.Errorf("device %s: not powered", d.Model.Name)
 	}
@@ -180,6 +219,9 @@ func (d *Device) CPU() *cpu.CPU { return d.cpu }
 // Stress ages the device at conditions c for hours with its current SRAM
 // contents — the thermal-chamber step (Algorithm 1, lines 5–6).
 func (d *Device) Stress(c analog.Conditions, hours float64) error {
+	if err := d.guard(); err != nil {
+		return err
+	}
 	if d.Model.RequiresRegulatorBypass && c.VoltageV > d.Model.VNomV*1.05 {
 		// §7.2: complex devices regulate the core rail; elevated stress
 		// requires bypassing the regulator through its inductor pin. The
@@ -193,6 +235,9 @@ func (d *Device) Stress(c analog.Conditions, hours float64) error {
 // StressBypassed is the §7.2 path: the rig has attached to the regulator
 // inductor pin and drives the core rail directly.
 func (d *Device) StressBypassed(c analog.Conditions, hours float64) error {
+	if err := d.guard(); err != nil {
+		return err
+	}
 	return d.SRAM.Stress(c, hours)
 }
 

@@ -1,0 +1,108 @@
+// Package faults is the deterministic fault-injection substrate for the
+// Invisible Bits evaluation pipeline. The paper's evaluation is a
+// physical lab campaign: flaky debugger links, supply brownouts during
+// multi-hour soaks, thermal-chamber excursions, weak or stuck SRAM
+// cells, and outright device death are the *normal* operating regime,
+// not exceptional events. §5.3's "encode many devices and select the
+// one with the least error" only pays off if one bad device cannot sink
+// a whole fleet.
+//
+// The package provides:
+//
+//   - A typed error taxonomy. Every injected failure is classified as
+//     transient (worth retrying: the link re-enumerates, the flash
+//     re-programs) or permanent (the device is gone). Classification
+//     survives wrapping, so callers test with errors.Is via IsTransient
+//     and IsPermanent.
+//
+//   - The Injector interface: hook points the rig consults before each
+//     operation, plus condition perturbation during stress soaks and
+//     cell-level corruption of power-on captures.
+//
+//   - A seeded reference implementation. Every decision is a pure
+//     function of (profile seed, device serial, operation, simulated
+//     clock, per-site sequence number), so a fixed seed reproduces the
+//     same failure campaign run after run — flaky hardware, reproducible
+//     science.
+//
+//   - Retry: bounded retry with exponential backoff charged to the
+//     rig's *simulated* clock, so recovery attempts cost encoding-hours
+//     exactly as they would in the lab.
+//
+// The fault layer is strictly opt-in: a rig without an injector behaves
+// bit-identically to one that has never heard of this package.
+package faults
+
+import (
+	"context"
+	"errors"
+)
+
+// Severity sentinels. Injected errors wrap exactly one of these; use
+// IsTransient / IsPermanent (or errors.Is directly) to classify.
+var (
+	// ErrTransient marks failures that a bounded retry can clear.
+	ErrTransient = errors.New("faults: transient failure")
+	// ErrPermanent marks failures that no retry will clear.
+	ErrPermanent = errors.New("faults: permanent failure")
+)
+
+// classified is an error with a severity class attached. errors.Is sees
+// both the sentinel's own identity (pointer equality) and its class.
+type classified struct {
+	msg   string
+	class error
+}
+
+func (e *classified) Error() string { return e.msg }
+
+// Is reports class membership, making errors.Is(err, ErrTransient) work
+// for any error that wraps one of the concrete fault sentinels.
+func (e *classified) Is(target error) bool { return target == e.class }
+
+// Concrete fault classes.
+var (
+	// ErrLinkDropped is a transient debugger-link failure: the probe
+	// de-enumerated mid-flash or a capture burst was lost. Re-seating
+	// (retrying) the operation normally clears it.
+	ErrLinkDropped error = &classified{"faults: debugger link dropped", ErrTransient}
+	// ErrDeviceDead is permanent device death — a latch-up, a bond-wire
+	// failure, a §7.2 overdrive accident. Every subsequent operation on
+	// the device fails with this error.
+	ErrDeviceDead error = &classified{"faults: device died", ErrPermanent}
+)
+
+// IsTransient reports whether err (or anything it wraps) is a transient
+// fault worth retrying.
+func IsTransient(err error) bool { return errors.Is(err, ErrTransient) }
+
+// IsPermanent reports whether err (or anything it wraps) is a permanent
+// fault; retrying is pointless and the device should be written off.
+func IsPermanent(err error) bool { return errors.Is(err, ErrPermanent) }
+
+// Clock charges simulated time; *rig.Rig satisfies it.
+type Clock interface {
+	AdvanceClock(hours float64)
+}
+
+// Retry runs op up to 1+maxRetries times, retrying only transient
+// faults. Each retry first charges backoff to the simulated clock,
+// doubling per attempt — in the lab, re-seating a probe and re-running a
+// capture burst costs encoding-hours, and the simulation accounts for
+// them the same way. Permanent faults and ordinary errors return
+// immediately; ctx cancellation is checked before every attempt.
+func Retry(ctx context.Context, clock Clock, maxRetries int, backoffHours float64, op func() error) error {
+	var err error
+	for attempt := 0; ; attempt++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		err = op()
+		if err == nil || !IsTransient(err) || attempt >= maxRetries {
+			return err
+		}
+		if clock != nil && backoffHours > 0 {
+			clock.AdvanceClock(backoffHours * float64(uint64(1)<<uint(attempt)))
+		}
+	}
+}

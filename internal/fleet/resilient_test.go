@@ -1,0 +1,299 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"invisiblebits/internal/core"
+	"invisiblebits/internal/device"
+	"invisiblebits/internal/ecc"
+	"invisiblebits/internal/faults"
+	"invisiblebits/internal/rig"
+	"invisiblebits/internal/rng"
+	"invisiblebits/internal/stegocrypt"
+)
+
+// newRigWith builds one MSP432P401 rig with the given serial, SRAM limit
+// and fault profile (zero profile → clean rig, still mounted so the
+// injector plumbing is exercised).
+func newRigWith(t *testing.T, serial string, sramBytes int, p faults.Profile) *rig.Rig {
+	t.Helper()
+	m, err := device.ByName("MSP432P401")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := device.New(m, serial, device.WithSRAMLimit(sramBytes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rig.New(d, rig.WithInjector(faults.New(p, d.Serial)))
+}
+
+func paperishOpts(t *testing.T) core.Options {
+	t.Helper()
+	rep, err := ecc.NewRepetition(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := stegocrypt.KeyFromPassphrase("resilient-fleet")
+	return core.Options{Codec: ecc.Composite{Outer: ecc.Hamming74{}, Inner: rep}, Key: &key}
+}
+
+// TestStripeSurvivesDeathAndFlakyLink is the headline failure-tolerance
+// scenario: a 4-device stripe where one primary dies mid-soak (its shard
+// re-routes to a standby spare) and another fights a flaky debugger link
+// the whole way, and the full message still decodes.
+func TestStripeSurvivesDeathAndFlakyLink(t *testing.T) {
+	const sram = 4 << 10
+	rigs := []*rig.Rig{
+		newRigWith(t, "primary-0", sram, faults.Profile{}),
+		newRigWith(t, "primary-1", sram, faults.Profile{FailAtHours: 2}),
+		newRigWith(t, "primary-2", sram, faults.Profile{Seed: 11, LinkDropRate: 0.25}),
+		newRigWith(t, "primary-3", sram, faults.Profile{}),
+	}
+	spare := newRigWith(t, "spare-0", sram, faults.Profile{})
+	opts := paperishOpts(t)
+
+	perDevice := core.MaxMessageBytes(sram, opts.Codec)
+	msg := make([]byte, perDevice*3+50)
+	rng.NewSource(99).Bytes(msg)
+
+	striped, err := StripeWithOptions(context.Background(), rigs, msg, opts,
+		StripeOptions{Spares: []*rig.Rig{spare}})
+	if err != nil {
+		t.Fatalf("stripe with spare: %v", err)
+	}
+	if len(striped.Lost) != 0 {
+		t.Fatalf("lost shards %v despite spare", striped.Lost)
+	}
+	if rigs[1].Device().Alive() {
+		t.Error("doomed primary still alive after its soak")
+	}
+	rerouted := false
+	for _, s := range striped.Shards {
+		if s.Index == 1 {
+			if s.Record.DeviceID != spare.Device().DeviceID() {
+				t.Fatalf("shard 1 carried by %q, want spare %q",
+					s.Record.DeviceID, spare.Device().DeviceID())
+			}
+			rerouted = true
+		}
+	}
+	if !rerouted {
+		t.Fatal("shard 1 missing from stripe result")
+	}
+
+	got, err := Gather(append(rigs, spare), striped, opts)
+	if err != nil {
+		t.Fatalf("gather: %v", err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("striped message did not survive the casualty")
+	}
+}
+
+// TestStripeDeathWithoutSpareFails proves the spare is what saves the
+// stripe above: the same casualty with no standby pool is fatal and the
+// joined error carries the permanent classification.
+func TestStripeDeathWithoutSpareFails(t *testing.T) {
+	const sram = 4 << 10
+	rigs := []*rig.Rig{
+		newRigWith(t, "ns-0", sram, faults.Profile{}),
+		newRigWith(t, "ns-1", sram, faults.Profile{FailAtHours: 2}),
+	}
+	opts := paperishOpts(t)
+	msg := make([]byte, core.MaxMessageBytes(sram, opts.Codec)+10)
+	rng.NewSource(7).Bytes(msg)
+
+	_, err := Stripe(rigs, msg, opts)
+	if err == nil {
+		t.Fatal("stripe survived a dead primary with no spare")
+	}
+	if !faults.IsPermanent(err) {
+		t.Fatalf("death not classified permanent through the join: %v", err)
+	}
+	if !strings.Contains(err.Error(), "shard 1") {
+		t.Errorf("error does not name the lost shard: %v", err)
+	}
+}
+
+// TestParityRecoversShardLostAfterEncode kills a carrier *after* the
+// stripe is written — the archival scenario where a device dies in the
+// drawer — and reconstructs its segment from the XOR parity carrier.
+func TestParityRecoversShardLostAfterEncode(t *testing.T) {
+	const sram = 4 << 10
+	rigs := []*rig.Rig{
+		newRigWith(t, "par-0", sram, faults.Profile{}),
+		newRigWith(t, "par-1", sram, faults.Profile{}),
+		newRigWith(t, "par-2", sram, faults.Profile{}),
+	}
+	parityRig := newRigWith(t, "par-xor", sram, faults.Profile{})
+	opts := paperishOpts(t)
+
+	perDevice := core.MaxMessageBytes(sram, opts.Codec)
+	msg := make([]byte, perDevice*2+33)
+	rng.NewSource(3).Bytes(msg)
+
+	striped, err := StripeWithOptions(context.Background(), rigs, msg, opts,
+		StripeOptions{ParityRig: parityRig})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if striped.Parity == nil {
+		t.Fatal("no parity shard recorded")
+	}
+
+	rigs[1].Device().Kill(fmt.Errorf("dropped on the floor: %w", faults.ErrDeviceDead))
+
+	all := append(append([]*rig.Rig(nil), rigs...), parityRig)
+	rep, err := GatherContext(context.Background(), all, striped, opts)
+	if err != nil {
+		t.Fatalf("gather: %v", err)
+	}
+	if !rep.Complete {
+		t.Fatalf("gather incomplete: %v", rep.Err())
+	}
+	if !bytes.Equal(rep.Message, msg) {
+		t.Fatal("parity reconstruction produced the wrong message")
+	}
+	recovered := false
+	for _, s := range rep.Shards {
+		if s.Index == 1 {
+			if s.Err == nil {
+				t.Error("dead carrier reported no error")
+			}
+			recovered = s.Recovered
+		}
+	}
+	if !recovered {
+		t.Error("reconstructed shard not flagged Recovered")
+	}
+}
+
+// TestParityCoversShardNeverEncoded exercises the encode-time loss path:
+// a primary dies with no spare, but a parity carrier makes the stripe
+// shippable anyway, and Gather rebuilds the segment that was never
+// written to any SRAM.
+func TestParityCoversShardNeverEncoded(t *testing.T) {
+	const sram = 4 << 10
+	rigs := []*rig.Rig{
+		newRigWith(t, "ne-0", sram, faults.Profile{}),
+		newRigWith(t, "ne-1", sram, faults.Profile{FailAtHours: 2}),
+		newRigWith(t, "ne-2", sram, faults.Profile{}),
+	}
+	parityRig := newRigWith(t, "ne-xor", sram, faults.Profile{})
+	opts := paperishOpts(t)
+
+	perDevice := core.MaxMessageBytes(sram, opts.Codec)
+	msg := make([]byte, perDevice*2+17)
+	rng.NewSource(5).Bytes(msg)
+
+	striped, err := StripeWithOptions(context.Background(), rigs, msg, opts,
+		StripeOptions{ParityRig: parityRig})
+	if err != nil {
+		t.Fatalf("parity-protected stripe rejected a single loss: %v", err)
+	}
+	if len(striped.Lost) != 1 || striped.Lost[0] != 1 {
+		t.Fatalf("Lost = %v, want [1]", striped.Lost)
+	}
+
+	all := append(append([]*rig.Rig(nil), rigs...), parityRig)
+	rep, err := GatherContext(context.Background(), all, striped, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Complete {
+		t.Fatalf("gather incomplete: %v", rep.Err())
+	}
+	if !bytes.Equal(rep.Message, msg) {
+		t.Fatal("never-encoded segment reconstructed incorrectly")
+	}
+}
+
+// TestGatherDegradesWithoutParity loses two shards of an unprotected
+// stripe and checks Gather reports the damage instead of fabricating a
+// message.
+func TestGatherDegradesWithoutParity(t *testing.T) {
+	const sram = 4 << 10
+	rigs := newFleet(t, 3, sram)
+	opts := paperishOpts(t)
+	perDevice := core.MaxMessageBytes(sram, opts.Codec)
+	msg := make([]byte, perDevice*2+9)
+	rng.NewSource(13).Bytes(msg)
+
+	striped, err := Stripe(rigs, msg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rigs[0].Device().Kill(faults.ErrDeviceDead)
+
+	rep, err := GatherContext(context.Background(), rigs, striped, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Complete {
+		t.Fatal("gather claimed completeness with a dead carrier and no parity")
+	}
+	if rep.Err() == nil {
+		t.Fatal("incomplete gather reported no error")
+	}
+	if !errors.Is(rep.Err(), faults.ErrDeviceDead) {
+		t.Errorf("report error lost the death classification: %v", rep.Err())
+	}
+	// Legacy Gather must refuse, not return a partial message.
+	if _, err := Gather(rigs, striped, opts); err == nil {
+		t.Fatal("legacy Gather returned a partial message")
+	}
+}
+
+// TestCharacterizeReportsCasualties runs a 10-rig concurrent
+// characterization with one device doomed to die mid-soak and one on a
+// flaky link; the survivors come back usable and the joined error names
+// the casualty.
+func TestCharacterizeReportsCasualties(t *testing.T) {
+	const n = 10
+	rigs := make([]*rig.Rig, n)
+	for i := range rigs {
+		p := faults.Profile{}
+		switch i {
+		case 3:
+			p = faults.Profile{FailAtHours: 1}
+		case 6:
+			p = faults.Profile{Seed: 4, LinkDropRate: 0.2}
+		}
+		rigs[i] = newRigWith(t, fmt.Sprintf("char-%d", i), 4<<10, p)
+	}
+
+	chars, err := Characterize(rigs, 5)
+	if err == nil {
+		t.Fatal("doomed device produced no error")
+	}
+	if !errors.Is(err, faults.ErrDeviceDead) {
+		t.Fatalf("joined error lost the death classification: %v", err)
+	}
+	if !strings.Contains(err.Error(), "char-3") {
+		t.Errorf("error does not name the dead device: %v", err)
+	}
+	if len(chars) != n-1 {
+		t.Fatalf("survivors = %d, want %d", len(chars), n-1)
+	}
+	for _, c := range chars {
+		if c.Index == 3 {
+			t.Fatal("dead device listed among survivors")
+		}
+		if c.ChannelError < 0.03 || c.ChannelError > 0.11 {
+			t.Errorf("survivor %d channel error %v implausible", c.Index, c.ChannelError)
+		}
+	}
+	best, err := SelectBest(chars)
+	if err != nil {
+		t.Fatalf("SelectBest over survivors: %v", err)
+	}
+	if best.Index == 3 {
+		t.Fatal("SelectBest chose the dead device")
+	}
+}

@@ -13,6 +13,7 @@
 package rig
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -20,12 +21,19 @@ import (
 	"invisiblebits/internal/asm"
 	"invisiblebits/internal/cpu"
 	"invisiblebits/internal/device"
+	"invisiblebits/internal/faults"
 )
 
 // ChamberRampCPerMin is the thermal chamber's ramp rate. Ramps consume
 // simulated time but (as in the paper's methodology) aging during the
 // short ramp is neglected relative to hours-long soaks.
 const ChamberRampCPerMin = 5.0
+
+// stressSlices is how finely a fault-injected soak is diced: the
+// injector is consulted (death, brownout, chamber excursion) once per
+// slice. Without an injector the soak runs in a single step, keeping the
+// no-fault path bit-identical to a rig that has never heard of faults.
+const stressSlices = 16
 
 // Rig couples a device to the evaluation hardware.
 type Rig struct {
@@ -36,16 +44,31 @@ type Rig struct {
 	supplyV    float64
 	bypassed   bool
 
+	injector faults.Injector
+
 	events []string
+}
+
+// Option customizes rig construction.
+type Option func(*Rig)
+
+// WithInjector mounts a fault injector between the rig and the device.
+// Every debugger-link operation, power ramp, capture burst, and stress
+// slice consults it first; see the faults package for the hazard model.
+func WithInjector(inj faults.Injector) Option {
+	return func(r *Rig) { r.injector = inj }
 }
 
 // New mounts a device in the rig at ambient conditions with the supply at
 // the device's nominal voltage.
-func New(dev *device.Device) *Rig {
+func New(dev *device.Device, opts ...Option) *Rig {
 	r := &Rig{
 		dev:      dev,
 		chamberC: dev.Model.TNomC,
 		supplyV:  dev.Model.VNomV,
+	}
+	for _, opt := range opts {
+		opt(r)
 	}
 	r.logf("mounted %s (serial %s)", dev.Model.Name, dev.Serial)
 	return r
@@ -56,6 +79,51 @@ func (r *Rig) Device() *device.Device { return r.dev }
 
 // ClockHours returns elapsed simulated time.
 func (r *Rig) ClockHours() float64 { return r.clockHours }
+
+// AdvanceClock charges idle simulated time to the rig — retry backoff,
+// operator response time, queueing for the chamber. Non-positive
+// durations are ignored.
+func (r *Rig) AdvanceClock(hours float64) {
+	if hours <= 0 {
+		return
+	}
+	r.clockHours += hours
+	r.logf("idle %.2fh", hours)
+}
+
+// Injector returns the mounted fault injector (nil when fault injection
+// is disabled).
+func (r *Rig) Injector() faults.Injector { return r.injector }
+
+// faultsActive reports whether a non-inert injector is mounted. An
+// injector that provably injects nothing (faults.SeededInjector with a
+// zero profile) keeps the rig on its exact no-fault code paths.
+func (r *Rig) faultsActive() bool {
+	if r.injector == nil {
+		return false
+	}
+	if in, ok := r.injector.(interface{ Inert() bool }); ok && in.Inert() {
+		return false
+	}
+	return true
+}
+
+// opError consults the injector before an operation. Injected permanent
+// faults kill the device outright — the simulation's equivalent of the
+// lab tech finding a board that no longer enumerates.
+func (r *Rig) opError(op faults.Op) error {
+	if r.injector == nil {
+		return nil
+	}
+	err := r.injector.OpError(op, r.clockHours)
+	if err != nil {
+		r.logf("FAULT %s: %v", op, err)
+		if faults.IsPermanent(err) {
+			r.dev.Kill(err)
+		}
+	}
+	return err
+}
 
 // Conditions returns the present electrical/thermal environment.
 func (r *Rig) Conditions() analog.Conditions {
@@ -88,11 +156,21 @@ func (r *Rig) SetTemperature(targetC float64) {
 // without first calling BypassRegulator (§7.2).
 var ErrNeedsBypass = errors.New("rig: target regulates its core rail; call BypassRegulator first")
 
+// ErrUnsafeVoltage is returned when a requested supply voltage exceeds
+// the device's absolute safe overdrive ceiling (§7.2 cautions that
+// elevating the core rail beyond the characterized stress point risks
+// destroying the device).
+var ErrUnsafeVoltage = errors.New("rig: supply voltage exceeds the device's safe overdrive ceiling")
+
 // SetVoltage drives the supply rail. Overdriving a device that regulates
-// its core requires the §7.2 bypass.
+// its core requires the §7.2 bypass, and no device may be driven past
+// its Model.SafeVoltageCeiling.
 func (r *Rig) SetVoltage(v float64) error {
 	if v <= 0 {
 		return fmt.Errorf("rig: non-positive supply voltage %v", v)
+	}
+	if ceil := r.dev.Model.SafeVoltageCeiling(); v > ceil {
+		return fmt.Errorf("%w: %.2fV > %.2fV for %s", ErrUnsafeVoltage, v, ceil, r.dev.Model.Name)
 	}
 	if v > r.dev.Model.VNomV*1.05 && r.dev.Model.RequiresRegulatorBypass && !r.bypassed {
 		return ErrNeedsBypass
@@ -114,8 +192,13 @@ func (r *Rig) BypassRegulator() error {
 	return nil
 }
 
-// LoadProgram flashes firmware through the debugger.
+// LoadProgram flashes firmware through the debugger. With a fault
+// injector mounted the link may drop transiently (retry) or the device
+// may turn out to be dead (give up).
 func (r *Rig) LoadProgram(prog *asm.Program) error {
+	if err := r.opError(faults.OpLoadProgram); err != nil {
+		return err
+	}
 	if err := r.dev.LoadProgram(prog); err != nil {
 		return err
 	}
@@ -127,12 +210,18 @@ func (r *Rig) LoadProgram(prog *asm.Program) error {
 // already powered the rig cycles it (with full discharge) first — the
 // controller always takes the rail through ground before a fresh ramp.
 func (r *Rig) PowerOn() ([]byte, error) {
+	if err := r.opError(faults.OpPowerOn); err != nil {
+		return nil, err
+	}
 	if r.dev.SRAM.Powered() {
 		r.PowerOff()
 	}
 	snap, err := r.dev.PowerOn(r.chamberC)
 	if err != nil {
 		return nil, err
+	}
+	if r.injector != nil {
+		r.injector.CorruptSnapshot(snap, r.clockHours)
 	}
 	r.logf("power on at %.2fV/%.0f°C", r.supplyV, r.chamberC)
 	return snap, nil
@@ -161,22 +250,68 @@ func (r *Rig) RunFirmware(maxSteps uint64) (cpu.StopReason, error) {
 // aging its SRAM with whatever the firmware left there (Algorithm 1,
 // lines 5–6). Simulated time advances.
 func (r *Rig) StressFor(hours float64) error {
+	return r.StressForContext(context.Background(), hours)
+}
+
+// StressForContext is StressFor with cancellation. With a fault injector
+// mounted the soak is diced into slices: each slice consults the
+// injector for device death and runs under possibly-perturbed conditions
+// (supply brownout, chamber excursion) — the disturbances a multi-hour
+// lab soak actually experiences. A mid-soak death leaves the clock at
+// the moment of death, with the stress accumulated up to it.
+func (r *Rig) StressForContext(ctx context.Context, hours float64) error {
 	if hours <= 0 {
 		return fmt.Errorf("rig: non-positive stress duration %v", hours)
 	}
-	cond := r.Conditions()
-	var err error
-	if r.bypassed {
-		err = r.dev.StressBypassed(cond, hours)
-	} else {
-		err = r.dev.Stress(cond, hours)
-	}
-	if err != nil {
+	if err := ctx.Err(); err != nil {
 		return err
 	}
-	r.clockHours += hours
-	r.logf("stressed %.1fh at %v", hours, cond)
+	if !r.faultsActive() {
+		// No (active) injector: single-shot soak, bit-identical to the
+		// pre-fault rig (slicing composes exactly in the aging model, but
+		// float rounding is not worth risking on the hot path).
+		cond := r.Conditions()
+		if err := r.stressDevice(cond, hours); err != nil {
+			return err
+		}
+		r.clockHours += hours
+		r.logf("stressed %.1fh at %v", hours, cond)
+		return nil
+	}
+	slice := hours / stressSlices
+	remaining := hours
+	for remaining > 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := r.opError(faults.OpStress); err != nil {
+			return fmt.Errorf("rig: soak aborted with %.1fh remaining: %w", remaining, err)
+		}
+		dt := slice
+		if remaining < dt {
+			dt = remaining
+		}
+		applied, note := r.injector.PerturbConditions(r.Conditions(), r.clockHours)
+		if note != "" {
+			r.logf("FAULT stress slice: %s (applied %v)", note, applied)
+		}
+		if err := r.stressDevice(applied, dt); err != nil {
+			return err
+		}
+		r.clockHours += dt
+		remaining -= dt
+	}
+	r.logf("stressed %.1fh at %v (fault-injected soak)", hours, r.Conditions())
 	return nil
+}
+
+// stressDevice routes one stress episode through the §7.2 bypass when
+// the rig has attached it.
+func (r *Rig) stressDevice(c analog.Conditions, hours float64) error {
+	if r.bypassed {
+		return r.dev.StressBypassed(c, hours)
+	}
+	return r.dev.Stress(c, hours)
 }
 
 // ShelveFor stores the device for hours (natural recovery). A shelved
@@ -197,6 +332,19 @@ func (r *Rig) ShelveFor(hours float64) error {
 // of 1 readings — the soft information that ecc.SoftDecoder consumes.
 // The device is left powered.
 func (r *Rig) SampleVotes(n int) ([]uint16, error) {
+	return r.SampleVotesContext(context.Background(), n)
+}
+
+// SampleVotesContext is SampleVotes with cancellation and fault
+// injection: the capture burst rides the debugger link (it may drop
+// transiently) and stuck/weak cells corrupt the vote counts.
+func (r *Rig) SampleVotesContext(ctx context.Context, n int) ([]uint16, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := r.opError(faults.OpCapture); err != nil {
+		return nil, err
+	}
 	if r.dev.SRAM.Powered() {
 		r.dev.PowerOff(true)
 	}
@@ -208,6 +356,9 @@ func (r *Rig) SampleVotes(n int) ([]uint16, error) {
 	if _, err := r.dev.PowerOn(r.chamberC); err != nil {
 		return nil, err
 	}
+	if r.injector != nil {
+		r.injector.CorruptVotes(votes, n, r.clockHours)
+	}
 	r.logf("sampled %d power-on states (per-cell votes)", n)
 	return votes, nil
 }
@@ -217,6 +368,18 @@ func (r *Rig) SampleVotes(n int) ([]uint16, error) {
 // powered. Sampling is non-destructive (copy tolerance): it does not
 // advance the aging clock measurably.
 func (r *Rig) SampleMajority(n int) ([]byte, error) {
+	return r.SampleMajorityContext(context.Background(), n)
+}
+
+// SampleMajorityContext is SampleMajority with cancellation and fault
+// injection (transient link drops, stuck/weak cell corruption).
+func (r *Rig) SampleMajorityContext(ctx context.Context, n int) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := r.opError(faults.OpCapture); err != nil {
+		return nil, err
+	}
 	if r.dev.SRAM.Powered() {
 		r.dev.PowerOff(true)
 	}
@@ -228,6 +391,9 @@ func (r *Rig) SampleMajority(n int) ([]byte, error) {
 	r.dev.PowerOff(true)
 	if _, err := r.dev.PowerOn(r.chamberC); err != nil {
 		return nil, err
+	}
+	if r.injector != nil {
+		r.injector.CorruptSnapshot(maj, r.clockHours)
 	}
 	r.logf("sampled %d power-on states (majority vote)", n)
 	return maj, nil

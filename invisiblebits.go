@@ -28,12 +28,14 @@
 package invisiblebits
 
 import (
+	"context"
 	"io"
 
 	"invisiblebits/internal/analog"
 	"invisiblebits/internal/core"
 	"invisiblebits/internal/device"
 	"invisiblebits/internal/ecc"
+	"invisiblebits/internal/faults"
 	"invisiblebits/internal/fleet"
 	"invisiblebits/internal/rig"
 	"invisiblebits/internal/stegocrypt"
@@ -95,6 +97,27 @@ type Carrier struct {
 
 // NewCarrier mounts a device on a fresh rig at nominal conditions.
 func NewCarrier(dev *Device) *Carrier { return &Carrier{rig: rig.New(dev)} }
+
+// FaultProfile parameterizes deterministic fault injection: flaky
+// debugger links, supply brownouts, chamber excursions, stuck/weak SRAM
+// cells, and scheduled device death. The zero value injects nothing; a
+// given (Seed, serial) pair replays the same failure sequence.
+type FaultProfile = faults.Profile
+
+// NewFaultyCarrier mounts a device on a rig with a seeded fault injector
+// — the lab's hazard model made explicit, for rehearsing campaigns
+// against the failures a real bench produces. A zero profile leaves the
+// carrier's behaviour bit-identical to NewCarrier.
+func NewFaultyCarrier(dev *Device, p FaultProfile) *Carrier {
+	return &Carrier{rig: rig.New(dev, rig.WithInjector(faults.New(p, dev.Serial)))}
+}
+
+// IsTransientFault reports whether err is a retryable bench fault (e.g.
+// a dropped debugger link) as opposed to a permanent one.
+func IsTransientFault(err error) bool { return faults.IsTransient(err) }
+
+// IsPermanentFault reports whether err is unrecoverable (device death).
+func IsPermanentFault(err error) bool { return faults.IsPermanent(err) }
 
 // Rig exposes the underlying evaluation platform for advanced workflows
 // (custom stress schedules, event logs, simulated clock).
@@ -223,6 +246,39 @@ func StripeMessage(carriers []*Carrier, message []byte, opts Options) (*StripedM
 // GatherMessage decodes and reassembles a striped message.
 func GatherMessage(carriers []*Carrier, striped *StripedMessage, opts Options) ([]byte, error) {
 	return fleet.Gather(rigsOf(carriers), striped, opts)
+}
+
+// StripeResilience configures failure tolerance for StripeMessageWith.
+type StripeResilience struct {
+	// Spares are standby carriers; a shard whose primary dies permanently
+	// is re-encoded on the next unused spare with enough capacity.
+	Spares []*Carrier
+	// Parity, when non-nil, carries an XOR parity shard over the data
+	// segments so GatherReportFor can reconstruct any single lost shard.
+	Parity *Carrier
+}
+
+// GatherOutcome reports per-shard fates from a degraded-capable gather.
+type GatherOutcome = fleet.GatherReport
+
+// StripeMessageWith is StripeMessage with cancellation, standby spares,
+// and an optional parity carrier: the stripe survives one device dying
+// mid-soak (re-routed to a spare) or, with parity, one shard being lost
+// outright.
+func StripeMessageWith(ctx context.Context, carriers []*Carrier, message []byte, opts Options, res StripeResilience) (*StripedMessage, error) {
+	sopts := fleet.StripeOptions{Spares: rigsOf(res.Spares)}
+	if res.Parity != nil {
+		sopts.ParityRig = res.Parity.rig
+	}
+	return fleet.StripeWithOptions(ctx, rigsOf(carriers), message, opts, sopts)
+}
+
+// GatherReportFor decodes a striped message, tolerating dead carriers:
+// the report lists every shard's fate, and a single lost segment is
+// rebuilt from the parity carrier when the stripe has one. The carriers
+// slice must include spares and the parity carrier used at stripe time.
+func GatherReportFor(ctx context.Context, carriers []*Carrier, striped *StripedMessage, opts Options) (*GatherOutcome, error) {
+	return fleet.GatherContext(ctx, rigsOf(carriers), striped, opts)
 }
 
 // SaveDevice serializes a device (silicon identity + aging state) so it
