@@ -6,9 +6,12 @@
 //
 //	ibdecode -device dev.ibdev -record msg.ibrec -passphrase secret
 //	ibdecode -device dev.ibdev -record msg.ibrec -shelve-weeks 4 -out msg.txt
+//	ibdecode -device dev.ibdev -record msg.ibrec -passphrase secret -adaptive
 //
 // -shelve-weeks simulates the time the device spent in transit before
 // decoding (natural recovery adds channel error; the ECC absorbs it).
+// -adaptive runs the self-verifying escalation ladder instead of one
+// fixed-effort decode, printing the rung-by-rung report to stderr.
 package main
 
 import (
@@ -30,6 +33,8 @@ func main() {
 		captures    = flag.Int("captures", 0, "power-on captures for majority voting (0 = record default)")
 		shelveWeeks = flag.Float64("shelve-weeks", 0, "simulated weeks on the shelf before decoding")
 		soft        = flag.Bool("soft", false, "use soft-decision decoding (vote confidences instead of hard majority)")
+		adaptive    = flag.Bool("adaptive", false, "self-verifying escalation ladder: cheap hard decode first, escalate to more captures/soft/erasure decode only if the record's digest rejects the result")
+		decodeTemp  = flag.Float64("temp", 0, "chamber temperature (°C) during decode (0 = nominal)")
 		outFile     = flag.String("out", "", "write the recovered message to this file instead of stdout")
 	)
 	flag.Parse()
@@ -63,7 +68,7 @@ func main() {
 		}
 	}
 
-	opts := ib.Options{Captures: *captures, Soft: *soft}
+	opts := ib.Options{Captures: *captures, Soft: *soft, DecodeTempC: *decodeTemp}
 	name := rec.CodecName
 	if *codecName != "" {
 		name = *codecName
@@ -77,9 +82,40 @@ func main() {
 		opts.Key = &key
 	}
 
-	msg, err := carrier.Reveal(&rec, opts)
-	if err != nil {
-		fatal(err)
+	var msg []byte
+	if *adaptive {
+		var rep *ib.DecodeReport
+		msg, rep, err = carrier.RevealAdaptive(&rec, ib.AdaptiveOptions{Options: opts})
+		if rep != nil {
+			for _, rung := range rep.Rungs {
+				status := "digest mismatch"
+				switch {
+				case rung.Verified:
+					status = "VERIFIED"
+				case rung.Skipped:
+					status = "skipped: " + rung.Note
+				}
+				fmt.Fprintf(os.Stderr, "ibdecode: rung %-13s @ %2d captures — %s\n", rung.Name, rung.Captures, status)
+			}
+			if rep.Verified {
+				fmt.Fprintf(os.Stderr, "ibdecode: verified on %q after %d captures (residual channel error %.2f%%)\n",
+					rep.VerifiedRung, rep.CapturesSpent, 100*rep.ResidualChannelError)
+			}
+		}
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		msg, err = carrier.Reveal(&rec, opts)
+		if err != nil {
+			fatal(err)
+		}
+		if rec.HasDigest() {
+			if verr := rec.VerifyMessage(msg, opts.Key); verr != nil {
+				fatal(verr)
+			}
+			fmt.Fprintln(os.Stderr, "ibdecode: integrity digest verified")
+		}
 	}
 	if *outFile != "" {
 		if err := os.WriteFile(*outFile, msg, 0o644); err != nil {

@@ -9,6 +9,7 @@
 //	ibexperiments -run all -summary     one verdict line per experiment
 //	ibexperiments -full                 use full-size SRAM arrays (slower)
 //	ibexperiments -faultdrill           rehearse a fleet campaign under faults
+//	ibexperiments -retention            retention-decay sweep (± refresh)
 package main
 
 import (
@@ -26,12 +27,19 @@ func main() {
 		summary = flag.Bool("summary", false, "print one-line summaries only")
 		full    = flag.Bool("full", false, "full-size SRAM arrays (paper scale; slower)")
 		sram    = flag.Int("sram-limit", 0, "override SRAM sample size in bytes")
-		drill   = flag.Bool("faultdrill", false, "run the fleet fault drill and exit")
+		drill     = flag.Bool("faultdrill", false, "run the fleet fault drill and exit")
+		retention = flag.Bool("retention", false, "run the retention-decay sweep (decode success vs shelf years, with and without refresh) and exit")
 	)
 	flag.Parse()
 
 	if *drill {
 		if err := runFaultDrill(*sram); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *retention {
+		if err := runRetention(*sram); err != nil {
 			fatal(err)
 		}
 		return

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"context"
+	"fmt"
+
+	"invisiblebits/internal/core"
+	"invisiblebits/internal/device"
+	"invisiblebits/internal/ecc"
+	"invisiblebits/internal/faults"
+	"invisiblebits/internal/rig"
+	"invisiblebits/internal/rng"
+	"invisiblebits/internal/stegocrypt"
+)
+
+// retentionTempC is the sweep's shelf temperature: warm storage (a
+// device forgotten in a car, a depot without climate control), which
+// accelerates imprint recovery well beyond room-temperature decay.
+const retentionTempC = 45
+
+// runRetention sweeps decode success against simulated shelf years at
+// elevated temperature, with and without a mid-life refresh. Every
+// device, payload, and fault sequence is seeded, so two runs print
+// byte-identical tables — the CI determinism job diffs exactly this.
+func runRetention(sramLimit int) error {
+	if sramLimit <= 0 {
+		sramLimit = 4 << 10
+	}
+	model, err := device.ByName("MSP432P401")
+	if err != nil {
+		return err
+	}
+	rep7, err := ecc.NewRepetition(7)
+	if err != nil {
+		return err
+	}
+	key := stegocrypt.KeyFromPassphrase("retention-sweep")
+	opts := core.Options{
+		Codec:       ecc.Composite{Outer: ecc.Hamming74{}, Inner: rep7},
+		Key:         &key,
+		StressHours: 14,
+	}
+	aopts := core.AdaptiveOptions{Options: opts}
+	msg := make([]byte, 192)
+	rng.NewSource(2022).Bytes(msg)
+
+	// Weak cells make the channel hostile in exactly the way hard
+	// majority voting cannot fix: a per-capture coin flip is wrong with
+	// probability 1/2 no matter how many captures vote. Soft and
+	// erasure decoding neutralize them instead.
+	profile := faults.Profile{Seed: 7, WeakFrac: 0.14}
+	mount := func(serial string) (*rig.Rig, error) {
+		d, err := device.New(model, serial, device.WithSRAMLimit(sramLimit))
+		if err != nil {
+			return nil, err
+		}
+		return rig.New(d, rig.WithInjector(faults.New(profile, d.Serial))), nil
+	}
+
+	ctx := context.Background()
+	years := []float64{0, 1, 2, 4, 8}
+	fmt.Printf("retention sweep: %d-byte message, %.0fh stress, shelf at %d°C, weak cells %.0f%%\n",
+		len(msg), opts.StressHours, retentionTempC, 100*profile.WeakFrac)
+	fmt.Println("\nyears | margin | hard@5    | adaptive       | refreshed hard@5")
+	fmt.Println("------+--------+-----------+----------------+-----------------")
+
+	for _, yr := range years {
+		hours := yr * 365 * 24
+
+		// Arm 1: shelve the full span, then decode.
+		r, err := mount(fmt.Sprintf("vault-%.0fy", yr))
+		if err != nil {
+			return err
+		}
+		rec, err := core.EncodeContext(ctx, r, msg, opts)
+		if err != nil {
+			return err
+		}
+		if hours > 0 {
+			if err := r.ShelveAtFor(hours, retentionTempC); err != nil {
+				return err
+			}
+		}
+		probe, err := r.ProbeHealthContext(ctx, 0, 0)
+		if err != nil {
+			return err
+		}
+		hardOK := "ok"
+		if hmsg, err := core.DecodeContext(ctx, r, rec, opts); err != nil || rec.VerifyMessage(hmsg, opts.Key) != nil {
+			hardOK = "FAIL"
+		}
+		adaptOK := "FAIL"
+		if _, drep, err := core.DecodeAdaptive(ctx, r, rec, aopts); err == nil {
+			adaptOK = fmt.Sprintf("ok (%s@%d)", drep.VerifiedRung, drep.CapturesSpent)
+		}
+
+		// Arm 2: same span with a refresh at half-life.
+		refreshOK := "ok"
+		if hours > 0 {
+			r2, err := mount(fmt.Sprintf("vault-refresh-%.0fy", yr))
+			if err != nil {
+				return err
+			}
+			rec2, err := core.EncodeContext(ctx, r2, msg, opts)
+			if err != nil {
+				return err
+			}
+			if err := r2.ShelveAtFor(hours/2, retentionTempC); err != nil {
+				return err
+			}
+			if _, err := core.Refresh(ctx, r2, rec2, aopts, opts.StressHours); err != nil {
+				refreshOK = "refresh FAIL"
+			} else if err := r2.ShelveAtFor(hours/2, retentionTempC); err != nil {
+				return err
+			} else if rmsg, err := core.DecodeContext(ctx, r2, rec2, opts); err != nil || rec2.VerifyMessage(rmsg, opts.Key) != nil {
+				refreshOK = "FAIL"
+			}
+		}
+
+		fmt.Printf("%5.0f | %.3f  | %-9s | %-14s | %s\n",
+			yr, probe.MeanMargin, hardOK, adaptOK, refreshOK)
+	}
+	fmt.Println("\n>> fixed-effort decode dies with shelf decay; the adaptive ladder and mid-life refresh keep the channel alive")
+	return nil
+}

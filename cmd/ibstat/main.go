@@ -32,6 +32,8 @@ func main() {
 		captures  = flag.Int("captures", 5, "power-on captures per snapshot")
 		snapshots = flag.Int("snapshots", 1, "number of temporal snapshots (§7.1 adversary)")
 		interval  = flag.Float64("interval-hours", 24, "simulated hours between snapshots")
+		health    = flag.Bool("health", false, "probe retention health (per-region margin from vote entropy; needs no plaintext) and print the refresh ledger")
+		regions   = flag.Int("health-regions", 8, "number of regions for the health probe")
 	)
 	flag.Parse()
 
@@ -46,6 +48,11 @@ func main() {
 	}
 
 	fmt.Printf("inspecting %s (%s), %d KB SRAM\n\n", dev.Model.Name, dev.DeviceID(), dev.SRAM.Bytes()>>10)
+
+	if *health {
+		printHealth(dev, *captures, *regions)
+		return
+	}
 
 	rep, err := steganalysis.AnalyzeDevice(dev, *captures, steganalysis.DefaultBands())
 	if err != nil {
@@ -100,6 +107,44 @@ func main() {
 	fmt.Printf("VERDICT: %s\n", rep)
 	if !rep.Suspicious() {
 		fmt.Println("         (a correctly encrypted Invisible Bits message also produces this verdict)")
+	}
+}
+
+// printHealth runs the retention-health probe: per-region margin
+// estimated from vote entropy alone — the operator's view of how much
+// analog life an imprint has left, without needing the plaintext.
+func printHealth(dev *ib.Device, captures, regions int) {
+	carrier := ib.NewCarrier(dev)
+	regionBytes := 0
+	if regions > 0 {
+		regionBytes = (dev.SRAM.Bytes() + regions - 1) / regions
+	}
+	rep, err := carrier.ProbeHealth(3*captures, regionBytes)
+	if err != nil {
+		fatal(err)
+	}
+	rows := make([][]string, len(rep.Regions))
+	for i, rg := range rep.Regions {
+		rows[i] = []string{
+			fmt.Sprintf("0x%05x", rg.Offset),
+			fmt.Sprintf("%d", rg.Bytes),
+			fmt.Sprintf("%.3f", rg.MeanMargin),
+			fmt.Sprintf("%.3f", rg.MeanEntropy),
+			fmt.Sprintf("%.1f%%", 100*rg.WeakFrac),
+		}
+	}
+	fmt.Println(textplot.Table([]string{"region", "bytes", "margin", "entropy(b)", "weak cells"}, rows))
+	fmt.Printf("array: margin %.3f, entropy %.3f bits/cell, weak %.1f%% (%d captures)\n",
+		rep.MeanMargin, rep.MeanEntropy, 100*rep.WeakFrac, rep.Captures)
+
+	if log := dev.RefreshLog(); len(log) > 0 {
+		fmt.Printf("\nrefresh ledger (%d events):\n", len(log))
+		for i, ev := range log {
+			fmt.Printf("  %d: at t=%.0fh, %.1fh re-stress, margin %.3f -> %.3f\n",
+				i+1, ev.ClockHours, ev.StressHours, ev.MarginBefore, ev.MarginAfter)
+		}
+	} else {
+		fmt.Println("\nrefresh ledger: empty (never refreshed)")
 	}
 }
 

@@ -1,0 +1,360 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"invisiblebits/internal/ecc"
+	"invisiblebits/internal/rig"
+)
+
+// Adaptive-decode defaults.
+const (
+	// DefaultInitialCaptures is the cheap first rung: three captures is
+	// the minimum odd majority, a fraction of the paper's five.
+	DefaultInitialCaptures = 3
+	// DefaultMaxAdaptiveCaptures caps the ladder's total capture budget
+	// per decode (5× the paper's count at the deepest rung).
+	DefaultMaxAdaptiveCaptures = 25
+	// DefaultErasureDeadZone is the half-width around P=0.5 inside which
+	// a coded bit's vote confidence is declared an erasure: with 15
+	// captures, |votes/15 − 0.5| ≤ 0.15 means the cell split at worst
+	// 10–5 — channel noise, not imprint.
+	DefaultErasureDeadZone = 0.15
+)
+
+// Rung names used in DecodeReport.
+const (
+	RungHard     = "hard"
+	RungHardMore = "hard+captures"
+	RungSoft     = "soft"
+	RungErasure  = "erasure"
+)
+
+// AdaptiveOptions configures DecodeAdaptive. The embedded Options carry
+// the codec/key/retry policy; Captures is ignored (the ladder sets its
+// own schedule from InitialCaptures/MaxCaptures).
+type AdaptiveOptions struct {
+	Options
+	// InitialCaptures is the first rung's capture count (rounded up to
+	// odd); 0 means DefaultInitialCaptures.
+	InitialCaptures int
+	// MaxCaptures caps total captures across all rungs; 0 means
+	// DefaultMaxAdaptiveCaptures.
+	MaxCaptures int
+	// ErasureDeadZone is the confidence half-width around 0.5 that marks
+	// a coded bit as erased on the deepest rung; 0 means
+	// DefaultErasureDeadZone, values are clamped to (0, 0.5].
+	ErasureDeadZone float64
+}
+
+func (a AdaptiveOptions) initial() int {
+	n := a.InitialCaptures
+	if n <= 0 {
+		n = DefaultInitialCaptures
+	}
+	if n%2 == 0 {
+		n++
+	}
+	return n
+}
+
+func (a AdaptiveOptions) max() int {
+	m := a.MaxCaptures
+	if m <= 0 {
+		m = DefaultMaxAdaptiveCaptures
+	}
+	if m < a.initial() {
+		m = a.initial()
+	}
+	return m
+}
+
+func (a AdaptiveOptions) deadZone() float64 {
+	dz := a.ErasureDeadZone
+	if dz <= 0 {
+		return DefaultErasureDeadZone
+	}
+	if dz > 0.5 {
+		return 0.5
+	}
+	return dz
+}
+
+// RungResult records one attempt of the escalation ladder.
+type RungResult struct {
+	Name     string // RungHard, RungHardMore, RungSoft, RungErasure
+	Captures int    // cumulative captures available to this rung
+	Verified bool   // digest matched on this rung
+	Skipped  bool   // rung not applicable (codec lacks soft/erasure support)
+	Note     string // failure or skip reason
+}
+
+// DecodeReport is the structured account of an adaptive decode: which
+// rungs ran, how much capture effort was spent, and how noisy the
+// channel looked once the message was pinned down.
+type DecodeReport struct {
+	Rungs         []RungResult
+	CapturesSpent int    // total power-on captures consumed
+	Verified      bool   // digest verified on some rung
+	VerifiedRung  string // name of the verifying rung ("" if none)
+	// ResidualChannelError is the fraction of payload bits whose
+	// accumulated hard majority disagrees with the re-encoded verified
+	// message — the channel error the ladder decoded through. −1 when
+	// unknown (no verified message to re-encode).
+	ResidualChannelError float64
+	// UnresolvedBits counts message bits the erasure rung left open
+	// (only meaningful when the erasure rung ran).
+	UnresolvedBits int
+}
+
+// Escalated reports whether the ladder needed more than its first rung:
+// extra captures were spent beyond the initial burst, or the verifying
+// rung was not the first one attempted.
+func (rep *DecodeReport) Escalated() bool {
+	if rep == nil || len(rep.Rungs) == 0 {
+		return false
+	}
+	if rep.CapturesSpent > rep.Rungs[0].Captures {
+		return true
+	}
+	return rep.Verified && rep.VerifiedRung != rep.Rungs[0].Name
+}
+
+// DecodeAdaptive runs the self-verifying escalation ladder against the
+// rig's device. It starts with a cheap low-capture hard decode, checks
+// the record's integrity digest, and escalates only on mismatch:
+//
+//	hard @ I captures → hard @ 3I → soft @ Max → erasure-aware @ Max
+//
+// (capped at MaxCaptures). Captures accumulate across rungs — vote
+// counts from earlier bursts are reused, never re-sampled from scratch
+// — so the ladder's total cost is the deepest rung's capture count, not
+// the sum. The deepest rung marks coded bits whose vote confidence sits
+// inside the dead zone as erasures (requires the codec to implement
+// ecc.ErasureDecoder; skipped otherwise).
+//
+// On success the verified message and a DecodeReport are returned. On
+// exhaustion the report is still returned alongside ErrDigestMismatch
+// so callers can see how hard the ladder tried. Records without a
+// digest fail fast with ErrNoDigest.
+func DecodeAdaptive(ctx context.Context, r *rig.Rig, rec *Record, aopts AdaptiveOptions) ([]byte, *DecodeReport, error) {
+	if rec == nil {
+		return nil, nil, errors.New("core: nil record")
+	}
+	if !rec.HasDigest() {
+		return nil, nil, ErrNoDigest
+	}
+	opts := aopts.Options
+	codec := opts.codec()
+	if codec.Name() != rec.CodecName {
+		return nil, nil, fmt.Errorf("core: codec %q does not match record's %q", codec.Name(), rec.CodecName)
+	}
+	codedLen, err := recordCodedLen(rec, codec)
+	if err != nil {
+		return nil, nil, err
+	}
+	if rec.Encrypted && opts.Key == nil {
+		return nil, nil, errors.New("core: record is encrypted but no key supplied")
+	}
+	if err := prepareDecode(ctx, r, opts); err != nil {
+		return nil, nil, err
+	}
+
+	report := &DecodeReport{ResidualChannelError: -1}
+	// Accumulated vote counts and total captures so far. sampleTo tops
+	// the accumulator up to a target count; earlier bursts are never
+	// discarded.
+	var votes []uint16
+	total := 0
+	sampleTo := func(target int) error {
+		delta := target - total
+		if delta <= 0 {
+			return nil
+		}
+		var burst []uint16
+		if err := opts.retry(ctx, r, func() error {
+			var serr error
+			burst, serr = r.SampleVotesContext(ctx, delta)
+			return serr
+		}); err != nil {
+			return err
+		}
+		if votes == nil {
+			if rec.PayloadBytes*8 > len(burst) {
+				return fmt.Errorf("core: record claims %d payload bits but SRAM has %d cells",
+					rec.PayloadBytes*8, len(burst))
+			}
+			votes = burst
+		} else {
+			for i := range votes {
+				votes[i] += burst[i]
+			}
+		}
+		total = target
+		report.CapturesSpent = total
+		return nil
+	}
+
+	// Capture schedule: I, then 3I, then the full budget. Odd totals
+	// keep hard majorities tie-free. The deep rungs spend everything:
+	// weak cells are per-capture coin flips, and their vote fractions
+	// concentrate around ½ (where soft combining neutralizes them and
+	// the dead zone erases them) only with a deep burst.
+	initial := aopts.initial()
+	maxCap := aopts.max()
+	mid := oddCap(3*initial, maxCap)
+	deep := oddCap(maxCap, maxCap)
+
+	finish := func(rung string, msg []byte) ([]byte, *DecodeReport, error) {
+		report.Verified = true
+		report.VerifiedRung = rung
+		last := &report.Rungs[len(report.Rungs)-1]
+		last.Verified = true
+		// Residual channel error: re-encode the verified message and
+		// compare against the accumulated hard majority in the channel
+		// (encrypted-payload) domain.
+		if expected, err := BuildPayload(msg, rec.DeviceID, opts); err == nil && len(expected) == rec.PayloadBytes {
+			observed := payloadFromVotes(votes, total, rec.PayloadBytes)
+			report.ResidualChannelError = bitDiffFraction(observed, expected)
+		}
+		return msg, report, nil
+	}
+
+	type rung struct {
+		name     string
+		captures int
+	}
+	ladder := []rung{{RungHard, initial}}
+	if mid > initial {
+		ladder = append(ladder, rung{RungHardMore, mid})
+	}
+	ladder = append(ladder, rung{RungSoft, deep}, rung{RungErasure, deep})
+
+	for _, step := range ladder {
+		res := RungResult{Name: step.name, Captures: step.captures}
+		var msg []byte
+		var decErr error
+		switch step.name {
+		case RungSoft:
+			soft, ok := codec.(ecc.SoftDecoder)
+			if !ok {
+				res.Skipped = true
+				res.Note = fmt.Sprintf("codec %s has no soft decoder", codec.Name())
+				report.Rungs = append(report.Rungs, res)
+				continue
+			}
+			if err := sampleTo(step.captures); err != nil {
+				return nil, report, err
+			}
+			conf, err := payloadConfidences(votes, total, rec, opts)
+			if err != nil {
+				return nil, report, err
+			}
+			msg, decErr = soft.DecodeSoft(conf[:codedLen*8], rec.MessageBytes)
+		case RungErasure:
+			ed, ok := codec.(ecc.ErasureDecoder)
+			if !ok {
+				res.Skipped = true
+				res.Note = fmt.Sprintf("codec %s has no erasure decoder", codec.Name())
+				report.Rungs = append(report.Rungs, res)
+				continue
+			}
+			if err := sampleTo(step.captures); err != nil {
+				return nil, report, err
+			}
+			plain, err := decryptPayload(payloadFromVotes(votes, total, rec.PayloadBytes), rec, opts)
+			if err != nil {
+				return nil, report, err
+			}
+			erased := erasureMask(votes, total, rec.PayloadBytes*8, aopts.deadZone())
+			var unresolved []bool
+			msg, unresolved, decErr = ed.DecodeErasure(plain[:codedLen], erased[:codedLen*8], rec.MessageBytes)
+			if decErr == nil {
+				report.UnresolvedBits = ecc.CountUnresolved(unresolved)
+			}
+		default: // hard rungs
+			if err := sampleTo(step.captures); err != nil {
+				return nil, report, err
+			}
+			plain, err := decryptPayload(payloadFromVotes(votes, total, rec.PayloadBytes), rec, opts)
+			if err != nil {
+				return nil, report, err
+			}
+			msg, decErr = codec.Decode(plain[:codedLen], rec.MessageBytes)
+		}
+		if decErr != nil {
+			res.Note = decErr.Error()
+			report.Rungs = append(report.Rungs, res)
+			continue
+		}
+		if verr := rec.VerifyMessage(msg, opts.Key); verr != nil {
+			if errors.Is(verr, ErrDigestNeedsKey) {
+				return nil, report, verr
+			}
+			res.Note = verr.Error()
+			report.Rungs = append(report.Rungs, res)
+			continue
+		}
+		report.Rungs = append(report.Rungs, res)
+		return finish(step.name, msg)
+	}
+	return nil, report, fmt.Errorf("%w: ladder exhausted after %d rungs and %d captures",
+		ErrDigestMismatch, len(report.Rungs), report.CapturesSpent)
+}
+
+// oddCap clamps n to max and rounds down to odd so hard majorities
+// never tie.
+func oddCap(n, max int) int {
+	if n > max {
+		n = max
+	}
+	if n%2 == 0 {
+		n--
+	}
+	return n
+}
+
+// payloadFromVotes hard-decides the accumulated vote counts into
+// payload bytes: payload bit = ¬(power-on majority).
+func payloadFromVotes(votes []uint16, total, payloadBytes int) []byte {
+	out := make([]byte, payloadBytes)
+	for i := 0; i < payloadBytes*8; i++ {
+		if 2*int(votes[i]) < total {
+			out[i/8] |= 1 << (i % 8)
+		}
+	}
+	return out
+}
+
+// erasureMask marks payload bits whose vote fraction sits within
+// deadZone of 0.5 — cells the channel gave no real information about.
+func erasureMask(votes []uint16, total, payloadBits int, deadZone float64) []bool {
+	mask := make([]bool, payloadBits)
+	half := float64(total) / 2
+	band := deadZone * float64(total)
+	for i := range mask {
+		d := float64(votes[i]) - half
+		if d < 0 {
+			d = -d
+		}
+		mask[i] = d <= band
+	}
+	return mask
+}
+
+// bitDiffFraction is the fraction of differing bits between equal-length
+// byte slices.
+func bitDiffFraction(a, b []byte) float64 {
+	if len(a) == 0 {
+		return 0
+	}
+	diff := 0
+	for i := range a {
+		for d := a[i] ^ b[i]; d != 0; d &= d - 1 {
+			diff++
+		}
+	}
+	return float64(diff) / float64(8*len(a))
+}

@@ -69,6 +69,11 @@ type Options struct {
 	// RetryBackoffHours is the simulated-clock backoff before the first
 	// retry (doubling per attempt); 0 means DefaultRetryBackoffHours.
 	RetryBackoffHours float64
+	// DecodeTempC overrides the chamber temperature during decode when
+	// non-zero. The paper reads at nominal temperature; setting this lets
+	// experiments measure read-out robustness at the wrong temperature
+	// (power-on state is temperature-susceptible, see ISSUE refs).
+	DecodeTempC float64
 }
 
 func (o Options) codec() ecc.Codec {
@@ -120,13 +125,37 @@ type Record struct {
 	Encrypted    bool
 	Captures     int
 	StressHours  float64
+	// Digest is the integrity digest of the plaintext message
+	// (hex-encoded), and DigestAlgo names the scheme: CRC32 for
+	// unkeyed records, HMAC-SHA256 (keyed, domain-separated over the
+	// device ID) when the message was encrypted. The digest makes
+	// decode success machine-checkable without revealing the message.
+	Digest     string `json:",omitempty"`
+	DigestAlgo string `json:",omitempty"`
 }
 
 // Errors.
 var (
 	ErrEmptyMessage    = errors.New("core: message is empty")
 	ErrPayloadTooLarge = errors.New("core: payload exceeds device SRAM capacity")
+	ErrRecordShape     = errors.New("core: record shape is inconsistent")
 )
+
+// recordCodedLen validates the record's claimed geometry against the
+// codec before anything slices the captured payload: a corrupt or
+// mismatched record must fail with ErrRecordShape, not a slice panic.
+func recordCodedLen(rec *Record, codec ecc.Codec) (int, error) {
+	if rec.MessageBytes <= 0 || rec.PayloadBytes <= 0 {
+		return 0, fmt.Errorf("%w: message %d bytes, payload %d bytes",
+			ErrRecordShape, rec.MessageBytes, rec.PayloadBytes)
+	}
+	codedLen := codec.EncodedLen(rec.MessageBytes)
+	if codedLen <= 0 || codedLen > rec.PayloadBytes {
+		return 0, fmt.Errorf("%w: codec %s expands %d message bytes to %d coded bytes but record claims %d payload bytes",
+			ErrRecordShape, codec.Name(), rec.MessageBytes, codedLen, rec.PayloadBytes)
+	}
+	return codedLen, nil
+}
 
 // MaxMessageBytes returns the largest message (pre-ECC) that fits in
 // sramBytes of SRAM under the given codec — the capacity measure used
@@ -229,15 +258,12 @@ func EncodeContext(ctx context.Context, r *rig.Rig, message []byte, opts Options
 	}
 	r.PowerOff()
 	if !opts.SkipCamouflage && dev.Flash != nil {
-		camo, err := progen.Assemble(progen.CamouflageProgram())
-		if err != nil {
-			return nil, fmt.Errorf("core: camouflage: %w", err)
-		}
-		if err := opts.retry(ctx, r, func() error { return r.LoadProgram(camo) }); err != nil {
+		if err := loadCamouflage(ctx, r, opts); err != nil {
 			return nil, err
 		}
 	}
 
+	algo, digest := computeDigest(message, dev.DeviceID(), opts.Key)
 	return &Record{
 		DeviceID:     dev.DeviceID(),
 		MessageBytes: len(message),
@@ -246,7 +272,19 @@ func EncodeContext(ctx context.Context, r *rig.Rig, message []byte, opts Options
 		Encrypted:    opts.Key != nil,
 		Captures:     opts.captures(),
 		StressHours:  hours,
+		Digest:       digest,
+		DigestAlgo:   algo,
 	}, nil
+}
+
+// loadCamouflage flashes the innocuous cover firmware, retried across
+// transient link faults.
+func loadCamouflage(ctx context.Context, r *rig.Rig, opts Options) error {
+	camo, err := progen.Assemble(progen.CamouflageProgram())
+	if err != nil {
+		return fmt.Errorf("core: camouflage: %w", err)
+	}
+	return opts.retry(ctx, r, func() error { return r.LoadProgram(camo) })
 }
 
 // writePayloadToSRAM initializes the SRAM state. MCUs run the generated
@@ -306,18 +344,15 @@ func DecodeContext(ctx context.Context, r *rig.Rig, rec *Record, opts Options) (
 	if rec == nil {
 		return nil, errors.New("core: nil record")
 	}
-	dev := r.Device()
-	if dev.Flash != nil {
-		ret, err := progen.Assemble(progen.RetainerProgram())
-		if err != nil {
-			return nil, fmt.Errorf("core: retainer: %w", err)
-		}
-		if err := opts.retry(ctx, r, func() error { return r.LoadProgram(ret) }); err != nil {
-			return nil, err
-		}
+	codec := opts.codec()
+	if codec.Name() != rec.CodecName {
+		return nil, fmt.Errorf("core: codec %q does not match record's %q", codec.Name(), rec.CodecName)
 	}
-	r.SetTemperature(dev.Model.TNomC)
-	if err := r.SetVoltage(dev.Model.VNomV); err != nil {
+	codedLen, err := recordCodedLen(rec, codec)
+	if err != nil {
+		return nil, err
+	}
+	if err := prepareDecode(ctx, r, opts); err != nil {
 		return nil, err
 	}
 
@@ -325,16 +360,12 @@ func DecodeContext(ctx context.Context, r *rig.Rig, rec *Record, opts Options) (
 	if opts.Captures > 0 {
 		captures = opts.Captures
 	}
-	codec := opts.codec()
-	if codec.Name() != rec.CodecName {
-		return nil, fmt.Errorf("core: codec %q does not match record's %q", codec.Name(), rec.CodecName)
-	}
 	if opts.Soft {
-		return decodeSoft(ctx, r, rec, opts, codec, captures)
+		return decodeSoft(ctx, r, rec, opts, codec, captures, codedLen)
 	}
 
 	var maj []byte
-	err := opts.retry(ctx, r, func() error {
+	err = opts.retry(ctx, r, func() error {
 		var serr error
 		maj, serr = r.SampleMajorityContext(ctx, captures)
 		return serr
@@ -352,16 +383,10 @@ func DecodeContext(ctx context.Context, r *rig.Rig, rec *Record, opts Options) (
 	for i := range payload {
 		payload[i] = ^maj[i]
 	}
-	if rec.Encrypted {
-		if opts.Key == nil {
-			return nil, errors.New("core: record is encrypted but no key supplied")
-		}
-		payload, err = stegocrypt.StreamXOR(*opts.Key, rec.DeviceID, payload)
-		if err != nil {
-			return nil, fmt.Errorf("core: decrypt: %w", err)
-		}
+	payload, err = decryptPayload(payload, rec, opts)
+	if err != nil {
+		return nil, err
 	}
-	codedLen := codec.EncodedLen(rec.MessageBytes)
 	msg, err := codec.Decode(payload[:codedLen], rec.MessageBytes)
 	if err != nil {
 		return nil, fmt.Errorf("core: ecc decode: %w", err)
@@ -369,11 +394,49 @@ func DecodeContext(ctx context.Context, r *rig.Rig, rec *Record, opts Options) (
 	return msg, nil
 }
 
+// prepareDecode flashes the retainer program (retried across transient
+// link faults) and brings the chamber to decode conditions: nominal
+// voltage, and either nominal temperature or Options.DecodeTempC.
+func prepareDecode(ctx context.Context, r *rig.Rig, opts Options) error {
+	dev := r.Device()
+	if dev.Flash != nil {
+		ret, err := progen.Assemble(progen.RetainerProgram())
+		if err != nil {
+			return fmt.Errorf("core: retainer: %w", err)
+		}
+		if err := opts.retry(ctx, r, func() error { return r.LoadProgram(ret) }); err != nil {
+			return err
+		}
+	}
+	tempC := dev.Model.TNomC
+	if opts.DecodeTempC != 0 {
+		tempC = opts.DecodeTempC
+	}
+	r.SetTemperature(tempC)
+	return r.SetVoltage(dev.Model.VNomV)
+}
+
+// decryptPayload reverses the encryption layer of an inverted payload
+// when the record says one was applied.
+func decryptPayload(payload []byte, rec *Record, opts Options) ([]byte, error) {
+	if !rec.Encrypted {
+		return payload, nil
+	}
+	if opts.Key == nil {
+		return nil, errors.New("core: record is encrypted but no key supplied")
+	}
+	out, err := stegocrypt.StreamXOR(*opts.Key, rec.DeviceID, payload)
+	if err != nil {
+		return nil, fmt.Errorf("core: decrypt: %w", err)
+	}
+	return out, nil
+}
+
 // decodeSoft is the soft-decision path: per-cell vote counts become
 // per-payload-bit confidences, decryption flips confidences where the
 // keystream is 1 (XOR in probability space), and the codec's SoftDecoder
 // combines them.
-func decodeSoft(ctx context.Context, r *rig.Rig, rec *Record, opts Options, codec ecc.Codec, captures int) ([]byte, error) {
+func decodeSoft(ctx context.Context, r *rig.Rig, rec *Record, opts Options, codec ecc.Codec, captures, codedLen int) ([]byte, error) {
 	soft, ok := codec.(ecc.SoftDecoder)
 	if !ok {
 		return nil, fmt.Errorf("core: codec %s does not support soft decoding", codec.Name())
@@ -387,14 +450,29 @@ func decodeSoft(ctx context.Context, r *rig.Rig, rec *Record, opts Options, code
 	if err != nil {
 		return nil, err
 	}
+	conf, err := payloadConfidences(votes, captures, rec, opts)
+	if err != nil {
+		return nil, err
+	}
+	msg, err := soft.DecodeSoft(conf[:codedLen*8], rec.MessageBytes)
+	if err != nil {
+		return nil, fmt.Errorf("core: soft decode: %w", err)
+	}
+	return msg, nil
+}
+
+// payloadConfidences converts per-cell power-on vote counts into
+// per-payload-bit P(bit=1) confidences: payload bit = ¬(power-on bit),
+// so P(payload=1) = 1 − votes/total, and decryption flips confidences
+// where the keystream is 1 (XOR in probability space).
+func payloadConfidences(votes []uint16, total int, rec *Record, opts Options) ([]float64, error) {
 	payloadBits := rec.PayloadBytes * 8
 	if payloadBits > len(votes) {
 		return nil, fmt.Errorf("core: record claims %d payload bits but SRAM has %d cells",
 			payloadBits, len(votes))
 	}
-	// Payload bit = ¬(power-on bit), so P(payload=1) = 1 − votes/captures.
 	conf := make([]float64, payloadBits)
-	invN := 1 / float64(captures)
+	invN := 1 / float64(total)
 	for i := range conf {
 		conf[i] = 1 - float64(votes[i])*invN
 	}
@@ -402,8 +480,6 @@ func decodeSoft(ctx context.Context, r *rig.Rig, rec *Record, opts Options, code
 		if opts.Key == nil {
 			return nil, errors.New("core: record is encrypted but no key supplied")
 		}
-		// XOR with the keystream in probability space: where the keystream
-		// bit is 1, P(plain=1) = 1 − P(cipher=1).
 		ks, err := stegocrypt.StreamXOR(*opts.Key, rec.DeviceID, make([]byte, rec.PayloadBytes))
 		if err != nil {
 			return nil, fmt.Errorf("core: keystream: %w", err)
@@ -414,18 +490,26 @@ func decodeSoft(ctx context.Context, r *rig.Rig, rec *Record, opts Options, code
 			}
 		}
 	}
-	codedLen := codec.EncodedLen(rec.MessageBytes)
-	msg, err := soft.DecodeSoft(conf[:codedLen*8], rec.MessageBytes)
-	if err != nil {
-		return nil, fmt.Errorf("core: soft decode: %w", err)
-	}
-	return msg, nil
+	return conf, nil
 }
 
 // RawChannelError measures the single-copy channel error of an encoded
 // device against a known payload — the §5.1 error-profiling primitive.
 func RawChannelError(r *rig.Rig, payload []byte, captures int) (float64, error) {
-	maj, err := r.SampleMajority(captures)
+	return RawChannelErrorContext(context.Background(), r, payload, captures, Options{})
+}
+
+// RawChannelErrorContext is RawChannelError with the same cancellation
+// and bounded-retry treatment as the other capture paths: transient
+// link faults during the capture burst are retried per Options.MaxRetries
+// with backoff charged to the rig's simulated clock.
+func RawChannelErrorContext(ctx context.Context, r *rig.Rig, payload []byte, captures int, opts Options) (float64, error) {
+	var maj []byte
+	err := opts.retry(ctx, r, func() error {
+		var serr error
+		maj, serr = r.SampleMajorityContext(ctx, captures)
+		return serr
+	})
 	if err != nil {
 		return 0, err
 	}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"invisiblebits/internal/device"
+)
+
+func TestRefreshExtendsRetention(t *testing.T) {
+	// Mid-life maintenance: after a year of hot shelf the imprint is
+	// re-read through the ladder, verified against the digest, and
+	// re-soaked. A second year of shelf then lands on a rejuvenated
+	// imprint, and plain fixed-effort decode succeeds where the
+	// unrefreshed twin (see the retention sweep) has already failed.
+	ctx := context.Background()
+	r, opts, aopts, msg := decayCampaign(t, "vault-refresh-2y")
+
+	rec, err := EncodeContext(ctx, r, msg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ShelveAtFor(365*24, 45); err != nil {
+		t.Fatal(err)
+	}
+
+	rr, err := Refresh(ctx, r, rec, aopts, opts.StressHours)
+	if err != nil {
+		t.Fatalf("Refresh: %v", err)
+	}
+	if rr.Decode == nil || !rr.Decode.Verified {
+		t.Fatalf("refresh decode report: %+v", rr.Decode)
+	}
+	if rr.StressHours != opts.StressHours {
+		t.Fatalf("StressHours = %v, want %v", rr.StressHours, opts.StressHours)
+	}
+	if rr.MarginAfter <= rr.MarginBefore {
+		t.Fatalf("margin %0.4f -> %0.4f, want the re-soak to recover margin",
+			rr.MarginBefore, rr.MarginAfter)
+	}
+
+	// The maintenance event lands in the device's tamper-evident ledger
+	// and survives an image save/load round trip (image format v2).
+	log := r.Device().RefreshLog()
+	if len(log) != 1 {
+		t.Fatalf("refresh ledger has %d events, want 1", len(log))
+	}
+	if log[0].StressHours != opts.StressHours || log[0].MarginAfter != rr.MarginAfter {
+		t.Fatalf("ledger event %+v does not match report %+v", log[0], rr)
+	}
+	var buf bytes.Buffer
+	if err := r.Device().Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := device.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := restored.RefreshLog(); len(got) != 1 || got[0] != log[0] {
+		t.Fatalf("ledger after save/load = %+v, want %+v", got, log)
+	}
+
+	// Second year of shelf on the refreshed imprint.
+	if err := r.ShelveAtFor(365*24, 45); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeContext(ctx, r, rec, opts)
+	if err != nil {
+		t.Fatalf("post-refresh hard decode: %v", err)
+	}
+	if err := rec.VerifyMessage(got, opts.Key); err != nil {
+		t.Fatalf("post-refresh digest: %v", err)
+	}
+	if string(got) != string(msg) {
+		t.Fatal("post-refresh decode returned wrong message")
+	}
+}

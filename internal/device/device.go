@@ -26,8 +26,32 @@ type Device struct {
 	SRAM  *sram.Array
 	Flash *flash.Array
 
-	cpu   *cpu.CPU
-	fatal error // non-nil once the device has died permanently
+	cpu        *cpu.CPU
+	fatal      error          // non-nil once the device has died permanently
+	refreshLog []RefreshEvent // maintenance ledger, persisted in the image
+}
+
+// RefreshEvent is one entry in the device's maintenance ledger: a
+// re-stress that restored imprint margin. The ledger travels with the
+// device image so the receiving party can audit how much accelerated
+// aging the carrier has absorbed.
+type RefreshEvent struct {
+	ClockHours   float64 // rig simulated-clock time when the refresh ran
+	StressHours  float64 // length of the re-stress soak
+	MarginBefore float64 // array mean margin before the refresh
+	MarginAfter  float64 // array mean margin after
+}
+
+// RecordRefresh appends a maintenance event to the device's ledger.
+func (d *Device) RecordRefresh(ev RefreshEvent) {
+	d.refreshLog = append(d.refreshLog, ev)
+}
+
+// RefreshLog returns a copy of the device's maintenance ledger.
+func (d *Device) RefreshLog() []RefreshEvent {
+	out := make([]RefreshEvent, len(d.refreshLog))
+	copy(out, d.refreshLog)
+	return out
 }
 
 // Option customizes device construction.

@@ -8,8 +8,9 @@ import (
 	"invisiblebits/internal/sram"
 )
 
-// imageVersion guards the on-disk format.
-const imageVersion = 1
+// imageVersion guards the on-disk format. Version 2 added the refresh
+// maintenance ledger; version-1 images (no ledger) still load.
+const imageVersion = 2
 
 // image is the gob-serialized form of a device: enough to reconstruct
 // the silicon (model + serial regenerate the fingerprint) plus the
@@ -26,6 +27,9 @@ type image struct {
 	// the chip). Flash *analog* state (wear, Vt levels) is not part of
 	// the image — the steganographic channel under study is the SRAM.
 	FlashData []byte
+	// RefreshLog is the maintenance ledger (since version 2). Absent in
+	// version-1 images.
+	RefreshLog []RefreshEvent
 }
 
 // Save serializes the device to w. The CPU is not part of the image —
@@ -33,11 +37,12 @@ type image struct {
 // paper's workflow.
 func (d *Device) Save(w io.Writer) error {
 	img := image{
-		Version:   imageVersion,
-		ModelName: d.Model.Name,
-		Serial:    d.Serial,
-		SRAMBytes: d.SRAM.Bytes(),
-		SRAM:      d.SRAM.StateSnapshot(),
+		Version:    imageVersion,
+		ModelName:  d.Model.Name,
+		Serial:     d.Serial,
+		SRAMBytes:  d.SRAM.Bytes(),
+		SRAM:       d.SRAM.StateSnapshot(),
+		RefreshLog: d.RefreshLog(),
 	}
 	if d.Flash != nil {
 		data, err := d.Flash.Read(0, d.Flash.Bytes())
@@ -58,7 +63,7 @@ func Load(r io.Reader) (*Device, error) {
 	if err := gob.NewDecoder(r).Decode(&img); err != nil {
 		return nil, fmt.Errorf("device: load: %w", err)
 	}
-	if img.Version != imageVersion {
+	if img.Version < 1 || img.Version > imageVersion {
 		return nil, fmt.Errorf("device: image version %d unsupported", img.Version)
 	}
 	model, err := ByName(img.ModelName)
@@ -76,6 +81,7 @@ func Load(r io.Reader) (*Device, error) {
 	if err := d.SRAM.RestoreState(img.SRAM); err != nil {
 		return nil, err
 	}
+	d.refreshLog = append(d.refreshLog, img.RefreshLog...)
 	if d.Flash != nil && img.FlashData != nil {
 		if len(img.FlashData) != d.Flash.Bytes() {
 			return nil, fmt.Errorf("device: image flash is %d bytes, device has %d",

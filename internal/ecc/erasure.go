@@ -1,0 +1,223 @@
+package ecc
+
+import "fmt"
+
+// ErasureDecoder is the optional erasure-channel interface. The adaptive
+// decoder marks coded bits whose vote confidence falls inside a dead zone
+// as *erasures* — "the channel gave no information here" — instead of
+// forcing them to a hard 0/1. Erasures are strictly better information
+// than coin-flip bits: a distance-d code corrects t errors and e erasures
+// whenever 2t+e < d, so Hamming(7,4) absorbs two erasures per codeword
+// where it could only absorb one error.
+//
+// payload holds the hard decision for every coded bit (erased positions
+// carry an arbitrary value); erased is the per-coded-bit mask, length
+// 8×EncodedLen(msgBytes). The returned unresolved mask (length
+// 8×msgBytes) marks message bits the code could not pin down — they are
+// 0-filled in msg, and callers treat them as residual uncertainty.
+type ErasureDecoder interface {
+	Codec
+	DecodeErasure(payload []byte, erased []bool, msgBytes int) (msg []byte, unresolved []bool, err error)
+}
+
+// checkErasureShape validates the (payload, erased) pair against the
+// codec's expansion for msgBytes.
+func checkErasureShape(c Codec, payload []byte, erased []bool, msgBytes int) error {
+	if len(payload) != c.EncodedLen(msgBytes) {
+		return ErrPayloadSize
+	}
+	if len(erased) != len(payload)*8 {
+		return fmt.Errorf("ecc: erasure mask has %d bits for a %d-byte payload", len(erased), len(payload))
+	}
+	return nil
+}
+
+// DecodeErasure implements ErasureDecoder for Identity: non-erased bits
+// pass through, erased bits stay unresolved.
+func (id Identity) DecodeErasure(payload []byte, erased []bool, msgBytes int) ([]byte, []bool, error) {
+	if err := checkErasureShape(id, payload, erased, msgBytes); err != nil {
+		return nil, nil, err
+	}
+	out := make([]byte, msgBytes)
+	unresolved := make([]bool, msgBytes*8)
+	for bit := 0; bit < msgBytes*8; bit++ {
+		if erased[bit] {
+			unresolved[bit] = true
+			continue
+		}
+		setBit(out, bit, getBit(payload, bit))
+	}
+	return out, unresolved, nil
+}
+
+// DecodeErasure implements ErasureDecoder for the repetition code: each
+// message bit is majority-voted over its non-erased copies only. A bit
+// with no surviving copies — or an exact tie among them — stays
+// unresolved.
+func (r Repetition) DecodeErasure(payload []byte, erased []bool, msgBytes int) ([]byte, []bool, error) {
+	if err := checkErasureShape(r, payload, erased, msgBytes); err != nil {
+		return nil, nil, err
+	}
+	out := make([]byte, msgBytes)
+	unresolved := make([]bool, msgBytes*8)
+	bitsPerCopy := msgBytes * 8
+	for bit := 0; bit < bitsPerCopy; bit++ {
+		ones, avail := 0, 0
+		for c := 0; c < r.N; c++ {
+			pos := c*bitsPerCopy + bit
+			if erased[pos] {
+				continue
+			}
+			avail++
+			ones += int(getBit(payload, pos))
+		}
+		switch {
+		case avail == 0 || 2*ones == avail:
+			unresolved[bit] = true
+		case 2*ones > avail:
+			setBit(out, bit, 1)
+		}
+	}
+	return out, unresolved, nil
+}
+
+// DecodeErasure implements ErasureDecoder for Hamming(7,4) by
+// maximum-likelihood decoding over the 16 codewords: each codeword's
+// distance to the received bits is measured on non-erased positions only,
+// and the nearest wins. With e erasures and t errors this succeeds
+// whenever 2t+e < 3 — in particular two erasures and no errors, which a
+// plain syndrome decode would miscorrect. An ambiguous codeword (distance
+// tie between different data nibbles, or all positions erased) marks its
+// four data bits unresolved.
+func (h Hamming74) DecodeErasure(payload []byte, erased []bool, msgBytes int) ([]byte, []bool, error) {
+	if err := checkErasureShape(h, payload, erased, msgBytes); err != nil {
+		return nil, nil, err
+	}
+	out := make([]byte, msgBytes)
+	unresolved := make([]bool, msgBytes*8)
+	bit := 0
+	for i := 0; i < msgBytes; i++ {
+		var b byte
+		for half := 0; half < 2; half++ {
+			var cw byte
+			var mask byte // 1 = position is usable
+			for k := 0; k < 7; k++ {
+				if !erased[bit] {
+					mask |= 1 << k
+					cw |= getBit(payload, bit) << k
+				}
+				bit++
+			}
+			nib, ok := mlNibble(cw, mask)
+			if !ok {
+				for k := 0; k < 4; k++ {
+					unresolved[i*8+half*4+k] = true
+				}
+			}
+			b |= nib << (4 * half)
+		}
+		out[i] = b
+	}
+	return out, unresolved, nil
+}
+
+// mlNibble returns the data nibble whose codeword is nearest to cw on the
+// positions selected by mask; ok is false when the choice is ambiguous
+// (distance tie, or no usable positions at all).
+func mlNibble(cw, mask byte) (nib byte, ok bool) {
+	if mask == 0 {
+		return 0, false
+	}
+	best, bestDist, ties := byte(0), 8, 0
+	for d := byte(0); d < 16; d++ {
+		dist := popcount7((encodeNibble(d) ^ cw) & mask)
+		switch {
+		case dist < bestDist:
+			best, bestDist, ties = d, dist, 1
+		case dist == bestDist:
+			ties++
+		}
+	}
+	return best, ties == 1
+}
+
+// popcount7 counts set bits in a 7-bit value.
+func popcount7(v byte) int {
+	n := 0
+	for ; v != 0; v &= v - 1 {
+		n++
+	}
+	return n
+}
+
+// DecodeErasure implements ErasureDecoder for Composite when the inner
+// (channel-facing) codec supports erasures: the inner code consumes the
+// channel mask and its unresolved message bits become *erasures for the
+// outer code* — exactly how concatenated codes pass soft information
+// upward. An outer codec without erasure support falls back to its hard
+// decode over the 0-filled intermediate.
+func (c Composite) DecodeErasure(payload []byte, erased []bool, msgBytes int) ([]byte, []bool, error) {
+	inner, ok := c.Inner.(ErasureDecoder)
+	if !ok {
+		return nil, nil, fmt.Errorf("ecc: inner codec %s has no erasure decoder", c.Inner.Name())
+	}
+	midLen := c.Outer.EncodedLen(msgBytes)
+	mid, midErased, err := inner.DecodeErasure(payload, erased, midLen)
+	if err != nil {
+		return nil, nil, err
+	}
+	if outer, ok := c.Outer.(ErasureDecoder); ok {
+		return outer.DecodeErasure(mid, midErased, msgBytes)
+	}
+	msg, err := c.Outer.Decode(mid, msgBytes)
+	if err != nil {
+		return nil, nil, err
+	}
+	return msg, make([]bool, msgBytes*8), nil
+}
+
+// DecodeErasure implements ErasureDecoder for Interleaver by
+// de-interleaving both the payload and the erasure mask before
+// delegating.
+func (il Interleaver) DecodeErasure(payload []byte, erased []bool, msgBytes int) ([]byte, []bool, error) {
+	next, ok := il.Next.(ErasureDecoder)
+	if !ok {
+		return nil, nil, fmt.Errorf("ecc: codec %s has no erasure decoder", il.Next.Name())
+	}
+	if il.Depth < 1 {
+		return nil, nil, fmt.Errorf("ecc: interleaver depth %d < 1", il.Depth)
+	}
+	if err := checkErasureShape(il, payload, erased, msgBytes); err != nil {
+		return nil, nil, err
+	}
+	n := len(payload) * 8
+	p := il.permute(n)
+	lin := make([]byte, len(payload))
+	linErased := make([]bool, n)
+	for i := 0; i < n; i++ {
+		setBit(lin, i, getBit(payload, p[i]))
+		linErased[i] = erased[p[i]]
+	}
+	return next.DecodeErasure(lin, linErased, msgBytes)
+}
+
+// CountUnresolved returns how many bits an unresolved mask leaves open —
+// the residual uncertainty a DecodeReport records for the erasure rung.
+func CountUnresolved(mask []bool) int {
+	n := 0
+	for _, u := range mask {
+		if u {
+			n++
+		}
+	}
+	return n
+}
+
+// Interface checks.
+var (
+	_ ErasureDecoder = Identity{}
+	_ ErasureDecoder = Repetition{}
+	_ ErasureDecoder = Hamming74{}
+	_ ErasureDecoder = Composite{}
+	_ ErasureDecoder = Interleaver{}
+)

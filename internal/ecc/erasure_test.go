@@ -1,0 +1,245 @@
+package ecc
+
+import (
+	"bytes"
+	"testing"
+
+	"invisiblebits/internal/rng"
+)
+
+// eraseBits builds an all-clear mask for a payload and erases the listed
+// coded-bit positions (flipping the underlying bit to garbage too, so a
+// decoder peeking at erased positions would be caught).
+func eraseBits(payload []byte, positions ...int) []bool {
+	erased := make([]bool, len(payload)*8)
+	for _, p := range positions {
+		erased[p] = true
+		payload[p/8] ^= 1 << (p % 8)
+	}
+	return erased
+}
+
+func TestRepetitionErasureVotesAmongSurvivors(t *testing.T) {
+	rep, err := NewRepetition(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte{0xA5, 0x3C}
+	payload, err := rep.Encode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Erase one whole copy (copy 1): the remaining two copies agree, so
+	// every bit still resolves.
+	bits := len(msg) * 8
+	var pos []int
+	for b := 0; b < bits; b++ {
+		pos = append(pos, bits+b)
+	}
+	erased := eraseBits(payload, pos...)
+	got, unresolved, err := rep.DecodeErasure(payload, erased, len(msg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("got %x want %x", got, msg)
+	}
+	if CountUnresolved(unresolved) != 0 {
+		t.Fatalf("unresolved = %d, want 0", CountUnresolved(unresolved))
+	}
+}
+
+func TestRepetitionErasureTieAndTotalLoss(t *testing.T) {
+	rep, err := NewRepetition(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte{0xFF}
+	payload, err := rep.Encode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bit 0: all three copies erased -> unresolved. Bit 1: one copy erased
+	// and one of the survivors flipped -> 1-1 tie -> unresolved.
+	erased := eraseBits(payload, 0, 8, 16, 9)
+	payload[0] ^= 1 << 1 // corrupt bit 1 of copy 0
+	got, unresolved, err := rep.DecodeErasure(payload, erased, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !unresolved[0] || !unresolved[1] {
+		t.Fatalf("bits 0,1 should be unresolved: %v", unresolved)
+	}
+	if CountUnresolved(unresolved) != 2 {
+		t.Fatalf("unresolved = %d, want 2", CountUnresolved(unresolved))
+	}
+	// The six remaining bits still vote 1.
+	if got[0]&^0b11 != 0b11111100 {
+		t.Fatalf("surviving bits wrong: %08b", got[0])
+	}
+}
+
+func TestHammingErasureCorrectsTwoErasures(t *testing.T) {
+	h := Hamming74{}
+	msg := []byte{0x6B, 0x12, 0xF0, 0x07}
+	payload, err := h.Encode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two erasures inside the first codeword: beyond single-error syndrome
+	// decoding, within 2t+e < 3 for t=0, e=2.
+	erased := eraseBits(payload, 2, 5)
+	got, unresolved, err := h.DecodeErasure(payload, erased, len(msg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("got %x want %x", got, msg)
+	}
+	if CountUnresolved(unresolved) != 0 {
+		t.Fatalf("unresolved = %d", CountUnresolved(unresolved))
+	}
+}
+
+func TestHammingErasureSingleErrorStillCorrected(t *testing.T) {
+	h := Hamming74{}
+	msg := []byte{0x4D}
+	payload, err := h.Encode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload[0] ^= 1 << 3 // one plain error, no erasures
+	erased := make([]bool, len(payload)*8)
+	got, _, err := h.DecodeErasure(payload, erased, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0x4D {
+		t.Fatalf("got %x want 4d", got[0])
+	}
+}
+
+func TestHammingErasureWholeCodewordLost(t *testing.T) {
+	h := Hamming74{}
+	msg := []byte{0xAB}
+	payload, err := h.Encode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	erased := eraseBits(payload, 0, 1, 2, 3, 4, 5, 6) // first codeword gone
+	got, unresolved, err := h.DecodeErasure(payload, erased, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Low nibble unresolved, high nibble intact.
+	for k := 0; k < 4; k++ {
+		if !unresolved[k] {
+			t.Fatalf("low-nibble bit %d should be unresolved", k)
+		}
+	}
+	if got[0]>>4 != 0xA {
+		t.Fatalf("high nibble = %x, want a", got[0]>>4)
+	}
+}
+
+func TestCompositeErasurePropagatesThroughLayers(t *testing.T) {
+	rep, err := NewRepetition(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := Composite{Outer: Hamming74{}, Inner: rep}
+	msg := []byte("erasures climb the stack")
+	payload, err := comp.Encode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill all three copies of two intermediate (Hamming-coded) bits: the
+	// repetition layer cannot resolve them, but the outer Hamming absorbs
+	// both as erasures in the same codeword.
+	midBits := Hamming74{}.EncodedLen(len(msg)) * 8
+	erased := eraseBits(payload,
+		0, midBits+0, 2*midBits+0,
+		1, midBits+1, 2*midBits+1)
+	got, unresolved, err := comp.DecodeErasure(payload, erased, len(msg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("got %q want %q", got, msg)
+	}
+	if CountUnresolved(unresolved) != 0 {
+		t.Fatalf("unresolved = %d", CountUnresolved(unresolved))
+	}
+}
+
+func TestInterleaverErasureDelegates(t *testing.T) {
+	rep, err := NewRepetition(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	il := Interleaver{Depth: 4, Next: rep}
+	msg := []byte{0x5A, 0xC3}
+	payload, err := il.Encode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	erased := eraseBits(payload, 0, 7, 13, 21)
+	got, _, err := il.DecodeErasure(payload, erased, len(msg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("got %x want %x", got, msg)
+	}
+}
+
+func TestErasureMatchesHardDecodeWithEmptyMask(t *testing.T) {
+	// With nothing erased, every erasure decoder must agree with its hard
+	// decoder on random noisy payloads.
+	rep, err := NewRepetition(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	codecs := []ErasureDecoder{Identity{}, rep, Hamming74{},
+		Composite{Outer: Hamming74{}, Inner: rep}}
+	src := rng.NewSource(77)
+	for _, c := range codecs {
+		msg := make([]byte, 32)
+		src.Bytes(msg)
+		payload, err := c.Encode(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Light corruption within the code's budget for repetition-backed
+		// codecs; identity and bare Hamming get a clean payload so both
+		// paths are exact.
+		if _, isRep := c.(Repetition); isRep {
+			payload[3] ^= 0x01
+		}
+		hard, err := c.Decode(payload, len(msg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		viaErasure, unresolved, err := c.DecodeErasure(payload, make([]bool, len(payload)*8), len(msg))
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		if !bytes.Equal(hard, viaErasure) {
+			t.Fatalf("%s: erasure path diverges from hard decode", c.Name())
+		}
+		if CountUnresolved(unresolved) != 0 {
+			t.Fatalf("%s: unresolved on clean mask", c.Name())
+		}
+	}
+}
+
+func TestErasureShapeValidation(t *testing.T) {
+	h := Hamming74{}
+	if _, _, err := h.DecodeErasure([]byte{1, 2}, make([]bool, 16), 4); err == nil {
+		t.Error("short payload accepted")
+	}
+	payload, _ := h.Encode([]byte{1})
+	if _, _, err := h.DecodeErasure(payload, make([]bool, 3), 1); err == nil {
+		t.Error("short mask accepted")
+	}
+}

@@ -30,7 +30,6 @@ import (
 	"invisiblebits/internal/faults"
 	"invisiblebits/internal/rig"
 	"invisiblebits/internal/rng"
-	"invisiblebits/internal/stats"
 )
 
 // Characterization is one device's measured channel quality.
@@ -117,23 +116,14 @@ func characterizeOne(ctx context.Context, i int, r *rig.Rig, captures int) (Char
 	if err := r.SetVoltage(dev.Model.VNomV); err != nil {
 		return Characterization{}, err
 	}
-	var maj []byte
-	err := faults.Retry(ctx, r, core.DefaultMaxRetries, core.DefaultRetryBackoffHours, func() error {
-		var serr error
-		maj, serr = r.SampleMajorityContext(ctx, captures)
-		return serr
-	})
+	chErr, err := core.RawChannelErrorContext(ctx, r, payload, captures, core.Options{})
 	if err != nil {
 		return Characterization{}, err
-	}
-	inv := make([]byte, len(maj))
-	for k, b := range maj {
-		inv[k] = ^b
 	}
 	return Characterization{
 		Index:        i,
 		DeviceID:     dev.DeviceID(),
-		ChannelError: stats.BitErrorRate(inv, payload),
+		ChannelError: chErr,
 	}, nil
 }
 
@@ -410,7 +400,11 @@ func GatherContext(ctx context.Context, rigs []*rig.Rig, striped *StripeResult, 
 		return rigs[s.Index], nil
 	}
 
-	// Decode the data shards.
+	// Decode the data shards. Records carrying a digest are verified:
+	// a shard that decodes to the *wrong* bytes is as lost as one that
+	// does not decode at all, and flagging it here makes it eligible
+	// for parity reconstruction instead of silently corrupting the
+	// reassembled message.
 	segments := map[int][]byte{}
 	rep := &GatherReport{}
 	for _, shard := range striped.Shards {
@@ -419,6 +413,11 @@ func GatherContext(ctx context.Context, rigs []*rig.Rig, striped *StripeResult, 
 			return nil, err
 		}
 		part, err := core.DecodeContext(ctx, r, shard.Record, opts)
+		if err == nil && shard.Record.HasDigest() {
+			if verr := shard.Record.VerifyMessage(part, opts.Key); verr != nil {
+				part, err = nil, verr
+			}
+		}
 		st := ShardStatus{Index: shard.Index, DeviceID: shard.Record.DeviceID, Err: err}
 		if err == nil {
 			segments[shard.Index] = part
@@ -497,6 +496,11 @@ func reconstructFromParity(ctx context.Context, rigs []*rig.Rig, striped *Stripe
 	if err != nil {
 		return nil, fmt.Errorf("fleet: parity decode: %w", err)
 	}
+	if striped.Parity.Record.HasDigest() {
+		if verr := striped.Parity.Record.VerifyMessage(parity, opts.Key); verr != nil {
+			return nil, fmt.Errorf("fleet: parity decode: %w", verr)
+		}
+	}
 	seg := append([]byte(nil), parity...)
 	for idx, n := range sizes {
 		if n == 0 || idx == lostIdx {
@@ -509,5 +513,15 @@ func reconstructFromParity(ctx context.Context, rigs []*rig.Rig, striped *Stripe
 	if sizes[lostIdx] > len(seg) {
 		return nil, fmt.Errorf("fleet: parity shorter (%d) than lost segment (%d)", len(seg), sizes[lostIdx])
 	}
-	return seg[:sizes[lostIdx]], nil
+	seg = seg[:sizes[lostIdx]]
+	// When the lost slot's own record survived (its carrier decoded
+	// wrong, not never-encoded), its digest cross-checks the rebuild.
+	for _, s := range striped.Shards {
+		if s.Index == lostIdx && s.Record != nil && s.Record.HasDigest() {
+			if verr := s.Record.VerifyMessage(seg, opts.Key); verr != nil {
+				return nil, fmt.Errorf("fleet: reconstructed shard %d: %w", lostIdx, verr)
+			}
+		}
+	}
+	return seg, nil
 }

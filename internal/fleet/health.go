@@ -1,0 +1,173 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"invisiblebits/internal/core"
+	"invisiblebits/internal/faults"
+	"invisiblebits/internal/rig"
+)
+
+// DefaultMarginThreshold flags a carrier for maintenance when its array
+// mean margin drops below this value. A fresh imprint probes well above
+// 0.9; by the time the mean margin nears 0.6 a meaningful fraction of
+// cells have drifted into coin-flip territory and fixed-effort decode
+// starts failing.
+const DefaultMarginThreshold = 0.6
+
+// CarrierHealth is one carrier's outcome in a health sweep.
+type CarrierHealth struct {
+	Index    int
+	DeviceID string
+	// Probe is the margin estimate; nil when probing failed (Err set).
+	Probe *rig.HealthReport
+	// Err carries the probe or refresh failure for this carrier.
+	Err error
+	// Flagged is true when the probed margin fell below the threshold.
+	Flagged bool
+	// Refresh is the maintenance outcome when a refresh was scheduled
+	// and ran (nil otherwise).
+	Refresh *core.RefreshReport
+}
+
+// HealthSweepReport aggregates a sweep.
+type HealthSweepReport struct {
+	Carriers  []CarrierHealth
+	Flagged   []int // indices of carriers below the margin threshold
+	Refreshed []int // indices whose refresh completed successfully
+}
+
+// Err joins the per-carrier failures (nil when every carrier probed —
+// and, if scheduled, refreshed — cleanly).
+func (h *HealthSweepReport) Err() error {
+	var errs []error
+	for _, c := range h.Carriers {
+		if c.Err != nil {
+			errs = append(errs, fmt.Errorf("fleet: carrier %d (%s): %w", c.Index, c.DeviceID, c.Err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// HealthSweepOptions configures a sweep.
+type HealthSweepOptions struct {
+	// Captures is the probe burst per carrier; 0 means
+	// rig.DefaultHealthCaptures.
+	Captures int
+	// MarginThreshold flags carriers probing below it; 0 means
+	// DefaultMarginThreshold.
+	MarginThreshold float64
+	// Refresh schedules a core.Refresh for every flagged carrier that
+	// has a record in Records.
+	Refresh bool
+	// Records maps carriers to their encode records (matched by device
+	// ID, falling back to slice position). Only needed when Refresh is
+	// set — probing is plaintext-free.
+	Records []*core.Record
+	// Adaptive configures the refresh's decode ladder and retry policy.
+	Adaptive core.AdaptiveOptions
+	// StressHours is the refresh re-soak; ≤ 0 uses the model default.
+	StressHours float64
+}
+
+func (o HealthSweepOptions) threshold() float64 {
+	if o.MarginThreshold <= 0 {
+		return DefaultMarginThreshold
+	}
+	return o.MarginThreshold
+}
+
+// recordFor matches a carrier to its encode record by device ID, then
+// by slice position.
+func (o HealthSweepOptions) recordFor(i int, deviceID string) *core.Record {
+	for _, rec := range o.Records {
+		if rec != nil && rec.DeviceID == deviceID {
+			return rec
+		}
+	}
+	if i < len(o.Records) {
+		return o.Records[i]
+	}
+	return nil
+}
+
+// HealthSweep probes every carrier's retention margin concurrently,
+// flags the ones below the threshold, and — when opts.Refresh is set —
+// refreshes each flagged carrier whose record is known. Probes need no
+// plaintext or key, so a sweep can run against carriers the operator
+// cannot read. The sweep is fault-tolerant like the rest of the fleet
+// layer: a dead or flaky carrier is reported in its CarrierHealth entry
+// and never sinks the sweep; the error return covers only structural
+// misuse (no carriers).
+func HealthSweep(ctx context.Context, rigs []*rig.Rig, opts HealthSweepOptions) (*HealthSweepReport, error) {
+	if len(rigs) == 0 {
+		return nil, errors.New("fleet: no devices")
+	}
+	rep := &HealthSweepReport{Carriers: make([]CarrierHealth, len(rigs))}
+	threshold := opts.threshold()
+
+	var wg sync.WaitGroup
+	for i, r := range rigs {
+		wg.Add(1)
+		go func(i int, r *rig.Rig) {
+			defer wg.Done()
+			c := &rep.Carriers[i]
+			c.Index = i
+			c.DeviceID = r.Device().DeviceID()
+			var probe *rig.HealthReport
+			err := faults.Retry(ctx, r, core.DefaultMaxRetries, core.DefaultRetryBackoffHours, func() error {
+				var perr error
+				probe, perr = r.ProbeHealthContext(ctx, opts.Captures, 0)
+				return perr
+			})
+			if err != nil {
+				c.Err = err
+				return
+			}
+			c.Probe = probe
+			c.Flagged = probe.MeanMargin < threshold
+		}(i, r)
+	}
+	wg.Wait()
+
+	for i := range rep.Carriers {
+		if rep.Carriers[i].Flagged {
+			rep.Flagged = append(rep.Flagged, i)
+		}
+	}
+	if !opts.Refresh || len(rep.Flagged) == 0 {
+		return rep, nil
+	}
+
+	// Refresh flagged carriers concurrently — each soak runs on its own
+	// rig, all sharing the thermal chamber like a striped encode.
+	for _, i := range rep.Flagged {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := &rep.Carriers[i]
+			rec := opts.recordFor(i, c.DeviceID)
+			if rec == nil {
+				c.Err = fmt.Errorf("fleet: carrier flagged but no record to refresh from")
+				return
+			}
+			rr, err := core.Refresh(ctx, rigs[i], rec, opts.Adaptive, opts.StressHours)
+			c.Refresh = rr
+			if err != nil {
+				c.Err = err
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	for _, i := range rep.Flagged {
+		c := rep.Carriers[i]
+		if c.Err == nil && c.Refresh != nil {
+			rep.Refreshed = append(rep.Refreshed, i)
+		}
+	}
+	return rep, nil
+}

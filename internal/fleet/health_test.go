@@ -1,0 +1,160 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"invisiblebits/internal/core"
+	"invisiblebits/internal/device"
+	"invisiblebits/internal/ecc"
+	"invisiblebits/internal/faults"
+	"invisiblebits/internal/rig"
+	"invisiblebits/internal/rng"
+	"invisiblebits/internal/stegocrypt"
+)
+
+// TestHealthSweepRefreshRestoresStripe is the fleet-maintenance
+// acceptance scenario: a message striped across three small carriers
+// decays through two simulated years of hot shelf storage until Gather
+// can no longer reassemble it. A health sweep probes every carrier
+// (plaintext-free), flags them against a campaign-calibrated margin
+// threshold, refreshes each one through the self-verifying decode
+// ladder, and afterwards a plain Gather succeeds again.
+func TestHealthSweepRefreshRestoresStripe(t *testing.T) {
+	model, err := device.ByName("MSP432P401")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep7, err := ecc.NewRepetition(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := stegocrypt.KeyFromPassphrase("stripe-health")
+	opts := core.Options{
+		Codec:       ecc.Composite{Outer: ecc.Hamming74{}, Inner: rep7},
+		Key:         &key,
+		StressHours: 14,
+	}
+	// Fill all three carriers to capacity so every one holds a shard.
+	capBytes := core.MaxMessageBytes(1<<10, opts.Codec)
+	msg := make([]byte, 3*capBytes)
+	rng.NewSource(99).Bytes(msg)
+	ctx := context.Background()
+	profile := faults.Profile{Seed: 7, WeakFrac: 0.14}
+
+	rigs := make([]*rig.Rig, 3)
+	for i := range rigs {
+		d, err := device.New(model, fmt.Sprintf("stripe-%d", i), device.WithSRAMLimit(1<<10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rigs[i] = rig.New(d, rig.WithInjector(faults.New(profile, d.Serial)))
+	}
+
+	striped, err := Stripe(rigs, msg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rigs {
+		if err := r.ShelveAtFor(2*365*24, 45); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The decayed stripe is unreadable at fixed effort.
+	if _, err := Gather(rigs, striped, opts); err == nil {
+		t.Fatal("gather on the decayed stripe unexpectedly succeeded")
+	}
+
+	records := make([]*core.Record, len(striped.Shards))
+	for i, sh := range striped.Shards {
+		records[i] = sh.Record
+	}
+	// MeanMargin barely moves with decay on this channel (stably-wrong
+	// cells still vote with full margin), so the threshold is calibrated
+	// against the campaign's fresh baseline rather than the permissive
+	// package default.
+	sweep, err := HealthSweep(ctx, rigs, HealthSweepOptions{
+		MarginThreshold: 0.9,
+		Refresh:         true,
+		Records:         records,
+		Adaptive:        core.AdaptiveOptions{Options: opts, MaxCaptures: 45},
+		StressHours:     opts.StressHours,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sweep.Err(); err != nil {
+		t.Fatalf("sweep casualties: %v", err)
+	}
+	if len(sweep.Flagged) != len(rigs) || len(sweep.Refreshed) != len(rigs) {
+		t.Fatalf("flagged %v refreshed %v, want all %d carriers", sweep.Flagged, sweep.Refreshed, len(rigs))
+	}
+	for _, c := range sweep.Carriers {
+		if c.Probe == nil {
+			t.Fatalf("carrier %d has no probe report", c.Index)
+		}
+		if c.Probe.MeanMargin <= 0 || c.Probe.MeanMargin >= 0.9 {
+			t.Fatalf("carrier %d margin %.3f, want in (0, 0.9) on the decayed fleet",
+				c.Index, c.Probe.MeanMargin)
+		}
+		if c.Refresh == nil || !c.Refresh.Decode.Verified {
+			t.Fatalf("carrier %d refresh report %+v, want a verified ladder decode", c.Index, c.Refresh)
+		}
+		if c.Refresh.MarginAfter <= c.Refresh.MarginBefore {
+			t.Fatalf("carrier %d margin %.4f -> %.4f, want the re-soak to recover margin",
+				c.Index, c.Refresh.MarginBefore, c.Refresh.MarginAfter)
+		}
+		if got := rigs[c.Index].Device().RefreshLog(); len(got) != 1 {
+			t.Fatalf("carrier %d refresh ledger has %d events, want 1", c.Index, len(got))
+		}
+	}
+
+	got, err := Gather(rigs, striped, opts)
+	if err != nil {
+		t.Fatalf("gather after refresh: %v", err)
+	}
+	if string(got) != string(msg) {
+		t.Fatal("gather after refresh returned wrong message")
+	}
+}
+
+// TestHealthSweepToleratesDeadCarrier: a carrier whose link is dead is
+// reported in its own entry and never sinks the sweep.
+func TestHealthSweepToleratesDeadCarrier(t *testing.T) {
+	model, err := device.ByName("MSP432P401")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(serial string, p faults.Profile) *rig.Rig {
+		d, err := device.New(model, serial, device.WithSRAMLimit(1<<10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rig.New(d, rig.WithInjector(faults.New(p, d.Serial)))
+	}
+	rigs := []*rig.Rig{
+		mk("sweep-ok", faults.Profile{}),
+		mk("sweep-dead", faults.Profile{Seed: 3, FailAtHours: 0.001}),
+	}
+	// Charge some clock time so the second carrier is already dead.
+	for _, r := range rigs {
+		if err := r.ShelveAtFor(1, 25); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sweep, err := HealthSweep(context.Background(), rigs, HealthSweepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sweep.Carriers[0].Err != nil || sweep.Carriers[0].Probe == nil {
+		t.Fatalf("healthy carrier: %+v", sweep.Carriers[0])
+	}
+	if sweep.Carriers[1].Err == nil {
+		t.Fatal("dead carrier reported no error")
+	}
+	if sweep.Err() == nil {
+		t.Fatal("sweep error summary should name the casualty")
+	}
+}

@@ -328,6 +328,23 @@ func (r *Rig) ShelveFor(hours float64) error {
 	return nil
 }
 
+// ShelveAtFor stores the unpowered device at tempC for hours — hot
+// storage accelerates imprint recovery (the §5.2 retention surface).
+// Unlike calling the device's ShelveAt directly, this charges the shelf
+// time to the rig's simulated clock, so time-keyed fault profiles (e.g.
+// FailAtHours) stay consistent with the aging timeline.
+func (r *Rig) ShelveAtFor(hours, tempC float64) error {
+	if r.dev.SRAM.Powered() {
+		r.PowerOff()
+	}
+	if err := r.dev.ShelveAt(hours, tempC); err != nil {
+		return err
+	}
+	r.clockHours += hours
+	r.logf("shelved %.1fh at %.0f°C", hours, tempC)
+	return nil
+}
+
 // SampleVotes captures n power-on states and returns the per-cell count
 // of 1 readings — the soft information that ecc.SoftDecoder consumes.
 // The device is left powered.

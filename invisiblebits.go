@@ -148,15 +148,66 @@ func (c *Carrier) Shelve(hours float64) error { return c.rig.ShelveFor(hours) }
 // accelerates natural recovery — an adversary can "bake" a suspect
 // device to degrade a potential message, but the permanent component of
 // the encoding bounds the damage (see the sram baking-attack test).
+// Shelf time is charged to the rig's simulated clock, so time-keyed
+// fault profiles stay aligned with the aging timeline.
 func (c *Carrier) ShelveAt(hours, tempC float64) error {
-	if c.rig.Device().SRAM.Powered() {
-		c.rig.PowerOff()
-	}
-	return c.rig.Device().ShelveAt(hours, tempC)
+	return c.rig.ShelveAtFor(hours, tempC)
 }
 
 // KeyFromPassphrase derives a pre-shared key from a passphrase.
 func KeyFromPassphrase(pass string) Key { return stegocrypt.KeyFromPassphrase(pass) }
+
+// --- adaptive decode and retention health --------------------------------------
+
+type (
+	// AdaptiveOptions configures RevealAdaptive's escalation ladder
+	// (initial/max captures, erasure dead zone) on top of Options.
+	AdaptiveOptions = core.AdaptiveOptions
+	// DecodeReport is the structured account of an adaptive decode:
+	// rungs attempted, captures spent, residual channel error.
+	DecodeReport = core.DecodeReport
+	// RefreshOutcome reports a maintenance refresh: the decode effort
+	// and the margins before/after the re-stress.
+	RefreshOutcome = core.RefreshReport
+	// HealthReport is a plaintext-free retention-margin estimate.
+	HealthReport = rig.HealthReport
+	// RegionHealth is one SRAM region's margin estimate.
+	RegionHealth = rig.RegionHealth
+)
+
+// RevealAdaptive runs the self-verifying escalation ladder: a cheap
+// low-capture hard decode first, then — only if the record's integrity
+// digest rejects the result — more captures, soft-decision decoding,
+// and erasure-aware decoding, accumulating captures across rungs. The
+// report shows how hard the ladder had to work. Requires a record
+// minted with a digest (any Hide since the digest scheme).
+func (c *Carrier) RevealAdaptive(rec *Record, opts AdaptiveOptions) ([]byte, *DecodeReport, error) {
+	return core.DecodeAdaptive(context.Background(), c.rig, rec, opts)
+}
+
+// RevealAdaptiveContext is RevealAdaptive with cancellation.
+func (c *Carrier) RevealAdaptiveContext(ctx context.Context, rec *Record, opts AdaptiveOptions) ([]byte, *DecodeReport, error) {
+	return core.DecodeAdaptive(ctx, c.rig, rec, opts)
+}
+
+// ProbeHealth estimates the carrier's retention margin from power-on
+// captures alone — no plaintext or key needed. captures ≤ 0 uses the
+// probing default; regionBytes ≤ 0 treats the array as one region.
+func (c *Carrier) ProbeHealth(captures, regionBytes int) (*HealthReport, error) {
+	return c.rig.ProbeHealth(captures, regionBytes)
+}
+
+// Refresh restores a decaying imprint: the message is recovered with
+// the full adaptive ladder (digest-verified), rewritten, and
+// re-stressed under the safe-voltage interlock. stressHours ≤ 0 uses
+// the model's encoding time. The device's maintenance ledger (persisted
+// by SaveDevice) records the event.
+func (c *Carrier) Refresh(rec *Record, opts AdaptiveOptions, stressHours float64) (*RefreshOutcome, error) {
+	return core.Refresh(context.Background(), c.rig, rec, opts, stressHours)
+}
+
+// RefreshLog returns the carrier's maintenance ledger.
+func (c *Carrier) RefreshLog() []device.RefreshEvent { return c.rig.Device().RefreshLog() }
 
 // --- codecs -------------------------------------------------------------------
 
@@ -279,6 +330,20 @@ func StripeMessageWith(ctx context.Context, carriers []*Carrier, message []byte,
 // slice must include spares and the parity carrier used at stripe time.
 func GatherReportFor(ctx context.Context, carriers []*Carrier, striped *StripedMessage, opts Options) (*GatherOutcome, error) {
 	return fleet.GatherContext(ctx, rigsOf(carriers), striped, opts)
+}
+
+// FleetHealth aggregates a health sweep across carriers.
+type FleetHealth = fleet.HealthSweepReport
+
+// HealthSweepConfig configures HealthSweepFleet.
+type HealthSweepConfig = fleet.HealthSweepOptions
+
+// HealthSweepFleet probes every carrier's retention margin concurrently
+// (no plaintext needed), flags carriers below the margin threshold, and
+// optionally refreshes the flagged ones from their records. Dead or
+// flaky carriers are reported per-slot, never sinking the sweep.
+func HealthSweepFleet(ctx context.Context, carriers []*Carrier, cfg HealthSweepConfig) (*FleetHealth, error) {
+	return fleet.HealthSweep(ctx, rigsOf(carriers), cfg)
 }
 
 // SaveDevice serializes a device (silicon identity + aging state) so it
