@@ -10,9 +10,11 @@ package invisiblebits
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"invisiblebits/internal/experiments"
+	"invisiblebits/internal/sram"
 )
 
 // benchConfig keeps per-iteration cost low while staying inside every
@@ -209,4 +211,56 @@ func BenchmarkAblationCipherChoice(b *testing.B) {
 	res := runExperiment(b, "abl-cipher").(*experiments.AblCipherResult)
 	b.ReportMetric(100*res.CTRError, "ctr-err-%")
 	b.ReportMetric(100*res.CBCError, "cbc-err-%")
+}
+
+// --- capture-path benches (PR 3 tentpole) -------------------------------------
+
+// newCaptureArray builds an aged array of the given size wired to a
+// private pool, so worker counts can be compared without disturbing the
+// process-wide shared pool.
+func newCaptureArray(b *testing.B, bytes, workers int) *sram.Array {
+	b.Helper()
+	spec := sram.DefaultSpec()
+	spec.Rows = 256
+	spec.Cols = bytes * 8 / spec.Rows
+	spec.Seed = 0xbe2c
+	spec.Workers = workers
+	a, err := sram.New(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := a.PowerOn(25); err != nil {
+		b.Fatal(err)
+	}
+	return a
+}
+
+// BenchmarkCapturePath measures the raw capture engine: a full
+// power-cycle burst with per-cell counter-derived noise, across array
+// size × burst length × worker count. cmd/ibbench runs the same grid
+// and records it as BENCH_3.json.
+func BenchmarkCapturePath(b *testing.B) {
+	workerGrid := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		workerGrid = append(workerGrid, n)
+	}
+	for _, size := range []struct {
+		name  string
+		bytes int
+	}{{"4KiB", 4 << 10}, {"64KiB", 64 << 10}} {
+		for _, captures := range []int{5, 25} {
+			for _, workers := range workerGrid {
+				b.Run(fmt.Sprintf("%s/%dcap/%dw", size.name, captures, workers), func(b *testing.B) {
+					a := newCaptureArray(b, size.bytes, workers)
+					b.SetBytes(int64(size.bytes * captures))
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						if _, err := a.CaptureVotes(captures, 25); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+		}
+	}
 }

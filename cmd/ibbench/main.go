@@ -1,0 +1,208 @@
+// Command ibbench runs the capture-path benchmark grid — array size ×
+// burst length × worker count — through testing.Benchmark and records
+// the trajectory as BENCH_3.json: ns/op, B/op, MB/s, and speedup of
+// each parallel configuration over the serial (1-worker) baseline for
+// the same grid point. Alongside each number it captures the machine
+// context (GOMAXPROCS, NumCPU, go version) so trajectories from
+// different hosts are comparable.
+//
+// Before timing, the harness cross-checks determinism: every worker
+// count in the grid must produce bit-identical captures from the same
+// seed, or the run aborts. Speed without equivalence is not a result.
+//
+// Usage:
+//
+//	ibbench                        # grid at workers {1, GOMAXPROCS}
+//	ibbench -workers 1,2,4,8       # explicit worker grid
+//	ibbench -o BENCH_3.json
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+
+	"invisiblebits/internal/sram"
+)
+
+type benchPoint struct {
+	Name     string  `json:"name"`
+	Bytes    int     `json:"array_bytes"`
+	Captures int     `json:"captures"`
+	Workers  int     `json:"workers"`
+	NsPerOp  float64 `json:"ns_per_op"`
+	BPerOp   int64   `json:"bytes_per_op"`
+	AllocsOp int64   `json:"allocs_per_op"`
+	MBPerSec float64 `json:"mb_per_sec"`
+	// Speedup is ns/op of the 1-worker run at the same grid point
+	// divided by this run's ns/op; 1.0 for the serial baseline itself.
+	Speedup float64 `json:"speedup_vs_serial"`
+}
+
+type benchReport struct {
+	Schema     string       `json:"schema"`
+	GoVersion  string       `json:"go_version"`
+	GOOS       string       `json:"goos"`
+	GOARCH     string       `json:"goarch"`
+	NumCPU     int          `json:"num_cpu"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Equivalent bool         `json:"captures_bit_identical"`
+	Points     []benchPoint `json:"points"`
+}
+
+func newArray(bytes, seed, workers int) (*sram.Array, error) {
+	spec := sram.DefaultSpec()
+	spec.Rows = 256
+	spec.Cols = bytes * 8 / spec.Rows
+	spec.Seed = uint64(seed)
+	spec.Workers = workers
+	a, err := sram.New(spec)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := a.PowerOn(25); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// checkEquivalence asserts every worker count resolves identical
+// captures from the same seed — the property the speedup numbers rest on.
+func checkEquivalence(workerGrid []int) error {
+	var want []byte
+	for _, w := range workerGrid {
+		a, err := newArray(4<<10, 0xbe2c, w)
+		if err != nil {
+			return err
+		}
+		got, err := a.CaptureMajority(5, 25)
+		if err != nil {
+			return err
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		if !bytes.Equal(got, want) {
+			return fmt.Errorf("workers=%d: capture differs from workers=%d", w, workerGrid[0])
+		}
+	}
+	return nil
+}
+
+func parseWorkers(s string) ([]int, error) {
+	var grid []int
+	seen := map[int]bool{}
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad worker count %q", f)
+		}
+		if !seen[n] {
+			seen[n] = true
+			grid = append(grid, n)
+		}
+	}
+	return grid, nil
+}
+
+func main() {
+	defaultWorkers := "1"
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		defaultWorkers += "," + strconv.Itoa(n)
+	}
+	var (
+		out     = flag.String("o", "BENCH_3.json", "output path for the benchmark report")
+		workers = flag.String("workers", defaultWorkers, "comma-separated worker counts (must include 1 for the serial baseline)")
+	)
+	flag.Parse()
+
+	grid, err := parseWorkers(*workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ibbench:", err)
+		os.Exit(1)
+	}
+	if grid[0] != 1 {
+		fmt.Fprintln(os.Stderr, "ibbench: worker grid must start with 1 (serial baseline)")
+		os.Exit(1)
+	}
+
+	if err := checkEquivalence(grid); err != nil {
+		fmt.Fprintln(os.Stderr, "ibbench: determinism check failed:", err)
+		os.Exit(1)
+	}
+
+	report := benchReport{
+		Schema:     "invisiblebits/bench/v3",
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Equivalent: true,
+	}
+
+	sizes := []struct {
+		name  string
+		bytes int
+	}{{"4KiB", 4 << 10}, {"64KiB", 64 << 10}}
+
+	serial := map[string]float64{} // "size/captures" -> ns/op at workers=1
+	for _, size := range sizes {
+		for _, captures := range []int{5, 25} {
+			for _, w := range grid {
+				a, err := newArray(size.bytes, 0xbe2c, w)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "ibbench:", err)
+					os.Exit(1)
+				}
+				captures := captures
+				res := testing.Benchmark(func(b *testing.B) {
+					b.ReportAllocs()
+					b.SetBytes(int64(size.bytes * captures))
+					for i := 0; i < b.N; i++ {
+						if _, err := a.CaptureVotes(captures, 25); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+				nsop := float64(res.NsPerOp())
+				key := fmt.Sprintf("%s/%dcap", size.name, captures)
+				if w == 1 {
+					serial[key] = nsop
+				}
+				pt := benchPoint{
+					Name:     fmt.Sprintf("%s/%dw", key, w),
+					Bytes:    size.bytes,
+					Captures: captures,
+					Workers:  w,
+					NsPerOp:  nsop,
+					BPerOp:   res.AllocedBytesPerOp(),
+					AllocsOp: res.AllocsPerOp(),
+					MBPerSec: float64(size.bytes*captures) / nsop * 1e3,
+					Speedup:  serial[key] / nsop,
+				}
+				report.Points = append(report.Points, pt)
+				fmt.Printf("%-18s %12.0f ns/op %10d B/op %8.2f MB/s %6.2fx\n",
+					pt.Name, pt.NsPerOp, pt.BPerOp, pt.MBPerSec, pt.Speedup)
+			}
+		}
+	}
+
+	blob, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ibbench:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "ibbench:", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote", *out)
+}

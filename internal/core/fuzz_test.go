@@ -1,0 +1,115 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"invisiblebits/internal/ecc"
+)
+
+// fuzzCodecs spans every codec family the record geometry check must
+// hold against, including the paper's production composite.
+func fuzzCodecs(t testing.TB) []ecc.Codec {
+	rep3, err := ecc.NewRepetition(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep5, err := ecc.NewRepetition(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []ecc.Codec{
+		ecc.Identity{},
+		rep3,
+		ecc.Hamming74{},
+		ecc.Composite{Outer: ecc.Hamming74{}, Inner: rep5},
+		ecc.Interleaver{Depth: 8, Next: ecc.Composite{Outer: ecc.Hamming74{}, Inner: rep3}},
+	}
+}
+
+// recordSeeds returns the seed corpus: a well-formed record for each
+// codec, plus adversarial shapes — zero/negative geometry, overflow-bait
+// sizes, payload too small, and non-record JSON. Checked in under
+// testdata/fuzz/FuzzRecordShape (regenerate with IB_REGEN_FUZZ=1).
+func recordSeeds(t testing.TB) [][]byte {
+	var seeds [][]byte
+	for _, c := range fuzzCodecs(t) {
+		rec := Record{
+			DeviceID:     "MSP432P401:fuzz",
+			MessageBytes: 32,
+			PayloadBytes: c.EncodedLen(32),
+			CodecName:    c.Name(),
+			Captures:     5,
+			StressHours:  120,
+		}
+		blob, err := json.Marshal(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seeds = append(seeds, blob)
+	}
+	return append(seeds,
+		[]byte(`{"MessageBytes":0,"PayloadBytes":0}`),
+		[]byte(`{"MessageBytes":-7,"PayloadBytes":100}`),
+		[]byte(`{"MessageBytes":9223372036854775807,"PayloadBytes":1}`),
+		[]byte(`{"MessageBytes":3074457345618258603,"PayloadBytes":8}`),
+		[]byte(`{"MessageBytes":64,"PayloadBytes":63}`),
+		[]byte(`[1,2,3]`),
+		[]byte(`not json`),
+	)
+}
+
+// FuzzRecordShape feeds arbitrary JSON through the wire-format Record
+// and asserts the geometry gate holds its contract: any record either
+// yields a coded length inside (0, PayloadBytes] or fails with
+// ErrRecordShape — never a panic, never an out-of-range length that a
+// later slice would trip over. This is the boundary where attacker- or
+// corruption-controlled bytes first meet arithmetic.
+func FuzzRecordShape(f *testing.F) {
+	for _, seed := range recordSeeds(f) {
+		f.Add(seed)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var rec Record
+		if err := json.Unmarshal(data, &rec); err != nil {
+			return // malformed JSON is the decoder's problem, not ours
+		}
+		for _, codec := range fuzzCodecs(t) {
+			n, err := recordCodedLen(&rec, codec)
+			if err != nil {
+				if !errors.Is(err, ErrRecordShape) {
+					t.Fatalf("codec %s: geometry rejection must wrap ErrRecordShape, got %v", codec.Name(), err)
+				}
+				continue
+			}
+			if n <= 0 || n > rec.PayloadBytes {
+				t.Fatalf("codec %s: accepted coded length %d outside (0, %d]", codec.Name(), n, rec.PayloadBytes)
+			}
+		}
+	})
+}
+
+// TestRegenFuzzCorpus rewrites the checked-in seed corpus from
+// recordSeeds. Gated so normal runs never touch testdata; run with
+// IB_REGEN_FUZZ=1 after changing the seed set.
+func TestRegenFuzzCorpus(t *testing.T) {
+	if os.Getenv("IB_REGEN_FUZZ") == "" {
+		t.Skip("set IB_REGEN_FUZZ=1 to regenerate testdata/fuzz seed corpus")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzRecordShape")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i, seed := range recordSeeds(t) {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", seed)
+		name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+		if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package device
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"invisiblebits/internal/sram"
+)
+
+// imageV1 mirrors the version-1 wire layout (no RefreshLog field). gob
+// matches struct fields by name, so encoding this type produces exactly
+// what a pre-ledger build would have written.
+type imageV1 struct {
+	Version   int
+	ModelName string
+	Serial    string
+	SRAMBytes int
+	SRAM      sram.State
+	FlashData []byte
+}
+
+// imageBytes builds a real device image at the requested version.
+func imageBytes(t testing.TB, version int) []byte {
+	t.Helper()
+	d := mustDeviceTB(t, "MSP430G2553", "fuzz-seed")
+	if _, err := d.PowerOn(25); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	switch version {
+	case 1:
+		img := imageV1{
+			Version:   1,
+			ModelName: d.Model.Name,
+			Serial:    d.Serial,
+			SRAMBytes: d.SRAM.Bytes(),
+			SRAM:      d.SRAM.StateSnapshot(),
+		}
+		if err := gob.NewEncoder(&buf).Encode(img); err != nil {
+			t.Fatal(err)
+		}
+	default:
+		if err := d.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+func mustDeviceTB(t testing.TB, model, serial string, opts ...Option) *Device {
+	t.Helper()
+	m, err := ByName(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := New(m, serial, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// imageSeeds returns the seed corpus: genuine v1 and v2 images, their
+// truncations and single-byte corruptions (the highest-value starting
+// points for gob-stream mutation), and plain garbage. Checked in under
+// testdata/fuzz/FuzzImageLoad (regenerate with IB_REGEN_FUZZ=1).
+func imageSeeds(t testing.TB) [][]byte {
+	v1 := imageBytes(t, 1)
+	v2 := imageBytes(t, 2)
+	flipped := append([]byte(nil), v2...)
+	flipped[len(flipped)/3] ^= 0x40
+	return [][]byte{
+		v1,
+		v2,
+		v2[:len(v2)/2],
+		v2[:7],
+		flipped,
+		[]byte("not a device image"),
+		{},
+	}
+}
+
+// FuzzImageLoad hammers the device-image loader with mutated gob
+// streams. The contract: Load either returns a working device — whose
+// image must survive a re-Save — or an error. Never a panic, regardless
+// of what the bytes claim about version, geometry, or flash size.
+func FuzzImageLoad(f *testing.F) {
+	for _, seed := range imageSeeds(f) {
+		f.Add(seed)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A load that succeeds must hand back a coherent device.
+		if d.SRAM == nil || d.SRAM.Bytes() <= 0 {
+			t.Fatal("Load returned a device with no SRAM")
+		}
+		var buf bytes.Buffer
+		if err := d.Save(&buf); err != nil {
+			t.Fatalf("re-save of loaded image failed: %v", err)
+		}
+	})
+}
+
+// TestLoadV1Image pins backward compatibility outside the fuzzer: a
+// version-1 stream (no RefreshLog) loads, reports an empty ledger, and
+// reproduces the saved silicon.
+func TestLoadV1Image(t *testing.T) {
+	d, err := Load(bytes.NewReader(imageBytes(t, 1)))
+	if err != nil {
+		t.Fatalf("v1 image rejected: %v", err)
+	}
+	if d.Model.Name != "MSP430G2553" || d.Serial != "fuzz-seed" {
+		t.Fatalf("identity lost: %s/%s", d.Model.Name, d.Serial)
+	}
+	if len(d.RefreshLog()) != 0 {
+		t.Fatalf("v1 image produced %d ledger entries", len(d.RefreshLog()))
+	}
+}
+
+// TestRegenFuzzCorpus rewrites the checked-in seed corpus from
+// imageSeeds. Gated so normal runs never touch testdata; run with
+// IB_REGEN_FUZZ=1 after changing the image format or seed set.
+func TestRegenFuzzCorpus(t *testing.T) {
+	if os.Getenv("IB_REGEN_FUZZ") == "" {
+		t.Skip("set IB_REGEN_FUZZ=1 to regenerate testdata/fuzz seed corpus")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzImageLoad")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i, seed := range imageSeeds(t) {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", seed)
+		name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+		if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

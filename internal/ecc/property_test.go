@@ -1,0 +1,337 @@
+package ecc
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"invisiblebits/internal/rng"
+)
+
+// propertyCodecs enumerates every coder family with its guaranteed
+// per-structure error budget: maxErrs returns, for a given message
+// length, a set of bit positions the codec must correct by contract.
+type propertyCase struct {
+	name  string
+	codec Codec
+	// correctable returns bit positions (into the coded payload) that
+	// the codec is contractually able to correct when flipped together,
+	// drawn with src for variety.
+	correctable func(msgBytes int, src *rng.Source) []int
+}
+
+func propertyCases(t testing.TB) []propertyCase {
+	rep3, err := NewRepetition(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep5, err := NewRepetition(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Repetition(n): each message bit is voted over n copies laid out as
+	// n consecutive full-message blocks; flipping ⌊(n−1)/2⌋ copies of
+	// any message bit is always correctable.
+	repBudget := func(n int) func(int, *rng.Source) []int {
+		return func(msgBytes int, src *rng.Source) []int {
+			bitsPerCopy := msgBytes * 8
+			t := (n - 1) / 2
+			var flips []int
+			for bit := 0; bit < bitsPerCopy; bit++ {
+				perm := src.Perm(n)
+				for k := 0; k < t; k++ {
+					flips = append(flips, perm[k]*bitsPerCopy+bit)
+				}
+			}
+			return flips
+		}
+	}
+	// Hamming(7,4): codeword j owns coded bits [7j, 7j+7); one flip per
+	// codeword is always correctable.
+	hammingBudget := func(msgBytes int, src *rng.Source) []int {
+		var flips []int
+		for j := 0; j < msgBytes*2; j++ {
+			flips = append(flips, 7*j+src.Intn(7))
+		}
+		return flips
+	}
+	return []propertyCase{
+		{"identity", Identity{}, func(int, *rng.Source) []int { return nil }},
+		{"repetition3", rep3, repBudget(3)},
+		{"repetition5", rep5, repBudget(5)},
+		{"hamming74", Hamming74{}, hammingBudget},
+		// Composite hamming∘rep3: the inner repetition sees each coded
+		// Hamming bit 3 times; one flipped copy per inner bit is always
+		// absorbed before Hamming even looks.
+		{"hamming74+rep3", Composite{Outer: Hamming74{}, Inner: rep3}, func(msgBytes int, src *rng.Source) []int {
+			innerMsgBytes := Hamming74{}.EncodedLen(msgBytes)
+			return repBudget(3)(innerMsgBytes, src)
+		}},
+		// Interleaving permutes bit positions, so budgets stated in
+		// pre-interleave coordinates do not transfer; test it clean-channel
+		// plus via its own erasure property below.
+		{"interleave8(hamming74+rep3)", Interleaver{Depth: 8, Next: Composite{Outer: Hamming74{}, Inner: rep3}}, nil},
+	}
+}
+
+// TestPropertyRoundTripClean: Encode∘Decode is the identity on a clean
+// channel for random messages of many lengths.
+func TestPropertyRoundTripClean(t *testing.T) {
+	src := rng.NewSource(0xec0)
+	for _, pc := range propertyCases(t) {
+		for _, msgBytes := range []int{1, 2, 3, 16, 64, 257} {
+			msg := make([]byte, msgBytes)
+			src.Bytes(msg)
+			coded, err := pc.codec.Encode(msg)
+			if err != nil {
+				t.Fatalf("%s/%dB: encode: %v", pc.name, msgBytes, err)
+			}
+			if len(coded) != pc.codec.EncodedLen(msgBytes) {
+				t.Fatalf("%s/%dB: coded %d bytes, EncodedLen says %d",
+					pc.name, msgBytes, len(coded), pc.codec.EncodedLen(msgBytes))
+			}
+			got, err := pc.codec.Decode(coded, msgBytes)
+			if err != nil {
+				t.Fatalf("%s/%dB: decode: %v", pc.name, msgBytes, err)
+			}
+			if !bytes.Equal(got, msg) {
+				t.Fatalf("%s/%dB: clean round trip corrupted message", pc.name, msgBytes)
+			}
+		}
+	}
+}
+
+// TestPropertyRoundTripWithinBudget: flipping a random correctable error
+// pattern (the codec's contractual budget) never corrupts the decode.
+// 50 random trials per codec per length.
+func TestPropertyRoundTripWithinBudget(t *testing.T) {
+	src := rng.NewSource(0xec1)
+	for _, pc := range propertyCases(t) {
+		if pc.correctable == nil {
+			continue
+		}
+		for _, msgBytes := range []int{1, 4, 32} {
+			for trial := 0; trial < 50; trial++ {
+				msg := make([]byte, msgBytes)
+				src.Bytes(msg)
+				coded, err := pc.codec.Encode(msg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, bit := range pc.correctable(msgBytes, src) {
+					coded[bit/8] ^= 1 << (bit % 8)
+				}
+				got, err := pc.codec.Decode(coded, msgBytes)
+				if err != nil {
+					t.Fatalf("%s/%dB trial %d: decode: %v", pc.name, msgBytes, trial, err)
+				}
+				if !bytes.Equal(got, msg) {
+					t.Fatalf("%s/%dB trial %d: in-budget errors corrupted decode", pc.name, msgBytes, trial)
+				}
+			}
+		}
+	}
+}
+
+// TestPropertyDecodeRejectsBadShape: every codec must reject a payload
+// whose length disagrees with EncodedLen — error, not panic.
+func TestPropertyDecodeRejectsBadShape(t *testing.T) {
+	for _, pc := range propertyCases(t) {
+		right := pc.codec.EncodedLen(8)
+		for _, wrong := range []int{0, 1, right - 1, right + 1, right * 2} {
+			if wrong == right || wrong < 0 {
+				continue
+			}
+			if _, err := pc.codec.Decode(make([]byte, wrong), 8); err == nil {
+				t.Errorf("%s: accepted %d-byte payload, EncodedLen(8)=%d", pc.name, wrong, right)
+			}
+		}
+	}
+}
+
+// erasureCases: every coder implementing ErasureDecoder, with the number
+// of erasures per protective structure it must absorb (2t+e<d with t=0).
+func erasureCases(t testing.TB) []propertyCase {
+	var out []propertyCase
+	for _, pc := range propertyCases(t) {
+		if _, ok := pc.codec.(ErasureDecoder); ok {
+			out = append(out, pc)
+		}
+	}
+	return out
+}
+
+// TestPropertyErasureRoundTrip: erasing a within-budget random mask
+// (with garbage in the erased positions) decodes to the exact message
+// with nothing unresolved. Budgets: repetition(n) absorbs n−1 erased
+// copies per bit; Hamming(7,4) absorbs 2 erasures per codeword;
+// identity absorbs none (but must mark erased bits unresolved, not
+// guess).
+func TestPropertyErasureRoundTrip(t *testing.T) {
+	src := rng.NewSource(0xec2)
+
+	// maskFor returns an in-budget erasure mask for the codec.
+	maskFor := func(name string, msgBytes int) []bool {
+		switch name {
+		case "repetition3", "repetition5":
+			n := 3
+			if name == "repetition5" {
+				n = 5
+			}
+			bitsPerCopy := msgBytes * 8
+			mask := make([]bool, n*bitsPerCopy)
+			for bit := 0; bit < bitsPerCopy; bit++ {
+				perm := src.Perm(n)
+				erase := src.Intn(n) // 0..n-1 erasures: strictly fewer than n copies
+				for k := 0; k < erase; k++ {
+					mask[perm[k]*bitsPerCopy+bit] = true
+				}
+			}
+			return mask
+		case "hamming74":
+			mask := make([]bool, Hamming74{}.EncodedLen(msgBytes)*8)
+			for j := 0; j < msgBytes*2; j++ {
+				perm := src.Perm(7)
+				for k := 0; k < src.Intn(3); k++ { // 0..2 erasures per codeword
+					mask[7*j+perm[k]] = true
+				}
+			}
+			return mask
+		default:
+			return nil
+		}
+	}
+
+	for _, pc := range erasureCases(t) {
+		dec := pc.codec.(ErasureDecoder)
+		for _, msgBytes := range []int{1, 4, 32} {
+			mask := maskFor(pc.name, msgBytes)
+			if mask == nil {
+				continue
+			}
+			for trial := 0; trial < 25; trial++ {
+				msg := make([]byte, msgBytes)
+				src.Bytes(msg)
+				coded, err := pc.codec.Encode(msg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Erased positions carry garbage by contract.
+				for bit, e := range mask {
+					if e && src.Intn(2) == 1 {
+						coded[bit/8] ^= 1 << (bit % 8)
+					}
+				}
+				got, unresolved, err := dec.DecodeErasure(coded, mask, msgBytes)
+				if err != nil {
+					t.Fatalf("%s/%dB: %v", pc.name, msgBytes, err)
+				}
+				if n := CountUnresolved(unresolved); n != 0 {
+					t.Fatalf("%s/%dB: %d unresolved bits under in-budget mask", pc.name, msgBytes, n)
+				}
+				if !bytes.Equal(got, msg) {
+					t.Fatalf("%s/%dB: erasure decode corrupted message", pc.name, msgBytes)
+				}
+			}
+		}
+	}
+}
+
+// TestPropertyErasureNeverInventsBits: with EVERY coded bit erased, no
+// coder may claim a resolved message bit — total ignorance in, total
+// ignorance out.
+func TestPropertyErasureNeverInventsBits(t *testing.T) {
+	for _, pc := range erasureCases(t) {
+		dec := pc.codec.(ErasureDecoder)
+		const msgBytes = 4
+		coded := make([]byte, pc.codec.EncodedLen(msgBytes))
+		mask := make([]bool, len(coded)*8)
+		for i := range mask {
+			mask[i] = true
+		}
+		_, unresolved, err := dec.DecodeErasure(coded, mask, msgBytes)
+		if err != nil {
+			t.Fatalf("%s: %v", pc.name, err)
+		}
+		if n := CountUnresolved(unresolved); n != msgBytes*8 {
+			t.Errorf("%s: only %d/%d bits unresolved under total erasure", pc.name, n, msgBytes*8)
+		}
+	}
+}
+
+// TestPropertyErasureShapeChecked: a mask of the wrong length must be
+// rejected by every erasure decoder.
+func TestPropertyErasureShapeChecked(t *testing.T) {
+	for _, pc := range erasureCases(t) {
+		dec := pc.codec.(ErasureDecoder)
+		const msgBytes = 4
+		coded := make([]byte, pc.codec.EncodedLen(msgBytes))
+		for _, maskLen := range []int{0, len(coded)*8 - 1, len(coded)*8 + 8} {
+			if _, _, err := dec.DecodeErasure(coded, make([]bool, maskLen), msgBytes); err == nil {
+				t.Errorf("%s: accepted %d-bit mask for %d-byte payload", pc.name, maskLen, len(coded))
+			}
+		}
+	}
+}
+
+// TestPropertyInterleaveIsPermutation: interleaving must be a pure bit
+// permutation — same length, same popcount, invertible by Decode — for
+// arbitrary depths including degenerate ones.
+func TestPropertyInterleaveIsPermutation(t *testing.T) {
+	src := rng.NewSource(0xec3)
+	for _, depth := range []int{1, 2, 7, 8, 64, 1000} {
+		il := Interleaver{Depth: depth, Next: Identity{}}
+		for _, msgBytes := range []int{1, 5, 33} {
+			msg := make([]byte, msgBytes)
+			src.Bytes(msg)
+			coded, err := il.Encode(msg)
+			if err != nil {
+				t.Fatalf("depth=%d/%dB: %v", depth, msgBytes, err)
+			}
+			if pop(coded) != pop(msg) {
+				t.Fatalf("depth=%d/%dB: interleave changed popcount", depth, msgBytes)
+			}
+			got, err := il.Decode(coded, msgBytes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, msg) {
+				t.Fatalf("depth=%d/%dB: interleave not invertible", depth, msgBytes)
+			}
+		}
+	}
+}
+
+func pop(b []byte) int {
+	n := 0
+	for _, v := range b {
+		for ; v != 0; v &= v - 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// TestPropertyNamesDistinct guards the record wire format: codec names
+// must uniquely identify the configuration, since Decode refuses records
+// whose CodecName mismatches.
+func TestPropertyNamesDistinct(t *testing.T) {
+	seen := map[string]string{}
+	for _, pc := range propertyCases(t) {
+		name := pc.codec.Name()
+		if prev, dup := seen[name]; dup {
+			t.Errorf("codecs %q and %q share wire name %q", prev, pc.name, name)
+		}
+		seen[name] = pc.name
+	}
+	// Parameterized codecs must encode their parameters in the name.
+	r3, _ := NewRepetition(3)
+	r5, _ := NewRepetition(5)
+	if r3.Name() == r5.Name() {
+		t.Error("repetition(3) and repetition(5) share a wire name")
+	}
+	if fmt.Sprintf("%s", (Interleaver{Depth: 2, Next: Identity{}}).Name()) ==
+		(Interleaver{Depth: 4, Next: Identity{}}).Name() {
+		t.Error("interleavers of different depth share a wire name")
+	}
+}

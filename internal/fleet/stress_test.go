@@ -1,0 +1,217 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"invisiblebits/internal/core"
+	"invisiblebits/internal/faults"
+	"invisiblebits/internal/parallel"
+	"invisiblebits/internal/rig"
+	"invisiblebits/internal/rng"
+)
+
+// The stress tests exist for the race detector: HealthSweep and
+// GatherContext each fan out goroutine-per-carrier, every capture inside
+// them runs through the shared worker pool, and the fault injector
+// perturbs timing on top. Running sweep and gather concurrently (on
+// disjoint rig sets — a rig is single-goroutine-owned within one fleet
+// call) under aggressive fault profiles is the densest interleaving the
+// fleet layer supports; `go test -race ./internal/fleet` must stay
+// clean.
+
+// stressFleet builds n rigs with rotating aggressive fault profiles:
+// flaky links, weak cell populations, and one early death.
+func stressFleet(t *testing.T, prefix string, n int) []*rig.Rig {
+	t.Helper()
+	const sram = 2 << 10
+	rigs := make([]*rig.Rig, n)
+	for i := range rigs {
+		p := faults.Profile{Seed: uint64(100 + i)}
+		switch i % 3 {
+		case 0:
+			p.LinkDropRate = 0.3
+		case 1:
+			p.WeakFrac = 0.15
+		case 2:
+			p.LinkDropRate = 0.15
+			p.WeakFrac = 0.05
+		}
+		if i == n-1 {
+			p.FailAtHours = 0.002 // dies almost immediately under probing
+		}
+		rigs[i] = newRigWith(t, prefix+"-"+string(rune('a'+i)), sram, p)
+	}
+	return rigs
+}
+
+// TestStressConcurrentSweepAndGather runs retention sweeps and striped
+// gathers simultaneously against a shared capture pool while the
+// injector drops links and kills a carrier. Outcome requirements are
+// behavioural, not statistical: gathers must keep returning the exact
+// message, sweeps must keep returning a report with every carrier
+// accounted for, and nothing may race or deadlock.
+func TestStressConcurrentSweepAndGather(t *testing.T) {
+	sweepRigs := stressFleet(t, "sweep", 6)
+	// Charge a little shelf time so the doomed carrier's FailAtHours has
+	// passed: the sweeps below must route around an already-dead device.
+	for _, r := range sweepRigs {
+		if err := r.ShelveAtFor(0.01, 25); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gatherRigs := []*rig.Rig{
+		newRigWith(t, "g-0", 2<<10, faults.Profile{Seed: 1, LinkDropRate: 0.25}),
+		newRigWith(t, "g-1", 2<<10, faults.Profile{Seed: 2, LinkDropRate: 0.25}),
+		newRigWith(t, "g-2", 2<<10, faults.Profile{}),
+	}
+	// Everyone shares one explicit 2-worker pool: maximal contention on
+	// the capture semaphore from both fleet operations at once.
+	pool := parallel.New(2)
+	UseCapturePool(sweepRigs, pool)
+	UseCapturePool(gatherRigs, pool)
+
+	opts := paperishOpts(t)
+	msg := make([]byte, core.MaxMessageBytes(2<<10, opts.Codec)*2+11)
+	rng.NewSource(41).Bytes(msg)
+	striped, err := StripeWithOptions(context.Background(), gatherRigs, msg, opts, StripeOptions{})
+	if err != nil {
+		t.Fatalf("stripe: %v", err)
+	}
+
+	const rounds = 3
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for round := 0; round < rounds; round++ {
+			rep, err := HealthSweep(ctx, sweepRigs, HealthSweepOptions{Captures: 3})
+			if err != nil {
+				t.Errorf("sweep round %d: %v", round, err)
+				return
+			}
+			if len(rep.Carriers) != len(sweepRigs) {
+				t.Errorf("sweep round %d: %d carriers reported, want %d",
+					round, len(rep.Carriers), len(sweepRigs))
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for round := 0; round < rounds; round++ {
+			rep, err := GatherContext(ctx, gatherRigs, striped, opts)
+			if err != nil {
+				t.Errorf("gather round %d: %v", round, err)
+				return
+			}
+			if !rep.Complete {
+				t.Errorf("gather round %d: incomplete: %v", round, rep.Err())
+				return
+			}
+			if string(rep.Message) != string(msg) {
+				t.Errorf("gather round %d: message corrupted", round)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	// The doomed carrier must have died and been reported, not have sunk
+	// any sweep.
+	if sweepRigs[len(sweepRigs)-1].Device().Alive() {
+		t.Error("doomed carrier still alive after probing rounds")
+	}
+}
+
+// TestStressSweepCancellation cancels a sweep mid-flight. Whatever the
+// timing, the sweep must return promptly with every carrier slot either
+// probed or carrying an error — never hang, never panic, never race.
+// Both cancelled-early and finished-first outcomes are legitimate (the
+// assertion set is timing-independent, so -count=2 runs stay green).
+func TestStressSweepCancellation(t *testing.T) {
+	rigs := stressFleet(t, "cancel", 5)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	var rep *HealthSweepReport
+	var err error
+	go func() {
+		defer close(done)
+		rep, err = HealthSweep(ctx, rigs, HealthSweepOptions{Captures: 5})
+	}()
+	time.Sleep(2 * time.Millisecond)
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled sweep did not return")
+	}
+	if err != nil {
+		t.Fatalf("sweep returned structural error on cancellation: %v", err)
+	}
+	if len(rep.Carriers) != len(rigs) {
+		t.Fatalf("%d carrier slots, want %d", len(rep.Carriers), len(rigs))
+	}
+	for i, c := range rep.Carriers {
+		if c.Err == nil && c.Probe == nil {
+			t.Errorf("carrier %d: neither probe nor error after cancellation", i)
+		}
+	}
+
+	// Immediately-cancelled sweep: pure cancellation path, fully
+	// deterministic.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	rep2, err := HealthSweep(ctx2, rigs[:2], HealthSweepOptions{Captures: 3})
+	if err != nil {
+		t.Fatalf("pre-cancelled sweep structural error: %v", err)
+	}
+	for i, c := range rep2.Carriers {
+		if c.Err == nil {
+			t.Errorf("carrier %d: no error from pre-cancelled sweep", i)
+		} else if !errors.Is(c.Err, context.Canceled) && !faults.IsPermanent(c.Err) {
+			t.Errorf("carrier %d: unexpected error class: %v", i, c.Err)
+		}
+	}
+}
+
+// TestStressGatherCancellation: a gather cancelled before it starts
+// reports per-shard failure (or a structural context error) without
+// panicking, and the same stripe still gathers cleanly afterwards.
+func TestStressGatherCancellation(t *testing.T) {
+	rigs := []*rig.Rig{
+		newRigWith(t, "gc-0", 2<<10, faults.Profile{Seed: 5, LinkDropRate: 0.2}),
+		newRigWith(t, "gc-1", 2<<10, faults.Profile{}),
+	}
+	opts := paperishOpts(t)
+	msg := make([]byte, core.MaxMessageBytes(2<<10, opts.Codec)+7)
+	rng.NewSource(43).Bytes(msg)
+	striped, err := StripeWithOptions(context.Background(), rigs, msg, opts, StripeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep, err := GatherContext(ctx, rigs, striped, opts)
+	if err == nil {
+		if rep.Complete {
+			t.Fatal("pre-cancelled gather claims completion")
+		}
+		if rep.Err() == nil {
+			t.Fatal("incomplete gather reports no error")
+		}
+	}
+
+	got, err := Gather(rigs, striped, opts)
+	if err != nil {
+		t.Fatalf("gather after cancelled attempt: %v", err)
+	}
+	if string(got) != string(msg) {
+		t.Fatal("message corrupted after cancelled attempt")
+	}
+}

@@ -1,0 +1,125 @@
+// Package parallel provides the bounded worker pool behind the SRAM
+// capture engine. A Pool is a concurrency *budget*, not a set of pinned
+// goroutines: each Run spawns one short-lived goroutine per chunk, and
+// a shared semaphore bounds how many are executing at once. Because the
+// semaphore is owned by the Pool — not the call — a fleet pointing many
+// devices at one Pool gets fleet-wide bounded parallelism for free: ten
+// concurrent capture bursts share the same worker budget instead of
+// oversubscribing the machine tenfold.
+//
+// Correctness never depends on the pool: the capture engine derives all
+// randomness from counter-based streams (rng.Stream), so any worker
+// count and any chunk size produce bit-identical results.
+package parallel
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Pool bounds data-parallel work. The zero value is not usable; use New
+// or Shared.
+type Pool struct {
+	workers int
+	sem     chan struct{}
+}
+
+// New builds a pool with the given concurrency budget; workers <= 0
+// means runtime.GOMAXPROCS(0).
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers, sem: make(chan struct{}, workers)}
+}
+
+var (
+	sharedOnce sync.Once
+	shared     *Pool
+)
+
+// Shared returns the process-wide default pool (GOMAXPROCS workers).
+// Every SRAM array uses it unless explicitly given its own pool, so
+// concurrent fleet operations are machine-bounded by default.
+func Shared() *Pool {
+	sharedOnce.Do(func() { shared = New(0) })
+	return shared
+}
+
+// Workers returns the pool's concurrency budget.
+func (p *Pool) Workers() int { return p.workers }
+
+// chunkFor splits n items over the worker budget, rounding the chunk up
+// to a multiple of align (so byte-packed bit arrays shard on byte
+// boundaries and workers never write the same byte).
+func (p *Pool) chunkFor(n, align int) int {
+	if align < 1 {
+		align = 1
+	}
+	chunk := (n + p.workers - 1) / p.workers
+	if rem := chunk % align; rem != 0 {
+		chunk += align - rem
+	}
+	if chunk < align {
+		chunk = align
+	}
+	return chunk
+}
+
+// Run splits [0, n) into per-worker chunks aligned to align and calls
+// fn(lo, hi) for each, concurrently, bounded by the pool budget. It
+// returns ctx.Err() if the context is cancelled; chunks already
+// dispatched run to completion (fn must not block indefinitely), chunks
+// not yet dispatched are skipped. fn must be safe to call concurrently
+// on disjoint ranges.
+func (p *Pool) Run(ctx context.Context, n, align int, fn func(lo, hi int)) error {
+	return p.RunChunked(ctx, n, p.chunkFor(n, align), fn)
+}
+
+// RunChunked is Run with an explicit chunk size — exposed so the
+// equivalence tests can drive odd and even splits; Run chooses the
+// chunk from the worker budget.
+func (p *Pool) RunChunked(ctx context.Context, n, chunk int, fn func(lo, hi int)) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if chunk <= 0 {
+		chunk = n
+	}
+	if chunk >= n || p.workers == 1 {
+		// Serial fast path: no goroutines, no semaphore round-trips.
+		for lo := 0; lo < n; lo += chunk {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			fn(lo, hi)
+		}
+		return ctx.Err()
+	}
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		if err := ctx.Err(); err != nil {
+			break
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		p.sem <- struct{}{} // acquire before spawn: bounds live goroutines
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer func() {
+				<-p.sem
+				wg.Done()
+			}()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return ctx.Err()
+}

@@ -365,7 +365,7 @@ func (r *Rig) SampleVotesContext(ctx context.Context, n int) ([]uint16, error) {
 	if r.dev.SRAM.Powered() {
 		r.dev.PowerOff(true)
 	}
-	votes, err := r.dev.SRAM.CaptureVotes(n, r.chamberC)
+	votes, err := r.dev.SRAM.CaptureVotesContext(ctx, n, r.chamberC)
 	if err != nil {
 		return nil, err
 	}
@@ -400,7 +400,7 @@ func (r *Rig) SampleMajorityContext(ctx context.Context, n int) ([]byte, error) 
 	if r.dev.SRAM.Powered() {
 		r.dev.PowerOff(true)
 	}
-	maj, err := r.dev.SRAM.CaptureMajority(n, r.chamberC)
+	maj, err := r.dev.SRAM.CaptureMajorityContext(ctx, n, r.chamberC)
 	if err != nil {
 		return nil, err
 	}

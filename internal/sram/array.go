@@ -32,6 +32,7 @@ import (
 	"math"
 
 	"invisiblebits/internal/analog"
+	"invisiblebits/internal/parallel"
 	"invisiblebits/internal/rng"
 )
 
@@ -65,8 +66,15 @@ type Spec struct {
 	// Aging is the device's NBTI response.
 	Aging analog.Params
 	// Seed determines the mismatch pattern (device identity); the noise
-	// stream is split from it.
+	// stream is keyed by it.
 	Seed uint64
+	// Workers bounds the capture engine's worker pool for this array.
+	// 0 (the default) shares the process-wide pool (GOMAXPROCS
+	// workers), which also bounds *fleet-wide* capture parallelism when
+	// many arrays run bursts concurrently. Worker count never affects
+	// results: per-cell noise is counter-derived, so any sharding
+	// produces bit-identical captures.
+	Workers int
 }
 
 // DefaultSpec returns an MSP432-class 64 KB array specification.
@@ -131,7 +139,14 @@ type Array struct {
 	powered  bool
 	remanent bool // charge left on nodes by a non-discharged power-off
 
-	noise *rng.Source
+	// noise is the counter-based thermal-noise plane: power-on number k
+	// samples cell i's noise as noise.Norm(k, i). powerOns counts the
+	// races run so far, so every power-on draws from a fresh counter
+	// regardless of which worker resolves which cell.
+	noise    rng.Stream
+	powerOns uint64
+
+	pool *parallel.Pool
 }
 
 // New builds an array with a fresh, unaged mismatch pattern.
@@ -154,10 +169,34 @@ func New(spec Spec) (*Array, error) {
 	}
 	seedSrc := rng.NewSource(spec.Seed)
 	mismatchSrc := seedSrc.Split()
-	a.noise = seedSrc.Split()
+	a.noise = rng.NewStream(spec.Seed)
+	if spec.Workers > 0 {
+		a.pool = parallel.New(spec.Workers)
+	} else {
+		a.pool = parallel.Shared()
+	}
 	a.synthesizeMismatch(mismatchSrc)
 	return a, nil
 }
+
+// SetPool points the array's capture engine at pool (nil restores the
+// process-wide shared pool). A fleet hands every device the same pool
+// to bound total capture parallelism; results are identical under any
+// pool.
+func (a *Array) SetPool(pool *parallel.Pool) {
+	if pool == nil {
+		pool = parallel.Shared()
+	}
+	a.pool = pool
+}
+
+// Pool returns the worker pool the capture engine runs on.
+func (a *Array) Pool() *parallel.Pool { return a.pool }
+
+// PowerOnCount returns how many power-on races the array has resolved —
+// the noise-stream counter. It is part of the serialized state so a
+// restored array replays the same noise future it would have seen.
+func (a *Array) PowerOnCount() uint64 { return a.powerOns }
 
 // synthesizeMismatch draws the white local component and superimposes a
 // smooth low-frequency across-die field (random sinusoids + planar tilt).

@@ -1,12 +1,36 @@
 package sram
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 
 	"invisiblebits/internal/analog"
 )
+
+// noiseSigmaAt scales the per-power-on thermal noise to tempC (√T law).
+func (a *Array) noiseSigmaAt(tempC float64) float64 {
+	return a.spec.NoiseSigmaMv *
+		math.Sqrt((tempC+273.15)/(a.spec.NoiseTempRefC+273.15))
+}
+
+// resolveRace runs power-on race ctr for the cells of bytes [lo, hi),
+// writing the resolved bits into a.data. Safe to call concurrently on
+// disjoint byte ranges.
+func (a *Array) resolveRace(ctr uint64, sigma float64, lo, hi int) {
+	for byteIdx := lo; byteIdx < hi; byteIdx++ {
+		var out byte
+		base := byteIdx * 8
+		for b := 0; b < 8; b++ {
+			i := base + b
+			if a.bias(i)+sigma*a.noise.Norm(ctr, uint64(i)) > 0 {
+				out |= 1 << b
+			}
+		}
+		a.data[byteIdx] = out
+	}
+}
 
 // Errors returned by digital and power operations.
 var (
@@ -35,16 +59,15 @@ func (a *Array) PowerOn(tempC float64) ([]byte, error) {
 		copy(out, a.data)
 		return out, nil
 	}
-	sigma := a.spec.NoiseSigmaMv *
-		math.Sqrt((tempC+273.15)/(a.spec.NoiseTempRefC+273.15))
-	for i := range a.data {
-		a.data[i] = 0
-	}
-	for i := 0; i < a.n; i++ {
-		if a.bias(i)+a.noise.NormScaled(0, sigma) > 0 {
-			a.data[i/8] |= 1 << (i % 8)
-		}
-	}
+	sigma := a.noiseSigmaAt(tempC)
+	ctr := a.powerOns
+	a.powerOns++
+	// Race resolution shards over the worker pool on byte boundaries;
+	// each cell's noise comes from its own (counter, index) stream, so
+	// the outcome is identical for any worker count or chunk size.
+	_ = a.pool.Run(context.Background(), len(a.data), 1, func(lo, hi int) {
+		a.resolveRace(ctr, sigma, lo, hi)
+	})
 	a.powered = true
 	out := make([]byte, len(a.data))
 	copy(out, a.data)

@@ -1,11 +1,80 @@
 package sram
 
 import (
+	"context"
 	"fmt"
 
 	"invisiblebits/internal/analog"
 	"invisiblebits/internal/rng"
 )
+
+// captureBurst is the shared engine behind CaptureMajority, CaptureVotes
+// and BiasMap: it runs `captures` power-on races and returns the
+// per-cell count of 1 readings, leaving the array powered with the final
+// capture as its digital contents (as real hardware does after the last
+// power cycle of a sampling burst).
+//
+// Because each race's noise is counter-derived (noise.Norm(k, i) for
+// power-on k, cell i), the burst needs no intermediate snapshots: every
+// cell accumulates its own votes independently, so the whole burst
+// shards over the worker pool in one pass with the per-cell bias hoisted
+// out of the capture loop. Results are bit-identical to running the
+// races one by one, for any worker count and any chunk size.
+//
+// Remanence is honoured exactly as in the serial engine: if the array is
+// unpowered but remanent, the first capture returns the retained
+// contents without running (or counting) a race.
+func (a *Array) captureBurst(ctx context.Context, captures int, tempC float64) ([]uint32, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	counts := make([]uint32, a.n)
+	races := captures
+	if !a.powered && a.remanent {
+		// First capture is the remembered state; no race, no counter.
+		a.remanent = false
+		for i := 0; i < a.n; i++ {
+			if a.data[i/8]&(1<<(i%8)) != 0 {
+				counts[i]++
+			}
+		}
+		races--
+	}
+	if races > 0 {
+		sigma := a.noiseSigmaAt(tempC)
+		base := a.powerOns
+		a.powerOns += uint64(races)
+		err := a.pool.Run(ctx, len(a.data), 1, func(lo, hi int) {
+			for byteIdx := lo; byteIdx < hi; byteIdx++ {
+				var final byte
+				cell := byteIdx * 8
+				for b := 0; b < 8; b++ {
+					i := cell + b
+					bias := a.bias(i)
+					idx := uint64(i)
+					for k := 0; k < races; k++ {
+						if bias+sigma*a.noise.Norm(base+uint64(k), idx) > 0 {
+							counts[i]++
+							if k == races-1 {
+								final |= 1 << b
+							}
+						}
+					}
+				}
+				a.data[byteIdx] = final
+			}
+		})
+		if err != nil {
+			// Cancelled mid-burst: the data plane is partially written,
+			// so leave the array unpowered — the next power-on runs a
+			// fresh race over everything.
+			a.powered = false
+			return nil, err
+		}
+	}
+	a.powered = true
+	return counts, nil
+}
 
 // CaptureMajority performs captures power cycles at tempC and returns the
 // per-bit majority across them — the receiver's noise filter from §4.3:
@@ -13,29 +82,22 @@ import (
 // captures is sufficient to filter noise." The array is left powered with
 // the final capture as its contents.
 func (a *Array) CaptureMajority(captures int, tempC float64) ([]byte, error) {
+	return a.CaptureMajorityContext(context.Background(), captures, tempC)
+}
+
+// CaptureMajorityContext is CaptureMajority with cancellation: the burst
+// checks ctx between dispatched chunks, so a cancelled multi-capture
+// sweep stops without finishing the remaining cells.
+func (a *Array) CaptureMajorityContext(ctx context.Context, captures int, tempC float64) ([]byte, error) {
 	if captures < 1 || captures%2 == 0 {
 		return nil, fmt.Errorf("sram: majority voting needs an odd capture count, got %d", captures)
 	}
-	counts := make([]uint16, a.n)
-	for k := 0; k < captures; k++ {
-		var snap []byte
-		var err error
-		if a.powered {
-			snap, err = a.PowerCycle(tempC)
-		} else {
-			snap, err = a.PowerOn(tempC)
-		}
-		if err != nil {
-			return nil, err
-		}
-		for i := 0; i < a.n; i++ {
-			if snap[i/8]&(1<<(i%8)) != 0 {
-				counts[i]++
-			}
-		}
+	counts, err := a.captureBurst(ctx, captures, tempC)
+	if err != nil {
+		return nil, err
 	}
 	out := make([]byte, a.n/8)
-	threshold := uint16(captures/2) + 1
+	threshold := uint32(captures/2) + 1
 	for i, c := range counts {
 		if c >= threshold {
 			out[i/8] |= 1 << (i % 8)
@@ -50,28 +112,23 @@ func (a *Array) CaptureMajority(captures int, tempC float64) ([]byte, error) {
 // than one reading 3/5, and the soft-decision decoder (ecc.SoftDecoder)
 // exploits exactly that. The array is left powered.
 func (a *Array) CaptureVotes(captures int, tempC float64) ([]uint16, error) {
+	return a.CaptureVotesContext(context.Background(), captures, tempC)
+}
+
+// CaptureVotesContext is CaptureVotes with cancellation.
+func (a *Array) CaptureVotesContext(ctx context.Context, captures int, tempC float64) ([]uint16, error) {
 	if captures < 1 {
 		return nil, fmt.Errorf("sram: need at least one capture, got %d", captures)
 	}
-	counts := make([]uint16, a.n)
-	for k := 0; k < captures; k++ {
-		var snap []byte
-		var err error
-		if a.powered {
-			snap, err = a.PowerCycle(tempC)
-		} else {
-			snap, err = a.PowerOn(tempC)
-		}
-		if err != nil {
-			return nil, err
-		}
-		for i := 0; i < a.n; i++ {
-			if snap[i/8]&(1<<(i%8)) != 0 {
-				counts[i]++
-			}
-		}
+	counts, err := a.captureBurst(ctx, captures, tempC)
+	if err != nil {
+		return nil, err
 	}
-	return counts, nil
+	votes := make([]uint16, a.n)
+	for i, c := range counts {
+		votes[i] = uint16(c)
+	}
+	return votes, nil
 }
 
 // BiasMap estimates each cell's power-on bias (fraction of 1s) over the
@@ -80,23 +137,9 @@ func (a *Array) BiasMap(captures int, tempC float64) ([]float64, error) {
 	if captures < 1 {
 		return nil, fmt.Errorf("sram: need at least one capture, got %d", captures)
 	}
-	counts := make([]uint32, a.n)
-	for k := 0; k < captures; k++ {
-		var snap []byte
-		var err error
-		if a.powered {
-			snap, err = a.PowerCycle(tempC)
-		} else {
-			snap, err = a.PowerOn(tempC)
-		}
-		if err != nil {
-			return nil, err
-		}
-		for i := 0; i < a.n; i++ {
-			if snap[i/8]&(1<<(i%8)) != 0 {
-				counts[i]++
-			}
-		}
+	counts, err := a.captureBurst(context.Background(), captures, tempC)
+	if err != nil {
+		return nil, err
 	}
 	out := make([]float64, a.n)
 	inv := 1 / float64(captures)

@@ -13,6 +13,12 @@ type State struct {
 	Seed     uint64 // must match the array being restored into
 	Powered  bool
 	Remanent bool
+	// PowerOns is the noise-stream counter: how many power-on races the
+	// array had resolved when the snapshot was taken. Restoring it lets
+	// the array replay the same noise future. Absent (zero) in snapshots
+	// taken before counter-based noise derivation; such arrays replay
+	// from counter 0, which is still fully deterministic.
+	PowerOns uint64
 	Data     []byte
 	S0Perm   []float32
 	S0Fast   []float32
@@ -35,6 +41,7 @@ func (a *Array) StateSnapshot() State {
 		Seed:     a.spec.Seed,
 		Powered:  a.powered,
 		Remanent: a.remanent,
+		PowerOns: a.powerOns,
 		Data:     data,
 		S0Perm:   cp(a.s0Perm), S0Fast: cp(a.s0Fast), S0Slow: cp(a.s0Slow),
 		S1Perm: cp(a.s1Perm), S1Fast: cp(a.s1Fast), S1Slow: cp(a.s1Slow),
@@ -63,5 +70,6 @@ func (a *Array) RestoreState(s State) error {
 	copy(a.s1Slow, s.S1Slow)
 	a.powered = s.Powered
 	a.remanent = s.Remanent
+	a.powerOns = s.PowerOns
 	return nil
 }

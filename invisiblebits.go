@@ -37,6 +37,7 @@ import (
 	"invisiblebits/internal/ecc"
 	"invisiblebits/internal/faults"
 	"invisiblebits/internal/fleet"
+	"invisiblebits/internal/parallel"
 	"invisiblebits/internal/rig"
 	"invisiblebits/internal/stegocrypt"
 )
@@ -87,6 +88,16 @@ func NewDevice(model DeviceModel, serial string) (*Device, error) {
 // real size.
 func NewDeviceSampled(model DeviceModel, serial string, sramBytes int) (*Device, error) {
 	return device.New(model, serial, device.WithSRAMLimit(sramBytes))
+}
+
+// SetCaptureWorkers bounds the capture engine's parallelism across the
+// given carriers with one shared worker pool of size workers (<= 0 means
+// GOMAXPROCS). Captures are bit-identical under any worker count — the
+// per-cell noise is counter-derived — so this knob trades only
+// throughput, never results. By default all carriers already share a
+// GOMAXPROCS-wide process pool.
+func SetCaptureWorkers(carriers []*Carrier, workers int) {
+	fleet.UseCapturePool(rigsOf(carriers), parallel.New(workers))
 }
 
 // Carrier couples a device to an evaluation rig and exposes the
