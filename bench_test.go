@@ -264,3 +264,55 @@ func BenchmarkCapturePath(b *testing.B) {
 		}
 	}
 }
+
+// --- aging-path benches (PR 4 tentpole) ---------------------------------------
+
+// BenchmarkStressPath measures the encoding soak hot loop — the per-cell
+// defect-pool growth that dominates Hide() — across array size. BENCH_3
+// only timed captures; the aging engine was invisible to it. cmd/ibbench
+// runs the same loop against the legacy per-cell-Pow engine and records
+// the ratio in BENCH_4.json.
+func BenchmarkStressPath(b *testing.B) {
+	for _, size := range []struct {
+		name  string
+		bytes int
+	}{{"4KiB", 4 << 10}, {"64KiB", 64 << 10}} {
+		b.Run(size.name, func(b *testing.B) {
+			a := newCaptureArray(b, size.bytes, 0)
+			cond := a.Spec().Aging.Ref
+			b.SetBytes(int64(size.bytes))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := a.Stress(cond, 0.1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkShelvePath measures unpowered shelf decay — recoverable-pool
+// relaxation plus the bias-plane rebuild — the other per-cell aging loop
+// Hide()/retention probes lean on.
+func BenchmarkShelvePath(b *testing.B) {
+	for _, size := range []struct {
+		name  string
+		bytes int
+	}{{"4KiB", 4 << 10}, {"64KiB", 64 << 10}} {
+		b.Run(size.name, func(b *testing.B) {
+			a := newCaptureArray(b, size.bytes, 0)
+			cond := a.Spec().Aging.Ref
+			if err := a.Stress(cond, 2); err != nil {
+				b.Fatal(err)
+			}
+			a.PowerOff(true)
+			b.SetBytes(int64(size.bytes))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := a.Shelve(1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,67 +1,86 @@
-// Command ibbench runs the capture-path benchmark grid — array size ×
-// burst length × worker count — through testing.Benchmark and records
-// the trajectory as BENCH_3.json: ns/op, B/op, MB/s, and speedup of
-// each parallel configuration over the serial (1-worker) baseline for
-// the same grid point. Alongside each number it captures the machine
-// context (GOMAXPROCS, NumCPU, go version) so trajectories from
-// different hosts are comparable.
+// Command ibbench runs the hot-path benchmark grids — captures,
+// power-on races, aging soaks, and pruning ratios — through
+// testing.Benchmark and records the trajectory as BENCH_4.json. Every
+// optimized number is paired with the BENCH_3-era engine (serial,
+// unpruned, per-cell GrowShift aging) timed on the same host in the
+// same process, so `speedup_vs_legacy` is a like-for-like measurement,
+// not a cross-machine comparison.
 //
-// Before timing, the harness cross-checks determinism: every worker
-// count in the grid must produce bit-identical captures from the same
-// seed, or the run aborts. Speed without equivalence is not a result.
+// Before timing, the harness cross-checks equivalence: within each
+// noise-plane version the optimized capture engine must be bit-identical
+// to the reference engine (pruning and sharding are exact, not
+// approximate), and the equivalent-time aging engine must agree with
+// per-cell GrowShift to float rounding. Speed without equivalence is
+// not a result — any violation aborts the run.
 //
 // Usage:
 //
 //	ibbench                        # grid at workers {1, GOMAXPROCS}
 //	ibbench -workers 1,2,4,8       # explicit worker grid
-//	ibbench -o BENCH_3.json
+//	ibbench -o BENCH_4.json
 package main
 
 import (
-	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"strconv"
 	"strings"
 	"testing"
 
+	"invisiblebits/internal/analog"
 	"invisiblebits/internal/sram"
 )
 
 type benchPoint struct {
 	Name     string  `json:"name"`
 	Bytes    int     `json:"array_bytes"`
-	Captures int     `json:"captures"`
-	Workers  int     `json:"workers"`
+	Captures int     `json:"captures,omitempty"`
+	Workers  int     `json:"workers,omitempty"`
+	NoiseGen int     `json:"noise_gen,omitempty"`
 	NsPerOp  float64 `json:"ns_per_op"`
 	BPerOp   int64   `json:"bytes_per_op"`
 	AllocsOp int64   `json:"allocs_per_op"`
-	MBPerSec float64 `json:"mb_per_sec"`
-	// Speedup is ns/op of the 1-worker run at the same grid point
-	// divided by this run's ns/op; 1.0 for the serial baseline itself.
-	Speedup float64 `json:"speedup_vs_serial"`
+	MBPerSec float64 `json:"mb_per_sec,omitempty"`
+	// LegacyNsPerOp is the BENCH_3-era engine (serial, unpruned,
+	// per-cell GrowShift) timed on this host for the same grid point.
+	LegacyNsPerOp float64 `json:"legacy_ns_per_op,omitempty"`
+	// Speedup is LegacyNsPerOp / NsPerOp.
+	Speedup float64 `json:"speedup_vs_legacy,omitempty"`
+	// PruneFrac is the fraction of cells the engine resolved without
+	// noise draws (prune-ratio grid only).
+	PruneFrac float64 `json:"prune_frac,omitempty"`
 }
 
 type benchReport struct {
-	Schema     string       `json:"schema"`
-	GoVersion  string       `json:"go_version"`
-	GOOS       string       `json:"goos"`
-	GOARCH     string       `json:"goarch"`
-	NumCPU     int          `json:"num_cpu"`
-	GOMAXPROCS int          `json:"gomaxprocs"`
+	Schema     string `json:"schema"`
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// Equivalent: within each NoiseGen version, optimized captures are
+	// bit-identical to the serial unpruned reference engine, and the
+	// aging engines agree to float rounding. Checked before timing.
 	Equivalent bool         `json:"captures_bit_identical"`
-	Points     []benchPoint `json:"points"`
+	Capture    []benchPoint `json:"capture_grid"`
+	PowerOn    []benchPoint `json:"power_on_grid"`
+	Stress     []benchPoint `json:"stress_grid"`
+	PruneRatio []benchPoint `json:"prune_ratio_grid"`
 }
 
-func newArray(bytes, seed, workers int) (*sram.Array, error) {
+const benchSeed = 0xbe2c
+
+func newArray(bytes, workers, noiseGen int) (*sram.Array, error) {
 	spec := sram.DefaultSpec()
 	spec.Rows = 256
 	spec.Cols = bytes * 8 / spec.Rows
-	spec.Seed = uint64(seed)
+	spec.Seed = benchSeed
 	spec.Workers = workers
+	spec.NoiseGen = noiseGen
 	a, err := sram.New(spec)
 	if err != nil {
 		return nil, err
@@ -72,25 +91,111 @@ func newArray(bytes, seed, workers int) (*sram.Array, error) {
 	return a, nil
 }
 
-// checkEquivalence asserts every worker count resolves identical
-// captures from the same seed — the property the speedup numbers rest on.
+// imprint writes a fixed pattern and soaks it at the encoding condition,
+// pushing message cells beyond the pruning bound like a real encode.
+func imprint(a *sram.Array, hours float64) error {
+	if hours <= 0 {
+		return nil
+	}
+	pattern := make([]byte, a.Bytes())
+	for i := range pattern {
+		pattern[i] = byte(i*37 + 11)
+	}
+	return a.StressWithPattern(pattern, a.Spec().Aging.Ref, hours)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "ibbench:", err)
+	os.Exit(1)
+}
+
+// checkEquivalence is the gate the speedup numbers rest on: within each
+// noise-plane version, every worker count's pruned parallel captures
+// must match the serial unpruned reference bit for bit (clean and
+// heavily-imprinted arrays), and parallel equivalent-time aging must
+// match per-cell GrowShift to float rounding.
 func checkEquivalence(workerGrid []int) error {
-	var want []byte
-	for _, w := range workerGrid {
-		a, err := newArray(4<<10, 0xbe2c, w)
+	for _, gen := range []int{sram.NoiseGenBoxMuller, sram.NoiseGenZiggurat} {
+		for _, soak := range []float64{0, 10} {
+			ref, err := newArray(4<<10, 1, gen)
+			if err != nil {
+				return err
+			}
+			if err := imprint(ref, soak); err != nil {
+				return err
+			}
+			want, err := ref.CaptureVotesReference(5, 25)
+			if err != nil {
+				return err
+			}
+			for _, w := range workerGrid {
+				a, err := newArray(4<<10, w, gen)
+				if err != nil {
+					return err
+				}
+				if err := imprint(a, soak); err != nil {
+					return err
+				}
+				got, err := a.CaptureVotes(5, 25)
+				if err != nil {
+					return err
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						return fmt.Errorf("gen=%d soak=%vh workers=%d: cell %d votes %d, reference %d",
+							gen, soak, w, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+	// Aging: staged stress + shelf + restress, optimized vs legacy.
+	cond := analog.Conditions{VoltageV: 3.3, TempC: 85}
+	run := func(legacy bool) (*sram.Array, error) {
+		a, err := newArray(4<<10, 0, sram.NoiseGenZiggurat)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		got, err := a.CaptureMajority(5, 25)
-		if err != nil {
-			return err
+		stress := a.Stress
+		if legacy {
+			stress = a.StressReference
 		}
-		if want == nil {
-			want = got
-			continue
+		pattern := make([]byte, a.Bytes())
+		for i := range pattern {
+			pattern[i] = byte(i*37 + 11)
 		}
-		if !bytes.Equal(got, want) {
-			return fmt.Errorf("workers=%d: capture differs from workers=%d", w, workerGrid[0])
+		if err := a.Write(pattern); err != nil {
+			return nil, err
+		}
+		for _, h := range []float64{2, 1, 3} {
+			if err := stress(cond, h); err != nil {
+				return nil, err
+			}
+		}
+		a.PowerOff(true)
+		if err := a.Shelve(100); err != nil {
+			return nil, err
+		}
+		if _, err := a.PowerOn(25); err != nil {
+			return nil, err
+		}
+		if err := stress(cond, 0.5); err != nil {
+			return nil, err
+		}
+		return a, nil
+	}
+	fast, err := run(false)
+	if err != nil {
+		return err
+	}
+	ref, err := run(true)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < fast.Cells(); i++ {
+		fb, rb := fast.Bias(i), ref.Bias(i)
+		if diff := math.Abs(fb - rb); diff/math.Max(1, math.Abs(rb)) > 1e-5 {
+			return fmt.Errorf("stress equivalence: cell %d bias %v vs reference %v", i, fb, rb)
 		}
 	}
 	return nil
@@ -112,34 +217,51 @@ func parseWorkers(s string) ([]int, error) {
 	return grid, nil
 }
 
+func bench(fn func(b *testing.B)) testing.BenchmarkResult {
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		fn(b)
+	})
+}
+
+var sizes = []struct {
+	name  string
+	bytes int
+}{{"4KiB", 4 << 10}, {"64KiB", 64 << 10}}
+
+func genName(gen int) string {
+	if gen == sram.NoiseGenZiggurat {
+		return "zig"
+	}
+	return "bm"
+}
+
 func main() {
 	defaultWorkers := "1"
 	if n := runtime.GOMAXPROCS(0); n > 1 {
 		defaultWorkers += "," + strconv.Itoa(n)
 	}
 	var (
-		out     = flag.String("o", "BENCH_3.json", "output path for the benchmark report")
+		out     = flag.String("o", "BENCH_4.json", "output path for the benchmark report")
 		workers = flag.String("workers", defaultWorkers, "comma-separated worker counts (must include 1 for the serial baseline)")
 	)
 	flag.Parse()
 
 	grid, err := parseWorkers(*workers)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ibbench:", err)
-		os.Exit(1)
+		fail(err)
 	}
 	if grid[0] != 1 {
-		fmt.Fprintln(os.Stderr, "ibbench: worker grid must start with 1 (serial baseline)")
-		os.Exit(1)
+		fail(fmt.Errorf("worker grid must start with 1 (serial baseline)"))
 	}
 
 	if err := checkEquivalence(grid); err != nil {
-		fmt.Fprintln(os.Stderr, "ibbench: determinism check failed:", err)
-		os.Exit(1)
+		fail(fmt.Errorf("equivalence check failed: %w", err))
 	}
+	fmt.Println("equivalence gates passed: captures bit-identical, aging within float rounding")
 
 	report := benchReport{
-		Schema:     "invisiblebits/bench/v3",
+		Schema:     "invisiblebits/bench/v4",
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
@@ -147,62 +269,187 @@ func main() {
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Equivalent: true,
 	}
+	emit := func(dst *[]benchPoint, pt benchPoint) {
+		*dst = append(*dst, pt)
+		fmt.Printf("%-26s %14.0f ns/op %12.0f legacy %7.2fx\n",
+			pt.Name, pt.NsPerOp, pt.LegacyNsPerOp, pt.Speedup)
+	}
 
-	sizes := []struct {
-		name  string
-		bytes int
-	}{{"4KiB", 4 << 10}, {"64KiB", 64 << 10}}
-
-	serial := map[string]float64{} // "size/captures" -> ns/op at workers=1
+	// --- capture grid: size × captures × NoiseGen × workers ---------------
+	// The legacy baseline is the BENCH_3-era engine: serial, unpruned,
+	// Box–Muller noise. It is timed once per (size, captures) and shared
+	// by both NoiseGen rows — the Box–Muller rows show the refactor alone
+	// is cost-neutral for compat-mode devices, the ziggurat rows show
+	// what new silicon gains over the old engine.
 	for _, size := range sizes {
 		for _, captures := range []int{5, 25} {
-			for _, w := range grid {
-				a, err := newArray(size.bytes, 0xbe2c, w)
-				if err != nil {
-					fmt.Fprintln(os.Stderr, "ibbench:", err)
-					os.Exit(1)
-				}
-				captures := captures
-				res := testing.Benchmark(func(b *testing.B) {
-					b.ReportAllocs()
-					b.SetBytes(int64(size.bytes * captures))
-					for i := 0; i < b.N; i++ {
-						if _, err := a.CaptureVotes(captures, 25); err != nil {
-							b.Fatal(err)
-						}
+			legacyArr, err := newArray(size.bytes, 1, sram.NoiseGenBoxMuller)
+			if err != nil {
+				fail(err)
+			}
+			captures := captures
+			legacy := bench(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := legacyArr.CaptureVotesReference(captures, 25); err != nil {
+						b.Fatal(err)
 					}
-				})
-				nsop := float64(res.NsPerOp())
-				key := fmt.Sprintf("%s/%dcap", size.name, captures)
-				if w == 1 {
-					serial[key] = nsop
 				}
-				pt := benchPoint{
-					Name:     fmt.Sprintf("%s/%dw", key, w),
-					Bytes:    size.bytes,
-					Captures: captures,
-					Workers:  w,
-					NsPerOp:  nsop,
-					BPerOp:   res.AllocedBytesPerOp(),
-					AllocsOp: res.AllocsPerOp(),
-					MBPerSec: float64(size.bytes*captures) / nsop * 1e3,
-					Speedup:  serial[key] / nsop,
+			})
+			for _, gen := range []int{sram.NoiseGenBoxMuller, sram.NoiseGenZiggurat} {
+				for _, w := range grid {
+					a, err := newArray(size.bytes, w, gen)
+					if err != nil {
+						fail(err)
+					}
+					res := bench(func(b *testing.B) {
+						b.SetBytes(int64(size.bytes * captures))
+						for i := 0; i < b.N; i++ {
+							if _, err := a.CaptureVotes(captures, 25); err != nil {
+								b.Fatal(err)
+							}
+						}
+					})
+					nsop := float64(res.NsPerOp())
+					emit(&report.Capture, benchPoint{
+						Name:          fmt.Sprintf("%s/%dcap/%s/%dw", size.name, captures, genName(gen), w),
+						Bytes:         size.bytes,
+						Captures:      captures,
+						Workers:       w,
+						NoiseGen:      gen,
+						NsPerOp:       nsop,
+						BPerOp:        res.AllocedBytesPerOp(),
+						AllocsOp:      res.AllocsPerOp(),
+						MBPerSec:      float64(size.bytes*captures) / nsop * 1e3,
+						LegacyNsPerOp: float64(legacy.NsPerOp()),
+						Speedup:       float64(legacy.NsPerOp()) / nsop,
+					})
 				}
-				report.Points = append(report.Points, pt)
-				fmt.Printf("%-18s %12.0f ns/op %10d B/op %8.2f MB/s %6.2fx\n",
-					pt.Name, pt.NsPerOp, pt.BPerOp, pt.MBPerSec, pt.Speedup)
 			}
 		}
 	}
 
+	// --- power-on grid: size × NoiseGen (full power-cycle races) ----------
+	for _, size := range sizes {
+		legacyArr, err := newArray(size.bytes, 1, sram.NoiseGenBoxMuller)
+		if err != nil {
+			fail(err)
+		}
+		legacy := bench(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				legacyArr.PowerOff(true)
+				if _, err := legacyArr.PowerOnReference(25); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		for _, gen := range []int{sram.NoiseGenBoxMuller, sram.NoiseGenZiggurat} {
+			a, err := newArray(size.bytes, 0, gen)
+			if err != nil {
+				fail(err)
+			}
+			res := bench(func(b *testing.B) {
+				b.SetBytes(int64(size.bytes))
+				for i := 0; i < b.N; i++ {
+					if _, err := a.PowerCycle(25); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			nsop := float64(res.NsPerOp())
+			emit(&report.PowerOn, benchPoint{
+				Name:          fmt.Sprintf("%s/%s", size.name, genName(gen)),
+				Bytes:         size.bytes,
+				NoiseGen:      gen,
+				NsPerOp:       nsop,
+				BPerOp:        res.AllocedBytesPerOp(),
+				AllocsOp:      res.AllocsPerOp(),
+				MBPerSec:      float64(size.bytes) / nsop * 1e3,
+				LegacyNsPerOp: float64(legacy.NsPerOp()),
+				Speedup:       float64(legacy.NsPerOp()) / nsop,
+			})
+		}
+	}
+
+	// --- stress grid: the aging hot loop (BENCH_3 never measured it) ------
+	for _, size := range sizes {
+		cond := analog.Conditions{VoltageV: 3.3, TempC: 85}
+		legacyArr, err := newArray(size.bytes, 1, sram.NoiseGenZiggurat)
+		if err != nil {
+			fail(err)
+		}
+		legacy := bench(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := legacyArr.StressReference(cond, 0.1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		a, err := newArray(size.bytes, 0, sram.NoiseGenZiggurat)
+		if err != nil {
+			fail(err)
+		}
+		res := bench(func(b *testing.B) {
+			b.SetBytes(int64(size.bytes))
+			for i := 0; i < b.N; i++ {
+				if err := a.Stress(cond, 0.1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		nsop := float64(res.NsPerOp())
+		emit(&report.Stress, benchPoint{
+			Name:          fmt.Sprintf("%s/stress", size.name),
+			Bytes:         size.bytes,
+			NsPerOp:       nsop,
+			BPerOp:        res.AllocedBytesPerOp(),
+			AllocsOp:      res.AllocsPerOp(),
+			MBPerSec:      float64(size.bytes) / nsop * 1e3,
+			LegacyNsPerOp: float64(legacy.NsPerOp()),
+			Speedup:       float64(legacy.NsPerOp()) / nsop,
+		})
+	}
+
+	// --- prune-ratio grid: capture cost vs imprint depth ------------------
+	// Clean silicon already prunes ~75% of cells (P(|N(0,30σmv)| > 8·1.2mv)).
+	// Encoding soaks push the ratio toward 1 and the capture cost toward
+	// pure memory traffic.
+	for _, soak := range []float64{0, 1, 10} {
+		a, err := newArray(64<<10, 0, sram.NoiseGenZiggurat)
+		if err != nil {
+			fail(err)
+		}
+		if err := imprint(a, soak); err != nil {
+			fail(err)
+		}
+		frac, err := a.DeterministicFrac(25)
+		if err != nil {
+			fail(err)
+		}
+		res := bench(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := a.CaptureVotes(25, 25); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		emit(&report.PruneRatio, benchPoint{
+			Name:      fmt.Sprintf("64KiB/25cap/soak%vh", soak),
+			Bytes:     64 << 10,
+			Captures:  25,
+			NoiseGen:  sram.NoiseGenZiggurat,
+			NsPerOp:   float64(res.NsPerOp()),
+			BPerOp:    res.AllocedBytesPerOp(),
+			AllocsOp:  res.AllocsPerOp(),
+			PruneFrac: frac,
+		})
+	}
+
 	blob, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ibbench:", err)
-		os.Exit(1)
+		fail(err)
 	}
 	if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "ibbench:", err)
-		os.Exit(1)
+		fail(err)
 	}
 	fmt.Println("wrote", *out)
 }

@@ -1,6 +1,7 @@
 package device
 
 import (
+	"context"
 	"fmt"
 
 	"invisiblebits/internal/analog"
@@ -209,10 +210,18 @@ func (d *Device) ReadSRAM() ([]byte, error) { return d.SRAM.Read() }
 // PowerOn ramps the supply at ambient tempC, resolving the SRAM power-on
 // state, and resets the CPU to the Flash entry point.
 func (d *Device) PowerOn(tempC float64) ([]byte, error) {
+	return d.PowerOnContext(context.Background(), tempC)
+}
+
+// PowerOnContext is PowerOn with cancellation: a fleet sweep can abandon
+// a fingerprint read mid-race. On cancellation the device stays
+// unpowered (the CPU is not reset) and the next power-on runs a fresh
+// race.
+func (d *Device) PowerOnContext(ctx context.Context, tempC float64) ([]byte, error) {
 	if err := d.guard(); err != nil {
 		return nil, err
 	}
-	snap, err := d.SRAM.PowerOn(tempC)
+	snap, err := d.SRAM.PowerOnContext(ctx, tempC)
 	if err != nil {
 		return nil, err
 	}

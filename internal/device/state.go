@@ -9,8 +9,12 @@ import (
 )
 
 // imageVersion guards the on-disk format. Version 2 added the refresh
-// maintenance ledger; version-1 images (no ledger) still load.
-const imageVersion = 2
+// maintenance ledger; version 3 records the SRAM noise-plane version
+// (sram.State.NoiseGen). Older images still load: a missing NoiseGen
+// decodes as zero, which RestoreState maps to Box–Muller — the only
+// sampler that existed when those images were written — so v1/v2
+// archives keep replaying bit-identical captures under the v2 engine.
+const imageVersion = 3
 
 // image is the gob-serialized form of a device: enough to reconstruct
 // the silicon (model + serial regenerate the fingerprint) plus the

@@ -91,7 +91,7 @@ func CharacterizeContext(ctx context.Context, rigs []*rig.Rig, captures int) ([]
 func characterizeOne(ctx context.Context, i int, r *rig.Rig, captures int) (Characterization, error) {
 	dev := r.Device()
 	if !dev.SRAM.Powered() {
-		if _, err := r.PowerOn(); err != nil {
+		if _, err := r.PowerOnContext(ctx); err != nil {
 			return Characterization{}, err
 		}
 	}

@@ -5,16 +5,18 @@ import (
 	"invisiblebits/internal/rig"
 )
 
-// UseCapturePool points every rig's SRAM capture engine at one shared
-// worker pool. By default arrays already share the process-wide pool
-// (parallel.Shared), so a fleet sweep is machine-bounded out of the box;
-// this helper exists for campaigns that want an explicit budget — e.g.
-// leaving cores free for the encoding soaks while captures run, or
-// serializing captures entirely (workers = 1) for diagnosis. A nil pool
-// restores the shared default.
+// UseCapturePool points every rig's SRAM engine at one shared worker
+// pool. Captures, power-on races, aging soaks, and shelf recovery all
+// ride the pool now, so one budget bounds a campaign's entire
+// compute — by default arrays already share the process-wide pool
+// (parallel.Shared), so a fleet sweep is machine-bounded out of the
+// box; this helper exists for campaigns that want an explicit budget —
+// e.g. leaving cores free for other work, or serializing everything
+// (workers = 1) for diagnosis. A nil pool restores the shared default.
 //
-// Capture results are bit-identical under any pool: per-cell noise is
-// counter-derived, so the pool only sets throughput.
+// Results are bit-identical under any pool: per-cell noise is
+// counter-derived and aging is pure per-cell math, so the pool only
+// sets throughput.
 func UseCapturePool(rigs []*rig.Rig, p *parallel.Pool) {
 	for _, r := range rigs {
 		r.Device().SRAM.SetPool(p)

@@ -210,13 +210,20 @@ func (r *Rig) LoadProgram(prog *asm.Program) error {
 // already powered the rig cycles it (with full discharge) first — the
 // controller always takes the rail through ground before a fresh ramp.
 func (r *Rig) PowerOn() ([]byte, error) {
+	return r.PowerOnContext(context.Background())
+}
+
+// PowerOnContext is PowerOn with cancellation, so a fleet
+// characterization sweep can abandon a fingerprint read mid-race. On
+// cancellation the device is left unpowered and clean.
+func (r *Rig) PowerOnContext(ctx context.Context) ([]byte, error) {
 	if err := r.opError(faults.OpPowerOn); err != nil {
 		return nil, err
 	}
 	if r.dev.SRAM.Powered() {
 		r.PowerOff()
 	}
-	snap, err := r.dev.PowerOn(r.chamberC)
+	snap, err := r.dev.PowerOnContext(ctx, r.chamberC)
 	if err != nil {
 		return nil, err
 	}
@@ -370,7 +377,7 @@ func (r *Rig) SampleVotesContext(ctx context.Context, n int) ([]uint16, error) {
 		return nil, err
 	}
 	r.dev.PowerOff(true)
-	if _, err := r.dev.PowerOn(r.chamberC); err != nil {
+	if _, err := r.dev.PowerOnContext(ctx, r.chamberC); err != nil {
 		return nil, err
 	}
 	if r.injector != nil {
@@ -406,7 +413,7 @@ func (r *Rig) SampleMajorityContext(ctx context.Context, n int) ([]byte, error) 
 	}
 	// Re-arm the CPU so firmware can run after sampling.
 	r.dev.PowerOff(true)
-	if _, err := r.dev.PowerOn(r.chamberC); err != nil {
+	if _, err := r.dev.PowerOnContext(ctx, r.chamberC); err != nil {
 		return nil, err
 	}
 	if r.injector != nil {

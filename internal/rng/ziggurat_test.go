@@ -1,0 +1,156 @@
+package rng
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"invisiblebits/internal/stats"
+)
+
+func TestNormZigguratMoments(t *testing.T) {
+	s := NewSource(2026)
+	const n = 200000
+	var sum, sumSq, sumCu float64
+	for i := 0; i < n; i++ {
+		v := s.NormZiggurat()
+		sum += v
+		sumSq += v * v
+		sumCu += v * v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	skew := sumCu / n
+	if math.Abs(mean) > 0.01 {
+		t.Errorf("mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Errorf("variance = %v, want ~1", variance)
+	}
+	if math.Abs(skew) > 0.05 {
+		t.Errorf("third moment = %v, want ~0", skew)
+	}
+}
+
+func TestNormZigguratTruncationBound(t *testing.T) {
+	// Every draw must respect the documented ±8σ hard bound (the pruning
+	// guarantee), and the sampler must still reach well into the tail
+	// region beyond the ziggurat base r ≈ 3.44.
+	s := NewSource(7)
+	maxAbs := 0.0
+	for i := 0; i < 500000; i++ {
+		v := s.NormZiggurat()
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs > NormZigguratBound {
+		t.Fatalf("|draw| = %v exceeds the %v bound", maxAbs, NormZigguratBound)
+	}
+	if maxAbs < 3.442619855899 {
+		t.Errorf("max |draw| = %v never exercised the tail sampler", maxAbs)
+	}
+}
+
+func TestNormZigguratKolmogorovSmirnov(t *testing.T) {
+	// One-sample KS test against Φ. The critical value at α = 0.001 is
+	// 1.95/√n; use the counter-based stream so the test also covers the
+	// coordinate-derivation path used by the capture engine.
+	stream := NewStream(0x2e0c)
+	const n = 100000
+	draws := make([]float64, n)
+	for i := range draws {
+		draws[i] = stream.NormZig(uint64(i%251), uint64(i))
+	}
+	sort.Float64s(draws)
+	d := 0.0
+	for i, x := range draws {
+		cdf := stats.NormalCDF(x)
+		if up := float64(i+1)/n - cdf; up > d {
+			d = up
+		}
+		if down := cdf - float64(i)/n; down > d {
+			d = down
+		}
+	}
+	if crit := 1.95 / math.Sqrt(n); d > crit {
+		t.Errorf("KS statistic %v exceeds %v: ziggurat draws are not N(0,1)", d, crit)
+	}
+}
+
+func TestNormZigStreamDeterministicAndOrderFree(t *testing.T) {
+	s := NewStream(99)
+	want := make([]float64, 64)
+	for i := range want {
+		want[i] = s.NormZig(3, uint64(i))
+	}
+	// Re-reading coordinates in reverse yields identical values: the
+	// plane has no sequential state.
+	for i := len(want) - 1; i >= 0; i-- {
+		if got := s.NormZig(3, uint64(i)); got != want[i] {
+			t.Fatalf("coordinate (3,%d) not stable: %v vs %v", i, got, want[i])
+		}
+	}
+	// Distinct counters give decorrelated values.
+	same := 0
+	for i := range want {
+		if s.NormZig(4, uint64(i)) == want[i] {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d/64 draws identical across counters", same)
+	}
+}
+
+func TestNormZigguratDiffersFromBoxMuller(t *testing.T) {
+	// The two samplers are distinct noise-generation versions: same seed,
+	// different mapping from bits to variates.
+	a, b := NewSource(5), NewSource(5)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.NormZiggurat() == b.Norm() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("ziggurat tracks Box–Muller on %d/64 draws", same)
+	}
+}
+
+func TestZigguratTablesWellFormed(t *testing.T) {
+	if zigX[1] != zigR {
+		t.Fatalf("zigX[1] = %v, want r", zigX[1])
+	}
+	if zigX[0] <= zigX[1] {
+		t.Fatalf("base pseudo-width %v not beyond r", zigX[0])
+	}
+	for i := 1; i < zigLayers; i++ {
+		if zigX[i+1] >= zigX[i] {
+			t.Fatalf("edges not strictly decreasing at %d: %v, %v", i, zigX[i], zigX[i+1])
+		}
+		if zigF[i+1] <= zigF[i] {
+			t.Fatalf("densities not increasing at %d", i)
+		}
+	}
+	if zigX[zigLayers] > 0.02 {
+		t.Errorf("top edge %v should be ~0 (v accounts for exactly 128 layers)", zigX[zigLayers])
+	}
+	if zigX[0] >= NormZigguratBound {
+		t.Errorf("layer bound %v must sit inside the truncation bound", zigX[0])
+	}
+}
+
+func BenchmarkNormBoxMuller(b *testing.B) {
+	s := NewSource(1)
+	for i := 0; i < b.N; i++ {
+		_ = s.Norm()
+	}
+}
+
+func BenchmarkNormZiggurat(b *testing.B) {
+	s := NewSource(1)
+	for i := 0; i < b.N; i++ {
+		_ = s.NormZiggurat()
+	}
+}

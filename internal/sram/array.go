@@ -27,6 +27,7 @@
 package sram
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -34,6 +35,23 @@ import (
 	"invisiblebits/internal/analog"
 	"invisiblebits/internal/parallel"
 	"invisiblebits/internal/rng"
+)
+
+// Noise-generation versions selectable via Spec.NoiseGen. The version is
+// part of a device's persisted identity: state snapshots and device
+// images record it, and restoring a snapshot adopts its version, so a
+// device image replays bit-identical captures forever regardless of
+// which engine generation wrote it.
+const (
+	// NoiseGenBoxMuller is the v1 thermal-noise plane: Box–Muller
+	// variates with unbounded support. Pre-versioning snapshots and
+	// images (which carry no NoiseGen field) load as v1.
+	NoiseGenBoxMuller = 1
+	// NoiseGenZiggurat is the v2 plane: ziggurat variates truncated at
+	// ±rng.NormZigguratBound (8σ, P ≈ 1e-15 — physically immaterial).
+	// The hard bound is what makes deterministic-cell pruning exact.
+	// New arrays default to v2.
+	NoiseGenZiggurat = 2
 )
 
 // Spec describes the physical and statistical properties of an array.
@@ -75,6 +93,12 @@ type Spec struct {
 	// results: per-cell noise is counter-derived, so any sharding
 	// produces bit-identical captures.
 	Workers int
+	// NoiseGen selects the thermal-noise plane version
+	// (NoiseGenBoxMuller or NoiseGenZiggurat). 0 means "current
+	// default", which New normalizes to NoiseGenZiggurat; RestoreState
+	// overrides it with the snapshot's version so restored devices keep
+	// their original noise plane.
+	NoiseGen int
 }
 
 // DefaultSpec returns an MSP432-class 64 KB array specification.
@@ -120,6 +144,11 @@ func (s Spec) Validate() error {
 	if s.ExtremeFrac < 0 || s.ExtremeFrac >= 1 || (s.ExtremeFrac > 0 && s.ExtremeMaxMv < s.ExtremeMinMv) {
 		return errors.New("sram: defect-population parameters out of range")
 	}
+	switch s.NoiseGen {
+	case 0, NoiseGenBoxMuller, NoiseGenZiggurat:
+	default:
+		return fmt.Errorf("sram: unknown noise-generation version %d", s.NoiseGen)
+	}
 	return s.Aging.Validate()
 }
 
@@ -140,11 +169,34 @@ type Array struct {
 	remanent bool // charge left on nodes by a non-discharged power-off
 
 	// noise is the counter-based thermal-noise plane: power-on number k
-	// samples cell i's noise as noise.Norm(k, i). powerOns counts the
-	// races run so far, so every power-on draws from a fresh counter
+	// samples cell i's noise as noise.Norm(k, i) (v1) or noise.NormZig
+	// (v2); drawNorm is the selected sampler. powerOns counts the races
+	// run so far, so every power-on draws from a fresh counter
 	// regardless of which worker resolves which cell.
 	noise    rng.Stream
+	drawNorm func(counter, index uint64) float64
 	powerOns uint64
+
+	// biasPlane caches each cell's decision variable as one flat,
+	// cache-friendly array so the race loops read one float32 instead
+	// of gathering seven arrays. The engine's decision variable is
+	// float64(biasPlane[i]); Bias keeps the exact seven-term float64
+	// sum for calibration and tests. Stress and decayPools touch every
+	// cell anyway and keep the plane fresh inline; New and RestoreState
+	// mark it dirty and the next race rebuilds it, sharded over the
+	// pool.
+	biasPlane []float32
+	biasFresh bool
+
+	// t0Ref and t1Ref track each direction's accumulated stress as
+	// equivalent time at the reference rate A0 (total = A0·tⁿ), letting
+	// Stress advance a cell with one add + forward power evaluation
+	// instead of the inverse math.Pow in analog.GrowShift. −1 marks a
+	// stale entry (the direction's recoverable pools decayed, shrinking
+	// total); the next growth re-derives it from the current total —
+	// exactly the re-derivation the pre-overhaul engine did for every
+	// cell on every call.
+	t0Ref, t1Ref []float64
 
 	pool *parallel.Pool
 }
@@ -154,22 +206,31 @@ func New(spec Spec) (*Array, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
+	if spec.NoiseGen == 0 {
+		spec.NoiseGen = NoiseGenZiggurat
+	}
 	n := spec.Rows * spec.Cols
 	a := &Array{
-		spec:     spec,
-		n:        n,
-		mismatch: make([]float32, n),
-		s0Perm:   make([]float32, n),
-		s0Fast:   make([]float32, n),
-		s0Slow:   make([]float32, n),
-		s1Perm:   make([]float32, n),
-		s1Fast:   make([]float32, n),
-		s1Slow:   make([]float32, n),
-		data:     make([]byte, n/8),
+		spec:      spec,
+		n:         n,
+		mismatch:  make([]float32, n),
+		s0Perm:    make([]float32, n),
+		s0Fast:    make([]float32, n),
+		s0Slow:    make([]float32, n),
+		s1Perm:    make([]float32, n),
+		s1Fast:    make([]float32, n),
+		s1Slow:    make([]float32, n),
+		data:      make([]byte, n/8),
+		biasPlane: make([]float32, n),
+		// Fresh pools hold zero shift, so the zeroed equivalent times
+		// are already valid.
+		t0Ref: make([]float64, n),
+		t1Ref: make([]float64, n),
 	}
 	seedSrc := rng.NewSource(spec.Seed)
 	mismatchSrc := seedSrc.Split()
 	a.noise = rng.NewStream(spec.Seed)
+	a.setNoiseGen(spec.NoiseGen)
 	if spec.Workers > 0 {
 		a.pool = parallel.New(spec.Workers)
 	} else {
@@ -178,6 +239,21 @@ func New(spec Spec) (*Array, error) {
 	a.synthesizeMismatch(mismatchSrc)
 	return a, nil
 }
+
+// setNoiseGen binds the sampler for the given (already validated,
+// non-zero) noise-plane version.
+func (a *Array) setNoiseGen(gen int) {
+	a.spec.NoiseGen = gen
+	if gen == NoiseGenZiggurat {
+		a.drawNorm = a.noise.NormZig
+	} else {
+		a.drawNorm = a.noise.Norm
+	}
+}
+
+// NoiseGen returns the array's effective noise-plane version
+// (NoiseGenBoxMuller or NoiseGenZiggurat — never 0).
+func (a *Array) NoiseGen() int { return a.spec.NoiseGen }
 
 // SetPool points the array's capture engine at pool (nil restores the
 // process-wide shared pool). A fleet hands every device the same pool
@@ -283,3 +359,53 @@ func (a *Array) bias(i int) float64 {
 // Bias exposes the decision variable for cell i (mV); used by tests,
 // calibration, and the PUF-cloning example.
 func (a *Array) Bias(i int) float64 { return a.bias(i) }
+
+// ensureBiasPlane rebuilds the cached decision-variable plane if it is
+// stale, sharded over the worker pool (pure per-cell math, so any
+// sharding gives the identical plane).
+func (a *Array) ensureBiasPlane(ctx context.Context) error {
+	if a.biasFresh {
+		return ctx.Err()
+	}
+	if err := a.pool.Run(ctx, len(a.data), 1, func(lo, hi int) {
+		for i := lo * 8; i < hi*8; i++ {
+			a.biasPlane[i] = float32(a.bias(i))
+		}
+	}); err != nil {
+		return err
+	}
+	a.biasFresh = true
+	return nil
+}
+
+// pruneBound returns the decision threshold beyond which a cell's race
+// outcome is deterministic for every draw of the noise plane: v2 noise
+// is hard-truncated at ±NormZigguratBound, so |bias| > bound ⇒ bias +
+// sigma·noise keeps bias's sign (float rounding is monotone, so
+// fl(sigma·|noise|) ≤ fl(sigma·8) — the skip is exact, not
+// approximate). v1 noise is unbounded: +Inf disables pruning.
+func (a *Array) pruneBound(sigma float64) float64 {
+	if a.spec.NoiseGen == NoiseGenZiggurat {
+		return rng.NormZigguratBound * sigma
+	}
+	return math.Inf(1)
+}
+
+// DeterministicFrac reports the fraction of cells whose power-on state
+// at tempC is already decided by their bias alone — the cells the v2
+// capture engine prunes (credits without drawing noise). Zero for v1
+// arrays. After a message imprint this is close to 1, which is where
+// the capture speedup comes from.
+func (a *Array) DeterministicFrac(tempC float64) (float64, error) {
+	if err := a.ensureBiasPlane(context.Background()); err != nil {
+		return 0, err
+	}
+	bound := a.pruneBound(a.noiseSigmaAt(tempC))
+	pruned := 0
+	for _, b := range a.biasPlane {
+		if v := float64(b); v > bound || v < -bound {
+			pruned++
+		}
+	}
+	return float64(pruned) / float64(a.n), nil
+}

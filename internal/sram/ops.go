@@ -16,15 +16,26 @@ func (a *Array) noiseSigmaAt(tempC float64) float64 {
 }
 
 // resolveRace runs power-on race ctr for the cells of bytes [lo, hi),
-// writing the resolved bits into a.data. Safe to call concurrently on
-// disjoint byte ranges.
-func (a *Array) resolveRace(ctr uint64, sigma float64, lo, hi int) {
+// writing the resolved bits into a.data. It reads the cached bias plane
+// (the caller must ensureBiasPlane first) and skips the noise draw for
+// cells beyond bound — their outcome is the sign of the bias for every
+// achievable draw. Safe to call concurrently on disjoint byte ranges.
+func (a *Array) resolveRace(ctr uint64, sigma, bound float64, lo, hi int) {
+	norm := a.drawNorm
 	for byteIdx := lo; byteIdx < hi; byteIdx++ {
 		var out byte
 		base := byteIdx * 8
 		for b := 0; b < 8; b++ {
 			i := base + b
-			if a.bias(i)+sigma*a.noise.Norm(ctr, uint64(i)) > 0 {
+			bias := float64(a.biasPlane[i])
+			if bias > bound {
+				out |= 1 << b
+				continue
+			}
+			if bias < -bound {
+				continue
+			}
+			if bias+sigma*norm(ctr, uint64(i)) > 0 {
 				out |= 1 << b
 			}
 		}
@@ -47,8 +58,21 @@ var (
 // PowerOn on an already-powered array is an error: real hardware cannot
 // re-run the race without dropping the supply first.
 func (a *Array) PowerOn(tempC float64) ([]byte, error) {
+	return a.PowerOnContext(context.Background(), tempC)
+}
+
+// PowerOnContext is PowerOn with cancellation: the race checks ctx
+// between dispatched chunks, so a fleet sweep can abandon a fingerprint
+// read mid-race. On cancellation the data plane is partially written and
+// the array is left unpowered; the consumed power-on counter is not
+// rewound (matching captureBurst), so the next power-on runs a fresh,
+// fully clean race.
+func (a *Array) PowerOnContext(ctx context.Context, tempC float64) ([]byte, error) {
 	if a.powered {
 		return nil, ErrPowered
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	if a.remanent {
 		// Remanence: the nodes never discharged, so the previous contents
@@ -59,15 +83,21 @@ func (a *Array) PowerOn(tempC float64) ([]byte, error) {
 		copy(out, a.data)
 		return out, nil
 	}
+	if err := a.ensureBiasPlane(ctx); err != nil {
+		return nil, err
+	}
 	sigma := a.noiseSigmaAt(tempC)
+	bound := a.pruneBound(sigma)
 	ctr := a.powerOns
 	a.powerOns++
 	// Race resolution shards over the worker pool on byte boundaries;
 	// each cell's noise comes from its own (counter, index) stream, so
 	// the outcome is identical for any worker count or chunk size.
-	_ = a.pool.Run(context.Background(), len(a.data), 1, func(lo, hi int) {
-		a.resolveRace(ctr, sigma, lo, hi)
-	})
+	if err := a.pool.Run(ctx, len(a.data), 1, func(lo, hi int) {
+		a.resolveRace(ctr, sigma, bound, lo, hi)
+	}); err != nil {
+		return nil, err
+	}
 	a.powered = true
 	out := make([]byte, len(a.data))
 	copy(out, a.data)
@@ -185,33 +215,80 @@ func (a *Array) Stress(c analog.Conditions, hours float64) error {
 	// The opposite direction's recoverable pools relax at the chamber
 	// temperature (hot soaks also heal faster).
 	fFast, fSlow := p.RecoveryFactorsAt(hours, c.TempC)
+	f32, s32 := float32(fFast), float32(fSlow)
 	permFrac := p.PermanentFrac()
-	for i := 0; i < a.n; i++ {
-		held1 := a.data[i/8]&(1<<(i%8)) != 0
-		if held1 {
-			growPools(p, c, hours, permFrac, &a.s1Perm[i], &a.s1Fast[i], &a.s1Slow[i])
-			a.s0Fast[i] *= float32(fFast)
-			a.s0Slow[i] *= float32(fSlow)
-		} else {
-			growPools(p, c, hours, permFrac, &a.s0Perm[i], &a.s0Fast[i], &a.s0Slow[i])
-			a.s1Fast[i] *= float32(fFast)
-			a.s1Slow[i] *= float32(fSlow)
+	n := p.TimeExponent
+	invN := 1 / n
+	a0 := p.A0MvPerHourN
+	// Everything condition-dependent hoists out of the cell loop: dt
+	// hours at Rate(c) advances a cell's reference-rate equivalent time
+	// by dt·(Rate(c)/A0)^(1/n) — one Rate and one Pow for the whole
+	// call instead of per cell, and growth becomes a forward power
+	// evaluation (no inverse Pow per cell).
+	dtEff := hours * math.Pow(p.Rate(c)/a0, invN)
+	// Pure per-cell math over disjoint byte-aligned shards; the plane
+	// update rides along, so a full Stress leaves the bias cache fresh
+	// even if it was stale on entry.
+	err := a.pool.Run(context.Background(), len(a.data), 1, func(lo, hi int) {
+		for byteIdx := lo; byteIdx < hi; byteIdx++ {
+			bits := a.data[byteIdx]
+			base := byteIdx * 8
+			for b := 0; b < 8; b++ {
+				i := base + b
+				if bits&(1<<b) != 0 {
+					growPoolsEq(a0, n, invN, dtEff, permFrac, p.RecFastFrac, p.RecSlowFrac,
+						&a.t1Ref[i], &a.s1Perm[i], &a.s1Fast[i], &a.s1Slow[i])
+					if a.s0Fast[i] != 0 || a.s0Slow[i] != 0 {
+						a.s0Fast[i] *= f32
+						a.s0Slow[i] *= s32
+						a.t0Ref[i] = -1 // total shrank: equivalent time stale
+					}
+				} else {
+					growPoolsEq(a0, n, invN, dtEff, permFrac, p.RecFastFrac, p.RecSlowFrac,
+						&a.t0Ref[i], &a.s0Perm[i], &a.s0Fast[i], &a.s0Slow[i])
+					if a.s1Fast[i] != 0 || a.s1Slow[i] != 0 {
+						a.s1Fast[i] *= f32
+						a.s1Slow[i] *= s32
+						a.t1Ref[i] = -1
+					}
+				}
+				a.biasPlane[i] = float32(a.bias(i))
+			}
 		}
+	})
+	if err != nil {
+		return err
 	}
+	a.biasFresh = true
 	return nil
 }
 
-// growPools applies effective-time stress growth to one direction's pools.
-func growPools(p analog.Params, c analog.Conditions, hours, permFrac float64,
-	perm, fast, slow *float32) {
+// growPoolsEq applies effective-time stress growth to one direction's
+// pools using the tracked reference-rate equivalent time: te advances by
+// the caller's pre-scaled dtEff and the new total is one forward
+// exp(n·log te). A negative *tRef means the pools decayed since te was
+// last valid; re-derive it from the current total — the same inverse
+// power the pre-overhaul engine paid on every cell of every call, now
+// paid only by cells that actually decayed.
+func growPoolsEq(a0, n, invN, dtEff, permFrac, fastFrac, slowFrac float64,
+	tRef *float64, perm, fast, slow *float32) {
 	total := float64(*perm) + float64(*fast) + float64(*slow)
-	delta := p.GrowShift(total, c, hours) - total
+	te := *tRef
+	if te < 0 {
+		te = 0
+		if total > 0 {
+			te = math.Pow(total/a0, invN)
+		}
+	}
+	te += dtEff
+	*tRef = te
+	delta := a0*math.Exp(n*math.Log(te)) - total
 	if delta <= 0 {
 		return
 	}
 	*perm += float32(delta * permFrac)
-	*fast += float32(delta * p.RecFastFrac)
-	*slow += float32(delta * p.RecSlowFrac)
+	*fast += float32(delta * fastFrac)
+	*slow += float32(delta * slowFrac)
 }
 
 // Shelve lets the unpowered array recover naturally for hours (§5.1.3)
@@ -247,10 +324,23 @@ func (a *Array) ShelveAt(hours, tempC float64) error {
 
 func (a *Array) decayPools(fFast, fSlow float64) {
 	f32, s32 := float32(fFast), float32(fSlow)
-	for i := 0; i < a.n; i++ {
-		a.s0Fast[i] *= f32
-		a.s0Slow[i] *= s32
-		a.s1Fast[i] *= f32
-		a.s1Slow[i] *= s32
-	}
+	// Background context: Run cannot fail. Decayed directions' equivalent
+	// times go stale; the plane update rides along, so shelving leaves
+	// the bias cache fresh.
+	_ = a.pool.Run(context.Background(), len(a.data), 1, func(lo, hi int) {
+		for i := lo * 8; i < hi*8; i++ {
+			if a.s0Fast[i] != 0 || a.s0Slow[i] != 0 {
+				a.s0Fast[i] *= f32
+				a.s0Slow[i] *= s32
+				a.t0Ref[i] = -1
+			}
+			if a.s1Fast[i] != 0 || a.s1Slow[i] != 0 {
+				a.s1Fast[i] *= f32
+				a.s1Slow[i] *= s32
+				a.t1Ref[i] = -1
+			}
+			a.biasPlane[i] = float32(a.bias(i))
+		}
+	})
+	a.biasFresh = true
 }

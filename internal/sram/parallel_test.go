@@ -128,12 +128,16 @@ func TestChunkSplitEquivalence(t *testing.T) {
 		// Drive the race exactly as PowerOn does, but with a forced
 		// chunk size (odd chunks land mid-byte-run; resolveRace is
 		// byte-granular so any chunk of bytes is safe).
+		if err := a.ensureBiasPlane(context.Background()); err != nil {
+			t.Fatal(err)
+		}
 		sigma := a.noiseSigmaAt(25)
+		bound := a.pruneBound(sigma)
 		ctr := a.powerOns
 		a.powerOns++
 		pool := parallel.New(4)
 		if err := pool.RunChunked(context.Background(), len(a.data), chunk, func(lo, hi int) {
-			a.resolveRace(ctr, sigma, lo, hi)
+			a.resolveRace(ctr, sigma, bound, lo, hi)
 		}); err != nil {
 			t.Fatal(err)
 		}

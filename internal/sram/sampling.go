@@ -41,7 +41,13 @@ func (a *Array) captureBurst(ctx context.Context, captures int, tempC float64) (
 		races--
 	}
 	if races > 0 {
+		if err := a.ensureBiasPlane(ctx); err != nil {
+			a.powered = false
+			return nil, err
+		}
 		sigma := a.noiseSigmaAt(tempC)
+		bound := a.pruneBound(sigma)
+		norm := a.drawNorm
 		base := a.powerOns
 		a.powerOns += uint64(races)
 		err := a.pool.Run(ctx, len(a.data), 1, func(lo, hi int) {
@@ -50,10 +56,23 @@ func (a *Array) captureBurst(ctx context.Context, captures int, tempC float64) (
 				cell := byteIdx * 8
 				for b := 0; b < 8; b++ {
 					i := cell + b
-					bias := a.bias(i)
+					bias := float64(a.biasPlane[i])
+					// Deterministic cells resolve the same way on every
+					// race (v2 noise is hard-bounded): credit the whole
+					// burst at once, no draws. Their per-cell noise tapes
+					// are simply never read — counter-derived noise means
+					// skipping them cannot shift any other cell.
+					if bias > bound {
+						counts[i] += uint32(races)
+						final |= 1 << b
+						continue
+					}
+					if bias < -bound {
+						continue
+					}
 					idx := uint64(i)
 					for k := 0; k < races; k++ {
-						if bias+sigma*a.noise.Norm(base+uint64(k), idx) > 0 {
+						if bias+sigma*norm(base+uint64(k), idx) > 0 {
 							counts[i]++
 							if k == races-1 {
 								final |= 1 << b
@@ -134,10 +153,17 @@ func (a *Array) CaptureVotesContext(ctx context.Context, captures int, tempC flo
 // BiasMap estimates each cell's power-on bias (fraction of 1s) over the
 // given number of captures — the quantity Fig. 3a–c histograms.
 func (a *Array) BiasMap(captures int, tempC float64) ([]float64, error) {
+	return a.BiasMapContext(context.Background(), captures, tempC)
+}
+
+// BiasMapContext is BiasMap with cancellation, matching the
+// CaptureMajorityContext / CaptureVotesContext surface: the burst checks
+// ctx between dispatched chunks.
+func (a *Array) BiasMapContext(ctx context.Context, captures int, tempC float64) ([]float64, error) {
 	if captures < 1 {
 		return nil, fmt.Errorf("sram: need at least one capture, got %d", captures)
 	}
-	counts, err := a.captureBurst(context.Background(), captures, tempC)
+	counts, err := a.captureBurst(ctx, captures, tempC)
 	if err != nil {
 		return nil, err
 	}

@@ -19,6 +19,12 @@ type State struct {
 	// taken before counter-based noise derivation; such arrays replay
 	// from counter 0, which is still fully deterministic.
 	PowerOns uint64
+	// NoiseGen records which thermal-noise plane the array was using
+	// (NoiseGenBoxMuller or NoiseGenZiggurat). Snapshots taken before
+	// noise-plane versioning carry zero, which restores as v1
+	// (Box–Muller) — the only sampler that existed then — so archived
+	// device images keep replaying bit-identical captures.
+	NoiseGen int
 	Data     []byte
 	S0Perm   []float32
 	S0Fast   []float32
@@ -42,6 +48,7 @@ func (a *Array) StateSnapshot() State {
 		Powered:  a.powered,
 		Remanent: a.remanent,
 		PowerOns: a.powerOns,
+		NoiseGen: a.spec.NoiseGen,
 		Data:     data,
 		S0Perm:   cp(a.s0Perm), S0Fast: cp(a.s0Fast), S0Slow: cp(a.s0Slow),
 		S1Perm: cp(a.s1Perm), S1Fast: cp(a.s1Fast), S1Slow: cp(a.s1Slow),
@@ -53,13 +60,24 @@ func (a *Array) StateSnapshot() State {
 var ErrStateMismatch = errors.New("sram: state snapshot belongs to a different array")
 
 // RestoreState loads a snapshot previously taken from an array with the
-// same spec (same seed and geometry).
+// same spec (same seed and geometry). The array adopts the snapshot's
+// noise-plane version — restoring a pre-versioning snapshot (NoiseGen
+// zero) switches the array to Box–Muller regardless of how it was
+// constructed, so archived captures replay bit-identically.
 func (a *Array) RestoreState(s State) error {
 	if s.Seed != a.spec.Seed {
 		return fmt.Errorf("%w: seed %d vs %d", ErrStateMismatch, s.Seed, a.spec.Seed)
 	}
 	if len(s.Data) != len(a.data) || len(s.S0Perm) != a.n {
 		return fmt.Errorf("%w: geometry differs", ErrStateMismatch)
+	}
+	gen := s.NoiseGen
+	switch gen {
+	case 0:
+		gen = NoiseGenBoxMuller
+	case NoiseGenBoxMuller, NoiseGenZiggurat:
+	default:
+		return fmt.Errorf("sram: snapshot uses unknown noise-generation version %d", s.NoiseGen)
 	}
 	copy(a.data, s.Data)
 	copy(a.s0Perm, s.S0Perm)
@@ -71,5 +89,14 @@ func (a *Array) RestoreState(s State) error {
 	a.powered = s.Powered
 	a.remanent = s.Remanent
 	a.powerOns = s.PowerOns
+	a.setNoiseGen(gen)
+	// The cached decision variables and equivalent stress times belong
+	// to the replaced pools: invalidate both (equivalent times re-derive
+	// lazily on the next growth of each cell).
+	a.biasFresh = false
+	for i := range a.t0Ref {
+		a.t0Ref[i] = -1
+		a.t1Ref[i] = -1
+	}
 	return nil
 }
