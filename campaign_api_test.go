@@ -1,0 +1,147 @@
+package invisiblebits
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestCampaignPublicAPI drives the crash-safe supervisor through its
+// public face: run a campaign, interrupt nothing, decode the result,
+// and confirm ResumeCampaign on the finished directory is idempotent.
+func TestCampaignPublicAPI(t *testing.T) {
+	ctx := context.Background()
+	dir := filepath.Join(t.TempDir(), "api")
+	key := KeyFromPassphrase("campaign api")
+	msg := []byte("journaled all the way down")
+
+	spec := CampaignSpec{
+		ID:      "api",
+		Model:   "MSP430G2553",
+		Serials: []string{"api-0", "api-1"},
+		Message: msg,
+		Codec:   "paper",
+	}
+	res, err := RunCampaign(ctx, dir, spec, CampaignOptions{Key: &key})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Campaign != "api" || res.MessageBytes != len(msg) {
+		t.Fatalf("result header wrong: %+v", res)
+	}
+	if res.EquivalentHours <= 0 {
+		t.Fatal("campaign reports zero bench time")
+	}
+
+	got, err := DecodeCampaign(ctx, dir, &key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("decoded %q, want %q", got, msg)
+	}
+
+	// A finished campaign resumes to its sealed result, and re-Running
+	// the same directory is refused.
+	again, err := ResumeCampaign(ctx, dir, CampaignOptions{Key: &key})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Campaign != res.Campaign || again.EquivalentHours != res.EquivalentHours {
+		t.Fatalf("idempotent resume drifted: %+v vs %+v", again, res)
+	}
+	if _, err := RunCampaign(ctx, dir, spec, CampaignOptions{Key: &key}); err == nil {
+		t.Fatal("RunCampaign re-entered a directory that already holds a journal")
+	}
+}
+
+// TestAtomicImageAndTruncationDetection pins the persistence contract:
+// SaveDeviceFile round-trips, and a torn image is reported as
+// ErrTruncatedImage, not a generic decode error.
+func TestAtomicImageAndTruncationDetection(t *testing.T) {
+	model, err := Model("MSP430G2553")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := NewDevice(model, "atomic-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "dev.img")
+	if err := SaveDeviceFile(dev, path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadDeviceFile(path); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b[:len(b)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = LoadDeviceFile(path)
+	if !errors.Is(err, ErrTruncatedImage) {
+		t.Fatalf("torn image surfaced as %v, want ErrTruncatedImage", err)
+	}
+}
+
+// TestFleetBreakersPublicAPI exercises the breaker surface: a hopeless
+// carrier quarantines during resilient striping and the stats report it.
+func TestFleetBreakersPublicAPI(t *testing.T) {
+	if FleetBreakerStats(nil) != nil {
+		t.Fatal("nil breaker set should report no stats")
+	}
+
+	key := KeyFromPassphrase("breaker api")
+	opts := Options{Codec: PaperCodec(), Key: &key}
+	healthy := newTestCarrier(t, "brk-ok", FaultProfile{})
+	doomed := newTestCarrier(t, "brk-dead", FaultProfile{FailAtHours: 1})
+	spare := newTestCarrier(t, "brk-spare", FaultProfile{})
+
+	breakers := NewFleetBreakers(BreakerConfig{FailureThreshold: 1, QuarantineAfterTrips: 1})
+	msg := make([]byte, MaxMessageBytes(4<<10, PaperCodec())+5)
+	for i := range msg {
+		msg[i] = byte(i)
+	}
+	striped, err := StripeMessageWith(context.Background(), []*Carrier{healthy, doomed}, msg, opts,
+		StripeResilience{Spares: []*Carrier{spare}, Breakers: breakers})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	q := breakers.Quarantined()
+	if len(q) != 1 || q[0] != doomed.Device().DeviceID() {
+		t.Fatalf("quarantine list %v, want just the doomed carrier", q)
+	}
+	stats := FleetBreakerStats(breakers)
+	found := false
+	for _, s := range stats {
+		if s.DeviceID == doomed.Device().DeviceID() {
+			found = true
+			if s.State != BreakerQuarantined || s.PermanentFaults == 0 {
+				t.Fatalf("doomed carrier stats %+v", s)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("stats %v missing the doomed carrier", stats)
+	}
+
+	rep, err := GatherReportWith(context.Background(),
+		[]*Carrier{healthy, doomed, spare}, striped, opts, breakers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Complete || !bytes.Equal(rep.Message, msg) {
+		t.Fatalf("gather with breakers incomplete: %+v", rep)
+	}
+	if len(rep.Quarantined) != 1 {
+		t.Fatalf("gather report quarantine list %v", rep.Quarantined)
+	}
+}

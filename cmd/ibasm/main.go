@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"invisiblebits/internal/asm"
+	"invisiblebits/internal/ioatomic"
 	"invisiblebits/internal/progen"
 )
 
@@ -66,7 +67,7 @@ func main() {
 		if out == "" {
 			out = "prog.bin"
 		}
-		if err := os.WriteFile(out, prog.Image, 0o644); err != nil {
+		if err := ioatomic.WriteFile(out, prog.Image, 0o644); err != nil {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "ibasm: %d bytes -> %s (%d symbols)\n",
@@ -108,7 +109,7 @@ func writeOut(path string, data []byte) error {
 		_, err := os.Stdout.Write(data)
 		return err
 	}
-	return os.WriteFile(path, data, 0o644)
+	return ioatomic.WriteFile(path, data, 0o644)
 }
 
 func fatal(err error) {

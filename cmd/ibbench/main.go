@@ -32,6 +32,7 @@ import (
 	"testing"
 
 	"invisiblebits/internal/analog"
+	"invisiblebits/internal/ioatomic"
 	"invisiblebits/internal/sram"
 )
 
@@ -448,7 +449,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+	if err := ioatomic.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
 		fail(err)
 	}
 	fmt.Println("wrote", *out)

@@ -22,6 +22,7 @@ import (
 
 	ib "invisiblebits"
 	"invisiblebits/internal/cliutil"
+	"invisiblebits/internal/ioatomic"
 )
 
 func main() {
@@ -118,7 +119,7 @@ func main() {
 		}
 	}
 	if *outFile != "" {
-		if err := os.WriteFile(*outFile, msg, 0o644); err != nil {
+		if err := ioatomic.WriteFile(*outFile, msg, 0o644); err != nil {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "ibdecode: recovered %d bytes -> %s\n", len(msg), *outFile)

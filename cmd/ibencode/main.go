@@ -17,10 +17,12 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	ib "invisiblebits"
 	"invisiblebits/internal/cliutil"
+	"invisiblebits/internal/ioatomic"
 )
 
 func main() {
@@ -95,22 +97,18 @@ func main() {
 		fatal(err)
 	}
 
-	devF, err := os.Create(*devOut)
+	// Both artifacts are written atomically: a crash mid-save must not
+	// leave a torn device image or record under the final name.
+	if err := ioatomic.WriteTo(*devOut, 0o644, func(w io.Writer) error {
+		return ib.SaveDevice(dev, w)
+	}); err != nil {
+		fatal(err)
+	}
+	recJSON, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
 		fatal(err)
 	}
-	defer devF.Close()
-	if err := ib.SaveDevice(dev, devF); err != nil {
-		fatal(err)
-	}
-	recF, err := os.Create(*recOut)
-	if err != nil {
-		fatal(err)
-	}
-	defer recF.Close()
-	enc := json.NewEncoder(recF)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(rec); err != nil {
+	if err := ioatomic.WriteFile(*recOut, append(recJSON, '\n'), 0o644); err != nil {
 		fatal(err)
 	}
 

@@ -10,6 +10,7 @@
 //	ibexperiments -full                 use full-size SRAM arrays (slower)
 //	ibexperiments -faultdrill           rehearse a fleet campaign under faults
 //	ibexperiments -retention            retention-decay sweep (± refresh)
+//	ibexperiments -campaigndrill        crash/resume rehearsal of the supervisor
 package main
 
 import (
@@ -22,15 +23,23 @@ import (
 
 func main() {
 	var (
-		run     = flag.String("run", "all", "experiment ID, or 'all'")
-		list    = flag.Bool("list", false, "list experiments and exit")
-		summary = flag.Bool("summary", false, "print one-line summaries only")
-		full    = flag.Bool("full", false, "full-size SRAM arrays (paper scale; slower)")
-		sram    = flag.Int("sram-limit", 0, "override SRAM sample size in bytes")
+		run       = flag.String("run", "all", "experiment ID, or 'all'")
+		list      = flag.Bool("list", false, "list experiments and exit")
+		summary   = flag.Bool("summary", false, "print one-line summaries only")
+		full      = flag.Bool("full", false, "full-size SRAM arrays (paper scale; slower)")
+		sram      = flag.Int("sram-limit", 0, "override SRAM sample size in bytes")
 		drill     = flag.Bool("faultdrill", false, "run the fleet fault drill and exit")
 		retention = flag.Bool("retention", false, "run the retention-decay sweep (decode success vs shelf years, with and without refresh) and exit")
+		cdrill    = flag.Bool("campaigndrill", false, "run the campaign crash/resume drill and exit")
 	)
 	flag.Parse()
+
+	if *cdrill {
+		if err := runCampaignDrill(); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *drill {
 		if err := runFaultDrill(*sram); err != nil {

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"fmt"
+
+	"invisiblebits/internal/campaign"
+	"invisiblebits/internal/cliutil"
+	"invisiblebits/internal/core"
+	"invisiblebits/internal/device"
+	"invisiblebits/internal/ecc"
+	"invisiblebits/internal/fleet"
+	"invisiblebits/internal/textplot"
+)
+
+// planCampaign is ibplan's schedule mode: instead of ranking ECC
+// configurations, it lays out a whole crash-safe campaign — the per-slot
+// message segments the stripe planner will assign, the slice/checkpoint
+// cadence the supervisor will journal, and the schedule digest Resume
+// will verify — so the operator can audit the plan before committing the
+// fleet to a multi-day soak.
+func planCampaign(spec campaign.Spec) error {
+	m, err := device.ByName(spec.Model)
+	if err != nil {
+		return err
+	}
+	var codec ecc.Codec
+	if spec.Codec != "" {
+		if codec, err = cliutil.ParseCodec(spec.Codec); err != nil {
+			return err
+		}
+	}
+	sizes := make([]int, len(spec.Serials))
+	for i := range sizes {
+		sizes[i] = m.SRAMBytes
+	}
+	segments, err := fleet.PlanSegments(sizes, len(spec.Message), codec)
+	if err != nil {
+		return err
+	}
+
+	soak := spec.StressHours
+	if soak <= 0 {
+		soak = m.EncodingHours
+	}
+	slices := int(soak / spec.SliceHours)
+	if float64(slices)*spec.SliceHours < soak {
+		slices++
+	}
+	ckpts := slices / spec.CheckpointEvery
+	if slices%spec.CheckpointEvery != 0 {
+		ckpts++ // the final slice always checkpoints
+	}
+
+	perSlot := core.MaxMessageBytes(m.SRAMBytes, codec)
+	rows := make([][]string, len(spec.Serials))
+	journalRecords := 2 // begin + done
+	for i, ser := range spec.Serials {
+		rows[i] = []string{
+			fmt.Sprintf("%d", i),
+			ser,
+			fmt.Sprintf("%d B", segments[i]),
+			fmt.Sprintf("%.0f%%", 100*float64(segments[i])/float64(perSlot)),
+			fmt.Sprintf("%.1f h", soak),
+			fmt.Sprintf("%d", slices),
+			fmt.Sprintf("%d", ckpts),
+		}
+		// prepared + one record per slice + encoded (checkpoints share
+		// slice records' fsync cadence but are their own appends).
+		journalRecords += 2 + slices + ckpts
+	}
+
+	fmt.Printf("campaign %q: %d B message across %d× %s (%d B SRAM each)\n\n",
+		spec.ID, len(spec.Message), len(spec.Serials), m.Name, m.SRAMBytes)
+	fmt.Println(textplot.Table(
+		[]string{"slot", "serial", "segment", "fill", "soak", "slices", "ckpts"}, rows))
+	fmt.Printf("slice granularity:  %.2f h  (journal record per slice)\n", spec.SliceHours)
+	fmt.Printf("checkpoint cadence: every %d slices + final (atomic image per checkpoint)\n",
+		spec.CheckpointEvery)
+	fmt.Printf("journal budget:     ~%d fsynced records for an uninterrupted run\n", journalRecords)
+	fmt.Printf("schedule digest:    %s\n", spec.ScheduleDigest())
+	fmt.Println("                    (binds this exact message, fleet, and cadence)")
+	fmt.Println("\na crash at any point resumes with `campaign.Resume` (see README," +
+		" \"Surviving interruptions\"); the digest above is what Resume verifies.")
+	return nil
+}

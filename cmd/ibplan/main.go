@@ -7,14 +7,17 @@
 //
 //	ibplan -channel 0.065 -target 0.003                 # the paper's MSP432 point
 //	ibplan -model LPC55S69JBD100 -target 0.001          # use a catalog device's error
+//	ibplan -campaign demo -carriers 3 -msgbytes 96      # campaign schedule layout
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	ib "invisiblebits"
+	"invisiblebits/internal/campaign"
 	"invisiblebits/internal/device"
 	"invisiblebits/internal/stats"
 	"invisiblebits/internal/textplot"
@@ -26,8 +29,43 @@ func main() {
 		target  = flag.Float64("target", 0.003, "acceptable residual bit error rate")
 		model   = flag.String("model", "MSP432P401", "catalog device (sizes SRAM and, if -channel is 0, sets the error)")
 		top     = flag.Int("top", 10, "show at most this many plans")
+
+		campaignID = flag.String("campaign", "", "campaign schedule mode: lay out slices, checkpoints, and segments for this campaign ID")
+		carriers   = flag.Int("carriers", 2, "campaign mode: fleet size (serials are generated as <id>-N)")
+		serials    = flag.String("serials", "", "campaign mode: explicit comma-separated carrier serials (overrides -carriers)")
+		msgBytes   = flag.Int("msgbytes", 64, "campaign mode: message length to stripe")
+		codecName  = flag.String("codec", "paper", "campaign mode: ECC codec (paper, ham, rep5, none, ...)")
+		slice      = flag.Float64("slice", campaign.DefaultSliceHours, "campaign mode: journal slice granularity in hours")
+		ckptEvery  = flag.Int("ckpt-every", campaign.DefaultCheckpointEvery, "campaign mode: checkpoint every N slices")
+		stress     = flag.Float64("stress", 0, "campaign mode: soak hours per carrier (0 = model default)")
 	)
 	flag.Parse()
+
+	if *campaignID != "" {
+		spec := campaign.Spec{
+			ID:              *campaignID,
+			Model:           *model,
+			Message:         make([]byte, *msgBytes),
+			Codec:           *codecName,
+			StressHours:     *stress,
+			SliceHours:      *slice,
+			CheckpointEvery: *ckptEvery,
+		}
+		if *codecName == "none" {
+			spec.Codec = ""
+		}
+		if *serials != "" {
+			spec.Serials = strings.Split(*serials, ",")
+		} else {
+			for i := 0; i < *carriers; i++ {
+				spec.Serials = append(spec.Serials, fmt.Sprintf("%s-%d", *campaignID, i))
+			}
+		}
+		if err := planCampaign(spec); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	m, err := device.ByName(*model)
 	if err != nil {

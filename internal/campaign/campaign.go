@@ -1,0 +1,522 @@
+// Package campaign is the crash-safe supervisor for long imprinting
+// runs. An Invisible Bits encode is a multi-day thermal soak (§5.2's
+// accelerated-aging schedule); a host crash, power cut, or operator
+// mistake 40 hours in must not restart the campaign from zero. The
+// supervisor dices every carrier's soak into slices, records each phase
+// transition in a write-ahead journal (journal.go), and checkpoints
+// device images atomically at slice boundaries, so Resume can rebuild
+// the fleet at the exact slice the crash interrupted and produce a
+// result bit-identical to an uninterrupted run.
+package campaign
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"invisiblebits/internal/cliutil"
+	"invisiblebits/internal/core"
+	"invisiblebits/internal/device"
+	"invisiblebits/internal/ecc"
+	"invisiblebits/internal/faults"
+	"invisiblebits/internal/fleet"
+	"invisiblebits/internal/ioatomic"
+	"invisiblebits/internal/rig"
+	"invisiblebits/internal/stegocrypt"
+)
+
+const (
+	journalFile = "journal.jsonl"
+	specFile    = "spec.json"
+	resultFile  = "result.json"
+)
+
+// Spec is the durable description of a campaign — everything needed to
+// rebuild the fleet and the schedule after a crash. Keys deliberately
+// never appear here: spec.json sits next to the device images, and the
+// threat model (paper §6) assumes the adversary can read the bench.
+type Spec struct {
+	// ID names the campaign; it is stamped into every journal record.
+	ID string `json:"id"`
+	// Model is the device model every carrier instantiates.
+	Model string `json:"model"`
+	// Serials lists one carrier serial per stripe slot. Device identity
+	// is a pure function of (model, serial), which is what makes
+	// from-scratch slot rebuilds deterministic.
+	Serials []string `json:"serials"`
+	// Message is the plaintext to stripe across the fleet.
+	Message []byte `json:"message"`
+	// Codec is the ECC layer in cliutil vocabulary ("paper", "rep5",
+	// "none", ...); empty means none.
+	Codec string `json:"codec,omitempty"`
+	// StressHours overrides the model's Table 4 soak length when > 0.
+	StressHours float64 `json:"stress_hours,omitempty"`
+	// Captures is the decode majority-vote burst; 0 means the default.
+	Captures int `json:"captures,omitempty"`
+	// SliceHours is the journaling granularity: one journal record (and
+	// potentially one checkpoint) per slice. 0 means DefaultSliceHours.
+	SliceHours float64 `json:"slice_hours,omitempty"`
+	// CheckpointEvery saves a device image every N slices; 0 means
+	// DefaultCheckpointEvery.
+	CheckpointEvery int `json:"checkpoint_every,omitempty"`
+}
+
+// Campaign defaults: slice hourly, checkpoint every other slice.
+const (
+	DefaultSliceHours      = 1.0
+	DefaultCheckpointEvery = 2
+)
+
+func (s Spec) withDefaults() Spec {
+	if s.SliceHours <= 0 {
+		s.SliceHours = DefaultSliceHours
+	}
+	if s.CheckpointEvery <= 0 {
+		s.CheckpointEvery = DefaultCheckpointEvery
+	}
+	return s
+}
+
+func (s Spec) validate() error {
+	if s.ID == "" || strings.ContainsAny(s.ID, "/\\") {
+		return fmt.Errorf("campaign: invalid campaign ID %q", s.ID)
+	}
+	if len(s.Serials) == 0 {
+		return errors.New("campaign: no carrier serials")
+	}
+	seen := map[string]bool{}
+	for _, ser := range s.Serials {
+		if ser == "" || seen[ser] {
+			return fmt.Errorf("campaign: duplicate or empty serial %q", ser)
+		}
+		seen[ser] = true
+	}
+	if len(s.Message) == 0 {
+		return core.ErrEmptyMessage
+	}
+	if _, err := device.ByName(s.Model); err != nil {
+		return err
+	}
+	if _, err := s.codec(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (s Spec) codec() (ecc.Codec, error) {
+	if s.Codec == "" {
+		return nil, nil
+	}
+	return cliutil.ParseCodec(s.Codec)
+}
+
+// ScheduleDigest fingerprints everything the soak schedule depends on.
+// The journal's begin record carries it, and Resume refuses to continue
+// a journal whose digest does not match the spec on disk — a swapped
+// message, codec, or fleet would otherwise silently produce carriers
+// that decode to garbage.
+func (s Spec) ScheduleDigest() string {
+	s = s.withDefaults()
+	msgSum := sha256.Sum256(s.Message)
+	canonical := struct {
+		ID              string
+		Model           string
+		Serials         []string
+		MessageSHA256   string
+		MessageBytes    int
+		Codec           string
+		StressHours     float64
+		Captures        int
+		SliceHours      float64
+		CheckpointEvery int
+	}{
+		s.ID, s.Model, s.Serials, hex.EncodeToString(msgSum[:]), len(s.Message),
+		s.Codec, s.StressHours, s.Captures, s.SliceHours, s.CheckpointEvery,
+	}
+	b, err := json.Marshal(canonical)
+	if err != nil {
+		// Marshal of a struct of strings and numbers cannot fail.
+		panic(err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// Options configures a Run or Resume.
+type Options struct {
+	// Key enables the encryption layer (held in memory only, never
+	// persisted to the campaign directory).
+	Key *stegocrypt.Key
+	// Breakers mounts per-device circuit breakers on the fleet pass.
+	Breakers *fleet.BreakerSet
+	// Hook is the crash-test kill-point hook; every journal append and
+	// image write consults it. Nil in production.
+	Hook faults.Hook
+}
+
+// Result is the campaign's durable outcome (result.json).
+type Result struct {
+	Campaign     string `json:"campaign"`
+	MessageBytes int    `json:"message_bytes"`
+	SegmentSizes []int  `json:"segment_sizes"`
+	// Records[i] is slot i's encode record (nil for zero-width slots).
+	Records []*core.Record `json:"records"`
+	// Images[i] is slot i's final device image file, relative to the
+	// campaign directory.
+	Images []string `json:"images"`
+	// EquivalentHours is the summed simulated bench time across the
+	// fleet, retries and backoff included.
+	EquivalentHours float64 `json:"equivalent_hours"`
+	// Quarantined lists carriers the breaker set wrote off (empty
+	// without Options.Breakers).
+	Quarantined []string `json:"quarantined,omitempty"`
+}
+
+// Run starts a fresh campaign in dir: persists spec.json, opens the
+// journal, and drives the striped encode to completion. A directory
+// that already holds a journal is refused — that campaign's truth is on
+// disk, and Resume is the only safe way back in.
+func Run(ctx context.Context, dir string, spec Spec, opts Options) (*Result, error) {
+	spec = spec.withDefaults()
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("campaign: %w", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, journalFile)); err == nil {
+		return nil, fmt.Errorf("campaign: %s already holds a journal; use Resume", dir)
+	}
+	specJSON, err := json.MarshalIndent(spec, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("campaign: %w", err)
+	}
+	if err := ioatomic.WriteFile(filepath.Join(dir, specFile), specJSON, 0o644); err != nil {
+		return nil, err
+	}
+	j, err := createJournal(filepath.Join(dir, journalFile), opts.Hook)
+	if err != nil {
+		return nil, err
+	}
+	defer j.Close()
+	return start(ctx, dir, spec, opts, j)
+}
+
+// start begins (or re-begins, after a crash that predated the begin
+// record) a campaign on an open journal: append begin, build the fleet
+// from scratch, drive it.
+func start(ctx context.Context, dir string, spec Spec, opts Options, j *Journal) (*Result, error) {
+	if err := j.Append(Entry{
+		Type: entryBegin, Campaign: spec.ID, Digest: spec.ScheduleDigest(),
+		Slots: len(spec.Serials), Slot: -1,
+	}); err != nil {
+		return nil, err
+	}
+	model, err := device.ByName(spec.Model)
+	if err != nil {
+		return nil, err
+	}
+	rigs := make([]*rig.Rig, len(spec.Serials))
+	for i, ser := range spec.Serials {
+		d, err := device.New(model, ser)
+		if err != nil {
+			return nil, err
+		}
+		rigs[i] = rig.New(d)
+	}
+	n := len(rigs)
+	return run(ctx, dir, spec, opts, j, rigs, nil, make([]string, n), make([]float64, n))
+}
+
+// Resume re-enters a crashed campaign: it re-reads spec.json, replays
+// the journal (verifying the schedule digest), rebuilds every slot from
+// its latest checkpoint — finished slots keep their records, slots that
+// never reached a checkpoint restart from scratch, deterministically —
+// and drives the remaining slices. Resuming a finished campaign simply
+// returns its result.
+func Resume(ctx context.Context, dir string, opts Options) (*Result, error) {
+	spec, err := readSpec(dir)
+	if err != nil {
+		return nil, err
+	}
+	entries, validLen, err := ReadJournal(filepath.Join(dir, journalFile))
+	if err != nil {
+		return nil, err
+	}
+	if len(entries) == 0 {
+		// The crash predated the begin record: nothing durable happened,
+		// so the resume IS the first run.
+		j, err := openJournal(filepath.Join(dir, journalFile), opts.Hook, 0, 0)
+		if err != nil {
+			return nil, err
+		}
+		defer j.Close()
+		return start(ctx, dir, spec, opts, j)
+	}
+	st, err := Replay(entries)
+	if err != nil {
+		return nil, err
+	}
+	if st.Campaign != spec.ID {
+		return nil, fmt.Errorf("campaign: journal belongs to %q, spec is %q", st.Campaign, spec.ID)
+	}
+	if digest := spec.ScheduleDigest(); st.Digest != digest {
+		return nil, fmt.Errorf("campaign: schedule digest mismatch: journal %s…, spec %s… — the spec changed under a live campaign",
+			st.Digest[:12], digest[:12])
+	}
+	if len(st.Slots) != len(spec.Serials) {
+		return nil, fmt.Errorf("campaign: journal plans %d slots, spec has %d", len(st.Slots), len(spec.Serials))
+	}
+	if st.Done {
+		return readResult(dir)
+	}
+
+	j, err := openJournal(filepath.Join(dir, journalFile), opts.Hook, st.NextSeq, validLen)
+	if err != nil {
+		return nil, err
+	}
+	defer j.Close()
+	if err := j.Append(Entry{
+		Type: entryResume, Campaign: spec.ID, Digest: st.Digest, Slot: -1,
+	}); err != nil {
+		return nil, err
+	}
+
+	model, err := device.ByName(spec.Model)
+	if err != nil {
+		return nil, err
+	}
+	rigs := make([]*rig.Rig, len(spec.Serials))
+	progress := make(map[int]fleet.ShardProgress, len(spec.Serials))
+	images := make([]string, len(spec.Serials))
+	clocks := make([]float64, len(spec.Serials))
+	for i, ser := range spec.Serials {
+		sr := st.Slots[i]
+		switch {
+		case sr.Record != nil:
+			// Finished: the rig is only a capacity placeholder for stripe
+			// planning; the encode short-circuits on the record.
+			progress[i] = fleet.ShardProgress{Record: sr.Record}
+			images[i] = sr.FinalImage
+			clocks[i] = sr.FinalClock
+		case sr.CkptImage != "":
+			d, err := device.LoadFile(filepath.Join(dir, sr.CkptImage))
+			if err != nil {
+				return nil, fmt.Errorf("campaign: slot %d checkpoint: %w", i, err)
+			}
+			r := rig.New(d)
+			if err := r.RestoreState(*sr.CkptRig); err != nil {
+				return nil, fmt.Errorf("campaign: slot %d rig state: %w", i, err)
+			}
+			rigs[i] = r
+			progress[i] = fleet.ShardProgress{Prepared: true, AppliedHours: sr.CkptApplied}
+			continue
+		}
+		// From scratch (or placeholder): device identity is (model,
+		// serial), so the rebuild replays the crashed run bit-for-bit.
+		d, err := device.New(model, ser)
+		if err != nil {
+			return nil, err
+		}
+		rigs[i] = rig.New(d)
+	}
+	return run(ctx, dir, spec, opts, j, rigs, progress, images, clocks)
+}
+
+// run drives the striped encode with journaling hooks, then seals the
+// campaign: result.json first, done record last, so a done record
+// guarantees a readable result.
+func run(ctx context.Context, dir string, spec Spec, opts Options, j *Journal,
+	rigs []*rig.Rig, progress map[int]fleet.ShardProgress, images []string, clocks []float64) (*Result, error) {
+	codec, err := spec.codec()
+	if err != nil {
+		return nil, err
+	}
+	copts := core.Options{
+		Codec: codec, Key: opts.Key,
+		StressHours: spec.StressHours, Captures: spec.Captures,
+	}
+	// Per-slot slice counters for the checkpoint cadence. Each slot's
+	// hooks fire from that slot's shard goroutine only, so distinct
+	// indices need no lock.
+	sliceCount := make([]int, len(rigs))
+	sopts := fleet.StripeOptions{
+		Breakers:   opts.Breakers,
+		SliceHours: spec.SliceHours,
+		Progress: func(slot int) fleet.ShardProgress {
+			return progress[slot]
+		},
+		OnPrepared: func(slot int, r *rig.Rig) error {
+			return j.Append(Entry{Type: entryPrepared, Campaign: spec.ID, Slot: slot})
+		},
+		OnSlice: func(slot int, r *rig.Rig, applied, total float64) error {
+			if err := j.Append(Entry{
+				Type: entrySlice, Campaign: spec.ID, Slot: slot,
+				Applied: applied, Total: total,
+			}); err != nil {
+				return err
+			}
+			sliceCount[slot]++
+			if sliceCount[slot]%spec.CheckpointEvery != 0 && applied < total {
+				return nil
+			}
+			return checkpointSlot(j, dir, slot, r, applied)
+		},
+		OnEncoded: func(slot int, r *rig.Rig, rec *core.Record) error {
+			name := fmt.Sprintf("slot-%d-final.img", slot)
+			if err := j.Gate(fmt.Sprintf("image/final/%d", slot)); err != nil {
+				return err
+			}
+			if err := r.Device().SaveFile(filepath.Join(dir, name)); err != nil {
+				return err
+			}
+			state := r.State()
+			if err := j.Append(Entry{
+				Type: entryEncoded, Campaign: spec.ID, Slot: slot,
+				Applied: state.ClockHours, Image: name, Rig: &state, Record: rec,
+			}); err != nil {
+				return err
+			}
+			images[slot] = name
+			clocks[slot] = state.ClockHours
+			return nil
+		},
+	}
+	striped, err := fleet.StripeWithOptions(ctx, rigs, spec.Message, copts, sopts)
+	if err != nil {
+		// The journal already holds everything that durably happened;
+		// the campaign is resumable after the cause is fixed.
+		return nil, err
+	}
+
+	res := &Result{
+		Campaign:     spec.ID,
+		MessageBytes: striped.MessageBytes,
+		SegmentSizes: striped.SegmentSizes,
+		Records:      make([]*core.Record, len(rigs)),
+		Images:       images,
+		Quarantined:  opts.Breakers.Quarantined(),
+	}
+	for _, sh := range striped.Shards {
+		res.Records[sh.Index] = sh.Record
+	}
+	// Slots resumed as already-finished carry their journaled bench
+	// clock; everything else reads its (driven or untouched) rig.
+	for i, r := range rigs {
+		if clocks[i] > 0 {
+			res.EquivalentHours += clocks[i]
+		} else {
+			res.EquivalentHours += r.ClockHours()
+		}
+	}
+	resJSON, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("campaign: %w", err)
+	}
+	if err := j.Gate("result"); err != nil {
+		return nil, err
+	}
+	if err := ioatomic.WriteFile(filepath.Join(dir, resultFile), resJSON, 0o644); err != nil {
+		return nil, err
+	}
+	if err := j.Append(Entry{Type: entryDone, Campaign: spec.ID, Slot: -1}); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// checkpointSlot makes a slot's position durable: atomic device image
+// first, then the journal record that makes the checkpoint *count*. A
+// crash between the two leaves an orphan image the replay never
+// references — harmless, and overwritten identically on the rerun.
+func checkpointSlot(j *Journal, dir string, slot int, r *rig.Rig, applied float64) error {
+	name := fmt.Sprintf("slot-%d-ckpt-%.4fh.img", slot, applied)
+	if err := j.Gate(fmt.Sprintf("image/ckpt/%d", slot)); err != nil {
+		return err
+	}
+	if err := r.Device().SaveFile(filepath.Join(dir, name)); err != nil {
+		return err
+	}
+	state := r.State()
+	return j.Append(Entry{
+		Type: entryCheckpoint, Slot: slot,
+		Applied: applied, Image: name, Rig: &state,
+	})
+}
+
+func readSpec(dir string) (Spec, error) {
+	var spec Spec
+	b, err := os.ReadFile(filepath.Join(dir, specFile))
+	if err != nil {
+		return spec, fmt.Errorf("campaign: %w", err)
+	}
+	if err := json.Unmarshal(b, &spec); err != nil {
+		return spec, fmt.Errorf("campaign: parse %s: %w", specFile, err)
+	}
+	spec = spec.withDefaults()
+	return spec, spec.validate()
+}
+
+func readResult(dir string) (*Result, error) {
+	b, err := os.ReadFile(filepath.Join(dir, resultFile))
+	if err != nil {
+		return nil, fmt.Errorf("campaign: finished campaign without a result: %w", err)
+	}
+	var res Result
+	if err := json.Unmarshal(b, &res); err != nil {
+		return nil, fmt.Errorf("campaign: parse %s: %w", resultFile, err)
+	}
+	return &res, nil
+}
+
+// DecodeResult reloads a finished campaign's final device images and
+// gathers the message back — the receiving party's side of the
+// campaign, driven purely from the campaign directory plus the key.
+func DecodeResult(ctx context.Context, dir string, key *stegocrypt.Key) ([]byte, error) {
+	spec, err := readSpec(dir)
+	if err != nil {
+		return nil, err
+	}
+	res, err := readResult(dir)
+	if err != nil {
+		return nil, err
+	}
+	codec, err := spec.codec()
+	if err != nil {
+		return nil, err
+	}
+	striped := &fleet.StripeResult{
+		MessageBytes: res.MessageBytes,
+		SegmentSizes: res.SegmentSizes,
+	}
+	var rigs []*rig.Rig
+	for slot, rec := range res.Records {
+		if rec == nil {
+			continue
+		}
+		if slot >= len(res.Images) || res.Images[slot] == "" {
+			return nil, fmt.Errorf("campaign: slot %d has a record but no image", slot)
+		}
+		d, err := device.LoadFile(filepath.Join(dir, res.Images[slot]))
+		if err != nil {
+			return nil, err
+		}
+		rigs = append(rigs, rig.New(d))
+		striped.Shards = append(striped.Shards, fleet.Shard{Index: slot, Record: rec})
+	}
+	copts := core.Options{Codec: codec, Key: key, Captures: spec.Captures}
+	rep, err := fleet.GatherContext(ctx, rigs, striped, copts)
+	if err != nil {
+		return nil, err
+	}
+	if !rep.Complete {
+		return nil, rep.Err()
+	}
+	return rep.Message, nil
+}

@@ -1,0 +1,210 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"invisiblebits/internal/core"
+	"invisiblebits/internal/rig"
+)
+
+// validJournalBytes builds a genuine two-slot journal: begin, both
+// slots prepared, sliced, checkpointed, encoded, then done — the
+// highest-value mutation seed.
+func validJournalBytes(t testing.TB) []byte {
+	t.Helper()
+	st := rig.State{ClockHours: 2.5, ChamberC: 100, SupplyV: 3.6}
+	rec := &core.Record{DeviceID: "MSP430G2553:fz", MessageBytes: 3, PayloadBytes: 64,
+		CodecName: "none", Captures: 5, StressHours: 5}
+	entries := []Entry{
+		{Type: entryBegin, Campaign: "fz", Digest: "d1", Slots: 2, Slot: -1},
+		{Type: entryPrepared, Slot: 0},
+		{Type: entryPrepared, Slot: 1},
+		{Type: entrySlice, Slot: 0, Applied: 2.5, Total: 5},
+		{Type: entryCheckpoint, Slot: 0, Applied: 2.5, Image: "slot-0-ckpt.img", Rig: &st},
+		{Type: entrySlice, Slot: 1, Applied: 2.5, Total: 5},
+		{Type: entrySlice, Slot: 0, Applied: 5, Total: 5},
+		{Type: entrySlice, Slot: 1, Applied: 5, Total: 5},
+		// A resume rewinds each unfinished slot to its last checkpoint:
+		// slot 0 re-enters at 2.5h, slot 1 (never checkpointed) restarts
+		// from scratch and prepares again.
+		{Type: entryResume, Campaign: "fz", Digest: "d1", Slot: -1},
+		{Type: entrySlice, Slot: 0, Applied: 5, Total: 5},
+		{Type: entryPrepared, Slot: 1},
+		{Type: entrySlice, Slot: 1, Applied: 2.5, Total: 5},
+		{Type: entrySlice, Slot: 1, Applied: 5, Total: 5},
+		{Type: entryEncoded, Slot: 0, Applied: 5.2, Image: "slot-0-final.img", Record: rec, Rig: &st},
+		{Type: entryEncoded, Slot: 1, Applied: 5.2, Image: "slot-1-final.img", Record: rec, Rig: &st},
+		{Type: entryDone, Slot: -1},
+	}
+	var buf bytes.Buffer
+	for i, e := range entries {
+		e.Seq = i
+		b, err := json.Marshal(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(b)
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
+}
+
+// journalSeeds is the checked-in seed corpus: a valid journal, its
+// crash signatures (truncated prefixes, torn tails), the corruptions
+// replay must reject (duplicated, reordered, reseq'd records), and
+// garbage.
+func journalSeeds(t testing.TB) [][]byte {
+	valid := validJournalBytes(t)
+	lines := bytes.SplitAfter(valid, []byte("\n"))
+
+	truncated := bytes.Join(lines[:4], nil)
+	torn := append(bytes.Join(lines[:4], nil), lines[4][:len(lines[4])/2]...)
+	duplicated := append(append([]byte(nil), valid...), lines[3]...)
+	reordered := bytes.Join([][]byte{lines[0], lines[3], lines[1], lines[2]}, nil)
+	badSeq := bytes.Replace(valid, []byte(`{"seq":3`), []byte(`{"seq":9`), 1)
+	midGarbage := bytes.Join([][]byte{lines[0], []byte("not json\n"), lines[1]}, nil)
+
+	return [][]byte{
+		valid,
+		truncated,
+		torn,
+		duplicated,
+		reordered,
+		badSeq,
+		midGarbage,
+		[]byte("go home journal you are drunk"),
+		{},
+	}
+}
+
+// FuzzJournalReplay hammers the parse→replay pipeline with mutated
+// journals. The contract is fail-closed, never-panic: whatever the
+// bytes claim, ParseJournal either rejects them or returns a prefix
+// that round-trips, and Replay either rejects the entries or returns a
+// state consistent with them.
+func FuzzJournalReplay(f *testing.F) {
+	for _, seed := range journalSeeds(f) {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		entries, validLen, err := ParseJournal(data)
+		if err != nil {
+			return
+		}
+		if validLen < 0 || validLen > int64(len(data)) {
+			t.Fatalf("validLen %d outside [0,%d]", validLen, len(data))
+		}
+		// The accepted prefix must re-parse to the same entries — what a
+		// resuming supervisor truncates to must be self-consistent.
+		again, againLen, err := ParseJournal(data[:validLen])
+		if err != nil || againLen != validLen || len(again) != len(entries) {
+			t.Fatalf("accepted prefix does not round-trip: %v (%d vs %d entries)",
+				err, len(again), len(entries))
+		}
+
+		st, err := Replay(entries)
+		if err != nil {
+			return // rejected: fail-closed is the expected path
+		}
+		// An accepted journal must be internally coherent.
+		if st.Campaign == "" || st.Digest == "" || len(st.Slots) == 0 {
+			t.Fatalf("replay accepted a journal without identity: %+v", st)
+		}
+		if st.NextSeq != len(entries) {
+			t.Fatalf("NextSeq %d, want %d", st.NextSeq, len(entries))
+		}
+		for i, s := range st.Slots {
+			if s.Applied < 0 || s.CkptApplied < 0 {
+				t.Fatalf("slot %d replayed negative hours: %+v", i, s)
+			}
+			if s.CkptImage != "" && s.CkptRig == nil {
+				t.Fatalf("slot %d checkpoint without rig state", i)
+			}
+			if s.Record != nil && s.FinalImage == "" {
+				t.Fatalf("slot %d record without final image", i)
+			}
+		}
+	})
+}
+
+// TestJournalReplaySeeds pins the seed corpus semantics outside the
+// fuzzer: which damage is tolerated (crash signatures) and which is
+// rejected (corruption).
+func TestJournalReplaySeeds(t *testing.T) {
+	seeds := journalSeeds(t)
+	valid, truncated, torn := seeds[0], seeds[1], seeds[2]
+	duplicated, reordered, badSeq, midGarbage := seeds[3], seeds[4], seeds[5], seeds[6]
+
+	entries, n, err := ParseJournal(valid)
+	if err != nil || n != int64(len(valid)) {
+		t.Fatalf("valid journal rejected: %v (validLen %d)", err, n)
+	}
+	st, err := Replay(entries)
+	if err != nil {
+		t.Fatalf("valid journal failed replay: %v", err)
+	}
+	if !st.Done || len(st.Slots) != 2 || st.Slots[0].Record == nil {
+		t.Fatalf("replayed state wrong: %+v", st)
+	}
+
+	for _, tc := range []struct {
+		name string
+		data []byte
+	}{
+		{"truncated prefix", truncated},
+		{"torn tail", torn},
+	} {
+		entries, _, err := ParseJournal(tc.data)
+		if err != nil {
+			t.Fatalf("%s: crash signature rejected at parse: %v", tc.name, err)
+		}
+		if _, err := Replay(entries); err != nil {
+			t.Fatalf("%s: crash signature rejected at replay: %v", tc.name, err)
+		}
+	}
+
+	for _, tc := range []struct {
+		name string
+		data []byte
+	}{
+		{"duplicated record", duplicated},
+		{"reordered records", reordered},
+		{"broken sequence", badSeq},
+	} {
+		entries, _, err := ParseJournal(tc.data)
+		if err != nil {
+			continue // rejecting at parse is also fail-closed
+		}
+		if _, err := Replay(entries); err == nil {
+			t.Fatalf("%s: replay accepted corruption", tc.name)
+		}
+	}
+	if _, _, err := ParseJournal(midGarbage); err == nil {
+		t.Fatal("mid-file garbage accepted at parse")
+	}
+}
+
+// TestRegenFuzzCorpus rewrites the checked-in seed corpus. Gated so
+// normal runs never touch testdata; run with IB_REGEN_FUZZ=1 after
+// changing the journal format or seed set.
+func TestRegenFuzzCorpus(t *testing.T) {
+	if os.Getenv("IB_REGEN_FUZZ") == "" {
+		t.Skip("set IB_REGEN_FUZZ=1 to regenerate testdata/fuzz seed corpus")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzJournalReplay")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i, seed := range journalSeeds(t) {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", seed)
+		name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+		if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

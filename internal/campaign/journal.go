@@ -1,0 +1,359 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+
+	"invisiblebits/internal/core"
+	"invisiblebits/internal/faults"
+	"invisiblebits/internal/rig"
+)
+
+// The journal is the campaign's write-ahead log: one JSONL record per
+// phase transition, fsynced before the supervisor takes the next step,
+// so a crash at ANY point leaves a prefix of the truth on disk. Resume
+// replays that prefix against the checkpointed device images and
+// re-enters the soak at the exact slice boundary the journal proves was
+// reached.
+//
+// Replay fails closed: a journal with gaps, duplicates, out-of-order
+// slices, a foreign schedule digest, or records for impossible slots is
+// rejected outright — the only tolerated damage is a torn final line,
+// the signature of dying mid-append, which is dropped (that record's
+// effects were by construction not yet acted on).
+
+// Entry types, in the order a slot experiences them.
+const (
+	entryBegin      = "begin"      // campaign-level: ID + schedule digest + slot count
+	entryResume     = "resume"     // campaign-level: a new process took over
+	entryPrepared   = "prepared"   // slot: payload written, conditions elevated
+	entrySlice      = "slice"      // slot: a stress slice completed
+	entryCheckpoint = "checkpoint" // slot: device image + rig state durably saved
+	entryEncoded    = "encoded"    // slot: record minted, final image saved
+	entryDone       = "done"       // campaign-level: result.json written
+)
+
+// Entry is one journal record.
+type Entry struct {
+	Seq  int    `json:"seq"`
+	Type string `json:"type"`
+	// Campaign and Digest identify the schedule on begin/resume records;
+	// Digest is the schedule digest a resuming supervisor must reproduce
+	// from spec.json before it may continue the campaign.
+	Campaign string `json:"campaign,omitempty"`
+	Digest   string `json:"digest,omitempty"`
+	// Slots is the stripe width (begin records).
+	Slots int `json:"slots,omitempty"`
+	// Slot is the rig index the record concerns (-1 for campaign-level
+	// records).
+	Slot int `json:"slot"`
+	// Applied / Total are the slot's equivalent-hours progress.
+	Applied float64 `json:"applied_hours,omitempty"`
+	Total   float64 `json:"total_hours,omitempty"`
+	// Image names a device-image file in the campaign directory
+	// (checkpoint and encoded records).
+	Image string `json:"image,omitempty"`
+	// Rig is the controller state matching Image (clock, chamber,
+	// supply, bypass) — everything outside the device that the soak's
+	// bit-identity depends on.
+	Rig *rig.State `json:"rig,omitempty"`
+	// Record is the minted encode record (encoded records).
+	Record *core.Record `json:"record,omitempty"`
+}
+
+// Journal is the append side. Appends are serialized and each record is
+// fsynced before Append returns. A Journal whose kill hook has fired is
+// poisoned: every later append fails, the way every write of a dead
+// process fails — crash simulation would be meaningless if a "killed"
+// supervisor could keep persisting state.
+type Journal struct {
+	mu       sync.Mutex
+	f        *os.File
+	hook     faults.Hook
+	nextSeq  int
+	poisoned bool
+}
+
+// createJournal starts a fresh journal at path; failing if one exists
+// (an existing journal means the campaign must be Resumed, not re-Run).
+func createJournal(path string, hook faults.Hook) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: create journal: %w", err)
+	}
+	return &Journal{f: f, hook: hook}, nil
+}
+
+// openJournal reopens an existing journal for appending, first
+// truncating it to validLen (dropping a torn tail so new records never
+// glue onto half a line). nextSeq continues the replayed sequence.
+func openJournal(path string, hook faults.Hook, nextSeq int, validLen int64) (*Journal, error) {
+	if err := os.Truncate(path, validLen); err != nil {
+		return nil, fmt.Errorf("campaign: trim journal tail: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: open journal: %w", err)
+	}
+	return &Journal{f: f, hook: hook, nextSeq: nextSeq}, nil
+}
+
+// Close releases the journal file (it does not seal the campaign — only
+// a done record does that).
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}
+
+// Gate consults the kill hook at a named non-journal point (image
+// writes). Once the hook fires, the journal is poisoned for good.
+func (j *Journal) Gate(point string) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.gateLocked(point)
+}
+
+func (j *Journal) gateLocked(point string) error {
+	if j.poisoned {
+		return faults.ErrKilled
+	}
+	if j.hook == nil {
+		return nil
+	}
+	if err := j.hook(point); err != nil {
+		j.poisoned = true
+		return err
+	}
+	return nil
+}
+
+// Append assigns the next sequence number, writes the record as one
+// JSON line, and fsyncs before returning. Any failure — kill hook,
+// write, or sync — poisons the journal.
+func (j *Journal) Append(e Entry) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.gateLocked("journal/" + e.Type); err != nil {
+		return err
+	}
+	e.Seq = j.nextSeq
+	line, err := json.Marshal(e)
+	if err != nil {
+		j.poisoned = true
+		return fmt.Errorf("campaign: marshal journal record: %w", err)
+	}
+	line = append(line, '\n')
+	if _, err := j.f.Write(line); err != nil {
+		j.poisoned = true
+		return fmt.Errorf("campaign: append journal record: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		j.poisoned = true
+		return fmt.Errorf("campaign: fsync journal: %w", err)
+	}
+	j.nextSeq++
+	return nil
+}
+
+// ReadJournal parses the journal file, tolerating only a torn final
+// line. validLen is the byte offset just past the last intact record —
+// what a resuming supervisor truncates to before appending.
+func ReadJournal(path string) (entries []Entry, validLen int64, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, fmt.Errorf("campaign: read journal: %w", err)
+	}
+	return ParseJournal(data)
+}
+
+// ParseJournal is ReadJournal over in-memory bytes (the fuzz surface).
+func ParseJournal(data []byte) (entries []Entry, validLen int64, err error) {
+	var off int64
+	for len(data) > 0 {
+		nl := bytes.IndexByte(data, '\n')
+		line := data
+		torn := nl < 0 // no terminator: a write died mid-line
+		if !torn {
+			line = data[:nl]
+		}
+		var e Entry
+		if uerr := json.Unmarshal(line, &e); uerr != nil || e.Type == "" {
+			rest := data
+			if !torn {
+				rest = data[nl+1:]
+			}
+			if len(bytes.TrimSpace(rest)) == 0 || torn && bytes.IndexByte(rest, '\n') < 0 {
+				// Damaged final line: the torn tail of a crashed append.
+				return entries, off, nil
+			}
+			return nil, 0, fmt.Errorf("campaign: journal record %d is corrupt mid-file", len(entries))
+		}
+		if torn {
+			// Parsed, but never terminated — the fsync cannot have
+			// completed, so the record does not count.
+			return entries, off, nil
+		}
+		entries = append(entries, e)
+		off += int64(nl + 1)
+		data = data[nl+1:]
+	}
+	return entries, off, nil
+}
+
+// SlotReplay is one slot's reconstructed position.
+type SlotReplay struct {
+	// Prepared / Applied describe the live (pre-crash) soak position.
+	Prepared bool
+	Applied  float64
+	// CkptImage / CkptApplied / CkptRig are the latest durable
+	// checkpoint — the position a resume actually restarts from.
+	CkptImage   string
+	CkptApplied float64
+	CkptRig     *rig.State
+	// Record / FinalImage / FinalClock are set once the slot finished
+	// encoding (FinalClock is the carrier's simulated bench-hours).
+	Record     *core.Record
+	FinalImage string
+	FinalClock float64
+}
+
+// ReplayState is the validated outcome of replaying a journal.
+type ReplayState struct {
+	Campaign string
+	Digest   string
+	Slots    []SlotReplay
+	NextSeq  int
+	Done     bool
+}
+
+// Replay validates the journal prefix and reconstructs per-slot
+// progress. It fails closed: any structural inconsistency rejects the
+// whole journal rather than guessing at a resume point.
+func Replay(entries []Entry) (*ReplayState, error) {
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("campaign: journal is empty")
+	}
+	head := entries[0]
+	if head.Type != entryBegin {
+		return nil, fmt.Errorf("campaign: journal starts with %q, want %q", head.Type, entryBegin)
+	}
+	if head.Campaign == "" || head.Digest == "" || head.Slots <= 0 {
+		return nil, fmt.Errorf("campaign: begin record is incomplete")
+	}
+	// No plausible bench has this many carriers; an absurd slot count is
+	// a corrupt (or hostile) journal, not a big campaign.
+	const maxSlots = 1 << 16
+	if head.Slots > maxSlots {
+		return nil, fmt.Errorf("campaign: begin record claims %d slots", head.Slots)
+	}
+	st := &ReplayState{
+		Campaign: head.Campaign,
+		Digest:   head.Digest,
+		Slots:    make([]SlotReplay, head.Slots),
+	}
+	slotOf := func(e Entry) (*SlotReplay, error) {
+		if e.Slot < 0 || e.Slot >= len(st.Slots) {
+			return nil, fmt.Errorf("campaign: record %d names slot %d of %d", e.Seq, e.Slot, len(st.Slots))
+		}
+		return &st.Slots[e.Slot], nil
+	}
+	for i, e := range entries {
+		if e.Seq != i {
+			return nil, fmt.Errorf("campaign: journal sequence broken: record %d claims seq %d", i, e.Seq)
+		}
+		if st.Done {
+			return nil, fmt.Errorf("campaign: record %d follows the done record", i)
+		}
+		if i == 0 {
+			continue
+		}
+		switch e.Type {
+		case entryBegin:
+			return nil, fmt.Errorf("campaign: duplicate begin record at seq %d", i)
+		case entryResume:
+			if e.Campaign != st.Campaign || e.Digest != st.Digest {
+				return nil, fmt.Errorf("campaign: resume record at seq %d carries a foreign schedule digest", i)
+			}
+			// A new process took over: live progress rewinds to what was
+			// durably checkpointed. Finished slots stay finished.
+			for k := range st.Slots {
+				s := &st.Slots[k]
+				if s.Record != nil {
+					continue
+				}
+				s.Prepared = s.CkptImage != ""
+				s.Applied = s.CkptApplied
+			}
+		case entryPrepared:
+			s, err := slotOf(e)
+			if err != nil {
+				return nil, err
+			}
+			if s.Record != nil || s.Prepared {
+				return nil, fmt.Errorf("campaign: slot %d prepared twice (seq %d)", e.Slot, i)
+			}
+			s.Prepared = true
+		case entrySlice:
+			s, err := slotOf(e)
+			if err != nil {
+				return nil, err
+			}
+			if s.Record != nil || !s.Prepared {
+				return nil, fmt.Errorf("campaign: slice for unprepared slot %d (seq %d)", e.Slot, i)
+			}
+			if e.Applied <= s.Applied {
+				return nil, fmt.Errorf("campaign: slot %d slice rewinds %.4fh → %.4fh (seq %d): duplicated or reordered records",
+					e.Slot, s.Applied, e.Applied, i)
+			}
+			if e.Total > 0 && e.Applied > e.Total+1e-9 {
+				return nil, fmt.Errorf("campaign: slot %d overshoots its schedule (seq %d)", e.Slot, i)
+			}
+			s.Applied = e.Applied
+		case entryCheckpoint:
+			s, err := slotOf(e)
+			if err != nil {
+				return nil, err
+			}
+			if s.Record != nil || !s.Prepared {
+				return nil, fmt.Errorf("campaign: checkpoint for unprepared slot %d (seq %d)", e.Slot, i)
+			}
+			if e.Image == "" || e.Rig == nil {
+				return nil, fmt.Errorf("campaign: checkpoint record at seq %d lacks image or rig state", i)
+			}
+			if e.Applied != s.Applied {
+				return nil, fmt.Errorf("campaign: checkpoint at seq %d claims %.4fh, slot %d is at %.4fh",
+					i, e.Applied, e.Slot, s.Applied)
+			}
+			s.CkptImage, s.CkptApplied, s.CkptRig = e.Image, e.Applied, e.Rig
+		case entryEncoded:
+			s, err := slotOf(e)
+			if err != nil {
+				return nil, err
+			}
+			if s.Record != nil || !s.Prepared {
+				return nil, fmt.Errorf("campaign: encoded record for slot %d out of order (seq %d)", e.Slot, i)
+			}
+			if e.Record == nil || e.Image == "" {
+				return nil, fmt.Errorf("campaign: encoded record at seq %d lacks record or image", i)
+			}
+			s.Record, s.FinalImage, s.FinalClock = e.Record, e.Image, e.Applied
+		case entryDone:
+			for k := range st.Slots {
+				// Zero-width slots never prepare; anything that did must
+				// have finished.
+				if st.Slots[k].Prepared && st.Slots[k].Record == nil {
+					return nil, fmt.Errorf("campaign: done record at seq %d with slot %d unfinished", i, k)
+				}
+			}
+			st.Done = true
+		default:
+			return nil, fmt.Errorf("campaign: unknown record type %q at seq %d", e.Type, i)
+		}
+	}
+	st.NextSeq = len(entries)
+	return st, nil
+}

@@ -213,68 +213,21 @@ func Encode(r *rig.Rig, message []byte, opts Options) (*Record, error) {
 // transient link faults (flash and capture bursts) are retried up to
 // Options.MaxRetries with backoff charged to the rig's simulated clock,
 // and ctx cancellation propagates into the hours-long stress soak.
+//
+// It is exactly the staged session run in one breath — prepare, a
+// single full-length soak, finish — so the one-shot path stays
+// bit-identical to pre-session builds (the soak is one StressForContext
+// call, no slicing) while sharing all pipeline code with supervisors
+// that checkpoint between slices.
 func EncodeContext(ctx context.Context, r *rig.Rig, message []byte, opts Options) (*Record, error) {
-	dev := r.Device()
-	payload, err := BuildPayload(message, dev.DeviceID(), opts)
+	s, err := BeginEncode(ctx, r, message, opts)
 	if err != nil {
 		return nil, err
 	}
-	if len(payload) > dev.SRAM.Bytes() {
-		return nil, fmt.Errorf("%w: payload %d bytes, SRAM %d bytes",
-			ErrPayloadTooLarge, len(payload), dev.SRAM.Bytes())
-	}
-
-	// Lines 3–4: nominal conditions, load binaries, initialize SRAM.
-	r.SetTemperature(dev.Model.TNomC)
-	if err := r.SetVoltage(dev.Model.VNomV); err != nil {
+	if err := s.StressSlice(ctx, s.TotalHours()); err != nil {
 		return nil, err
 	}
-	if err := writePayloadToSRAM(ctx, r, payload, opts); err != nil {
-		return nil, err
-	}
-
-	// Lines 5–6: elevate to accelerated conditions and soak.
-	if dev.Model.RequiresRegulatorBypass {
-		if err := r.BypassRegulator(); err != nil {
-			return nil, err
-		}
-	}
-	if err := r.SetVoltage(dev.Model.VAccV); err != nil {
-		return nil, err
-	}
-	r.SetTemperature(dev.Model.TAccC)
-	hours := opts.StressHours
-	if hours <= 0 {
-		hours = dev.Model.EncodingHours
-	}
-	if err := r.StressForContext(ctx, hours); err != nil {
-		return nil, err
-	}
-
-	// Restore nominal conditions, power down, camouflage.
-	r.SetTemperature(dev.Model.TNomC)
-	if err := r.SetVoltage(dev.Model.VNomV); err != nil {
-		return nil, err
-	}
-	r.PowerOff()
-	if !opts.SkipCamouflage && dev.Flash != nil {
-		if err := loadCamouflage(ctx, r, opts); err != nil {
-			return nil, err
-		}
-	}
-
-	algo, digest := computeDigest(message, dev.DeviceID(), opts.Key)
-	return &Record{
-		DeviceID:     dev.DeviceID(),
-		MessageBytes: len(message),
-		PayloadBytes: len(payload),
-		CodecName:    opts.codec().Name(),
-		Encrypted:    opts.Key != nil,
-		Captures:     opts.captures(),
-		StressHours:  hours,
-		Digest:       digest,
-		DigestAlgo:   algo,
-	}, nil
+	return s.Finish(ctx)
 }
 
 // loadCamouflage flashes the innocuous cover firmware, retried across

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"invisiblebits/internal/device"
+	"invisiblebits/internal/ecc"
+	"invisiblebits/internal/rig"
+)
+
+func sessionRig(t *testing.T, serial string) *rig.Rig {
+	t.Helper()
+	m, err := device.ByName("MSP430G2553")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := device.New(m, serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rig.New(d)
+}
+
+// TestStagedEncodeMatchesOneShot pins the session contract: a soak
+// diced into slices produces the same record shape and a decodable
+// message, and the sliced device's image equals a device soaked with
+// the same slice sequence driven externally (determinism of slicing).
+func TestStagedEncodeMatchesOneShot(t *testing.T) {
+	ctx := context.Background()
+	msg := []byte("staged encode equivalence")
+	rep, err := ecc.NewRepetition(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Codec: ecc.Composite{Outer: ecc.Hamming74{}, Inner: rep}}
+
+	// Two identical devices, both soaked as full-length 2.5h slices.
+	mk := func() (*rig.Rig, *Record) {
+		r := sessionRig(t, "session-equiv")
+		s, err := BeginEncode(ctx, r, msg, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s.RemainingHours() > 0 {
+			if err := s.StressSlice(ctx, 2.5); err != nil {
+				t.Fatal(err)
+			}
+		}
+		rec, err := s.Finish(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r, rec
+	}
+	r1, rec1 := mk()
+	r2, rec2 := mk()
+	if *rec1 != *rec2 {
+		t.Fatalf("records differ: %+v vs %+v", rec1, rec2)
+	}
+	var img1, img2 bytes.Buffer
+	if err := r1.Device().Save(&img1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.Device().Save(&img2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(img1.Bytes(), img2.Bytes()) {
+		t.Fatal("identical slice schedules produced different device images")
+	}
+
+	got, err := Decode(r1, rec1, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("decoded %q, want %q", got, msg)
+	}
+}
+
+// TestResumeEncodeContinuesSoak proves ResumeEncode + remaining slices
+// equals the uninterrupted sliced soak bit-for-bit: the "crash" here is
+// simulated by snapshotting device + rig state at a slice boundary and
+// rebuilding both from the snapshot.
+func TestResumeEncodeContinuesSoak(t *testing.T) {
+	ctx := context.Background()
+	msg := []byte("resume mid-soak")
+	opts := Options{StressHours: 4}
+
+	// Uninterrupted reference: 4 × 1h slices.
+	ref := sessionRig(t, "session-resume")
+	s, err := BeginEncode(ctx, ref, msg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s.RemainingHours() > 0 {
+		if err := s.StressSlice(ctx, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	refRec, err := s.Finish(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var refImg bytes.Buffer
+	if err := ref.Device().Save(&refImg); err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted run: soak 2 slices, checkpoint, rebuild, resume.
+	crashed := sessionRig(t, "session-resume")
+	cs, err := BeginEncode(ctx, crashed, msg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := cs.StressSlice(ctx, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var ckpt bytes.Buffer
+	if err := crashed.Device().Save(&ckpt); err != nil {
+		t.Fatal(err)
+	}
+	rigState := crashed.State()
+
+	restored, err := device.Load(bytes.NewReader(ckpt.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := rig.New(restored)
+	if err := r2.RestoreState(rigState); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := ResumeEncode(ctx, r2, msg, opts, cs.AppliedHours())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.RemainingHours() != 2 {
+		t.Fatalf("resumed session owes %.1fh, want 2", rs.RemainingHours())
+	}
+	for rs.RemainingHours() > 0 {
+		if err := rs.StressSlice(ctx, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rec, err := rs.Finish(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *rec != *refRec {
+		t.Fatalf("resumed record %+v differs from reference %+v", rec, refRec)
+	}
+	var img bytes.Buffer
+	if err := r2.Device().Save(&img); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(img.Bytes(), refImg.Bytes()) {
+		t.Fatal("resumed device image differs from uninterrupted run")
+	}
+	if r2.ClockHours() != ref.ClockHours() {
+		t.Fatalf("resumed clock %.4fh, reference %.4fh", r2.ClockHours(), ref.ClockHours())
+	}
+}
+
+// TestSessionGuards pins the misuse errors: finishing early, stressing
+// after finish, resuming with an impossible applied-hours claim.
+func TestSessionGuards(t *testing.T) {
+	ctx := context.Background()
+	msg := []byte("guards")
+	opts := Options{StressHours: 2}
+
+	r := sessionRig(t, "session-guards")
+	s, err := BeginEncode(ctx, r, msg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Finish(ctx); err == nil {
+		t.Fatal("Finish before the soak completed must fail")
+	}
+	if err := s.StressSlice(ctx, 5); err != nil { // clamped to remaining
+		t.Fatal(err)
+	}
+	if s.RemainingHours() != 0 {
+		t.Fatalf("remaining %.2fh after clamped slice", s.RemainingHours())
+	}
+	if _, err := s.Finish(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.StressSlice(ctx, 1); err == nil {
+		t.Fatal("StressSlice after Finish must fail")
+	}
+	if _, err := s.Finish(ctx); err == nil {
+		t.Fatal("double Finish must fail")
+	}
+
+	if _, err := ResumeEncode(ctx, sessionRig(t, "session-guards-2"), msg, opts, 99); err == nil {
+		t.Fatal("ResumeEncode with applied > total must fail")
+	}
+}

@@ -2,11 +2,22 @@ package device
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
+	"os"
 
+	"invisiblebits/internal/ioatomic"
 	"invisiblebits/internal/sram"
 )
+
+// ErrTruncatedImage marks a device image whose byte stream ended before
+// the serialized state was complete — the signature of a torn write or
+// an interrupted copy. Check with errors.Is; a truncated image is not a
+// version problem and not corruption of a whole stream, it is simply
+// *missing its tail*, and callers (campaign resume in particular) treat
+// it as "this checkpoint never durably existed".
+var ErrTruncatedImage = errors.New("device: image truncated")
 
 // imageVersion guards the on-disk format. Version 2 added the refresh
 // maintenance ledger; version 3 records the SRAM noise-plane version
@@ -61,10 +72,31 @@ func (d *Device) Save(w io.Writer) error {
 	return nil
 }
 
+// SaveFile writes the device image to path atomically: the previous
+// image (if any) is replaced only after the new bytes are durable, so a
+// crash mid-save can never leave a torn image under the final name.
+func (d *Device) SaveFile(path string) error {
+	return ioatomic.WriteTo(path, 0o644, d.Save)
+}
+
+// LoadFile reconstructs a device from an image file written by SaveFile
+// (or any complete Save stream on disk).
+func LoadFile(path string) (*Device, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("device: load: %w", err)
+	}
+	defer f.Close()
+	return Load(f)
+}
+
 // Load reconstructs a device from an image produced by Save.
 func Load(r io.Reader) (*Device, error) {
 	var img image
 	if err := gob.NewDecoder(r).Decode(&img); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, fmt.Errorf("device: load: %w", ErrTruncatedImage)
+		}
 		return nil, fmt.Errorf("device: load: %w", err)
 	}
 	if img.Version < 1 || img.Version > imageVersion {

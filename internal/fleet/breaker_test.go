@@ -1,0 +1,208 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"invisiblebits/internal/faults"
+	"invisiblebits/internal/rig"
+)
+
+// TestBreakerStateMachine walks one breaker through every transition on
+// the simulated clock: closed → open (threshold), open → half-open
+// (backoff elapsed, single probe), probe failure → open with doubled
+// (and capped) backoff, probe success → closed with counters reset, and
+// repeated trips → quarantine.
+func TestBreakerStateMachine(t *testing.T) {
+	cfg := BreakerConfig{
+		FailureThreshold:     2,
+		BaseBackoffHours:     4,
+		MaxBackoffHours:      6,
+		QuarantineAfterTrips: 3,
+	}
+	b := newBreaker(cfg)
+
+	type step struct {
+		name      string
+		allowAt   float64 // simulated clock for Allow; -1 skips Allow
+		wantAllow error
+		record    error // outcome fed to Record after a successful Allow
+		wantState BreakerState
+	}
+	steps := []step{
+		{"first failure stays closed", 0, nil, faults.ErrLinkDropped, BreakerClosed},
+		{"second failure trips open", 0.5, nil, faults.ErrLinkDropped, BreakerOpen},
+		{"rejected during backoff", 2, ErrBreakerOpen, nil, BreakerOpen},
+		{"probe failure reopens with doubled backoff", 5, nil, faults.ErrLinkDropped, BreakerOpen},
+		// Backoff is now min(4*2, 6) = 6h from the trip at clock 5.
+		{"rejected inside capped backoff", 10, ErrBreakerOpen, nil, BreakerOpen},
+		{"probe success closes", 11.5, nil, nil, BreakerClosed},
+		{"post-recovery failure stays closed", 12, nil, faults.ErrLinkDropped, BreakerClosed},
+	}
+	for _, s := range steps {
+		err := b.Allow(s.allowAt)
+		if !errors.Is(err, s.wantAllow) {
+			t.Fatalf("%s: Allow = %v, want %v", s.name, err, s.wantAllow)
+		}
+		if err == nil {
+			b.Record(s.record, s.allowAt)
+		}
+		if got := b.State(); got != s.wantState {
+			t.Fatalf("%s: state %s, want %s", s.name, got, s.wantState)
+		}
+	}
+
+	// The success above reset the trip counter: keep failing (waiting
+	// out each backoff) until the trip ladder lands in quarantine.
+	clock := 20.0
+	for i := 0; b.State() != BreakerQuarantined; i++ {
+		if i > 20 {
+			t.Fatalf("no quarantine after %d failures, state %s", i, b.State())
+		}
+		if err := b.Allow(clock); err == nil {
+			b.Record(faults.ErrLinkDropped, clock)
+		}
+		clock += cfg.MaxBackoffHours + 1 // let any backoff elapse
+	}
+	if err := b.Allow(clock); !errors.Is(err, ErrQuarantined) {
+		t.Fatalf("quarantined Allow = %v, want ErrQuarantined", err)
+	}
+}
+
+// TestBreakerPermanentFaultQuarantinesImmediately pins the shortcut: a
+// permanent fault skips the trip ladder entirely.
+func TestBreakerPermanentFaultQuarantinesImmediately(t *testing.T) {
+	b := newBreaker(BreakerConfig{})
+	if err := b.Allow(0); err != nil {
+		t.Fatal(err)
+	}
+	b.Record(faults.ErrDeviceDead, 0)
+	if got := b.State(); got != BreakerQuarantined {
+		t.Fatalf("state %s after permanent fault, want quarantined", got)
+	}
+}
+
+// TestBreakerIgnoresContextCancellation: the caller giving up is not
+// evidence against the device.
+func TestBreakerIgnoresContextCancellation(t *testing.T) {
+	b := newBreaker(BreakerConfig{FailureThreshold: 1})
+	for i := 0; i < 5; i++ {
+		if err := b.Allow(float64(i)); err != nil {
+			t.Fatal(err)
+		}
+		b.Record(context.Canceled, float64(i))
+	}
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state %s after cancellations, want closed", got)
+	}
+}
+
+// TestBreakerHalfOpenSingleProbe: while a probe is in flight, concurrent
+// callers are rejected instead of stampeding the recovering device.
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	b := newBreaker(BreakerConfig{FailureThreshold: 1, BaseBackoffHours: 1})
+	if err := b.Allow(0); err != nil {
+		t.Fatal(err)
+	}
+	b.Record(faults.ErrLinkDropped, 0) // trips open
+	if err := b.Allow(2); err != nil { // backoff elapsed → half-open probe
+		t.Fatalf("probe rejected: %v", err)
+	}
+	if err := b.Allow(2); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("second concurrent probe = %v, want ErrBreakerOpen", err)
+	}
+	b.Record(nil, 2)
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state %s after probe success, want closed", got)
+	}
+}
+
+// TestBreakerSetQuarantineAndStats drives two devices through a set and
+// checks the aggregate views.
+func TestBreakerSetQuarantineAndStats(t *testing.T) {
+	set := NewBreakerSet(BreakerConfig{})
+	set.For("alive").Record(nil, 0)
+	b := set.For("doomed")
+	if err := b.Allow(0); err != nil {
+		t.Fatal(err)
+	}
+	b.Record(faults.ErrDeviceDead, 0)
+	if err := set.allow("doomed", 1); !errors.Is(err, ErrQuarantined) {
+		t.Fatalf("set allow on quarantined device = %v", err)
+	}
+
+	if q := set.Quarantined(); len(q) != 1 || q[0] != "doomed" {
+		t.Fatalf("Quarantined = %v, want [doomed]", q)
+	}
+	stats := set.Stats()
+	if len(stats) != 2 || stats[0].DeviceID != "alive" || stats[1].DeviceID != "doomed" {
+		t.Fatalf("Stats = %+v", stats)
+	}
+	if stats[1].State != BreakerQuarantined || stats[1].PermanentFaults != 1 || stats[1].SkippedOps != 1 {
+		t.Fatalf("doomed stats = %+v", stats[1])
+	}
+
+	// A nil set is a no-op gate everywhere.
+	var nilSet *BreakerSet
+	if err := nilSet.allow("x", 0); err != nil {
+		t.Fatal("nil set rejected an operation")
+	}
+	nilSet.record("x", faults.ErrDeviceDead, 0)
+	if nilSet.Quarantined() != nil || nilSet.Stats() != nil {
+		t.Fatal("nil set reported state")
+	}
+}
+
+// TestBreakerQuarantineSavesRetries is the acceptance scenario: a
+// carrier with a hopeless link burns a full in-rig retry ladder on every
+// sweep; with breakers mounted the fleet stops consulting it after the
+// threshold, and the fault counters prove the saved attempts.
+func TestBreakerQuarantineSavesRetries(t *testing.T) {
+	const sweeps = 6
+	var flakyID string
+	run := func(breakers *BreakerSet) (flakyFaults int, quarantined []string) {
+		flaky := newRigWith(t, "hopeless", 4<<10, faults.Profile{Seed: 9, LinkDropRate: 1})
+		flakyID = flaky.Device().DeviceID()
+		healthy := newRigWith(t, "steady", 4<<10, faults.Profile{})
+		rigs := []*rig.Rig{healthy, flaky}
+		var lastQuarantine []string
+		for i := 0; i < sweeps; i++ {
+			rep, err := HealthSweep(context.Background(), rigs, HealthSweepOptions{Breakers: breakers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Carriers[1].Err == nil {
+				t.Fatal("hopeless link probed successfully")
+			}
+			if rep.Carriers[0].Err != nil {
+				t.Fatalf("healthy carrier failed: %v", rep.Carriers[0].Err)
+			}
+			lastQuarantine = rep.Quarantined
+		}
+		tf, _ := flaky.FaultCounts()
+		return tf, lastQuarantine
+	}
+
+	without, q := run(nil)
+	if q != nil {
+		t.Fatalf("breaker-free sweep reported quarantine %v", q)
+	}
+	set := NewBreakerSet(BreakerConfig{FailureThreshold: 2, QuarantineAfterTrips: 1})
+	with, q := run(set)
+	if len(q) != 1 || q[0] != flakyID {
+		t.Fatalf("Quarantined = %v, want [%s]", q, flakyID)
+	}
+	if with >= without {
+		t.Fatalf("breakers saved nothing: %d faults with, %d without", with, without)
+	}
+	var skipped int
+	for _, s := range set.Stats() {
+		if s.DeviceID == flakyID {
+			skipped = s.SkippedOps
+		}
+	}
+	if skipped < sweeps-2 {
+		t.Fatalf("quarantine skipped only %d ops, want ≥ %d", skipped, sweeps-2)
+	}
+}

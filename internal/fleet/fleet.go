@@ -27,6 +27,7 @@ import (
 	"sync"
 
 	"invisiblebits/internal/core"
+	"invisiblebits/internal/ecc"
 	"invisiblebits/internal/faults"
 	"invisiblebits/internal/rig"
 	"invisiblebits/internal/rng"
@@ -37,6 +38,13 @@ type Characterization struct {
 	Index        int
 	DeviceID     string
 	ChannelError float64
+	// TransientFaults / PermanentFaults count the classified faults the
+	// rig observed during this device's characterization (per-attempt:
+	// every consulted-and-failed hook point counts, including retries),
+	// so breaker thresholds and quarantine decisions are explainable
+	// post-hoc.
+	TransientFaults int
+	PermanentFaults int
 }
 
 // Characterize stress-tests every rig in parallel with a pseudo-random
@@ -89,6 +97,14 @@ func CharacterizeContext(ctx context.Context, rigs []*rig.Rig, captures int) ([]
 // does. Transient capture faults are retried with backoff charged to
 // the device's simulated clock.
 func characterizeOne(ctx context.Context, i int, r *rig.Rig, captures int) (Characterization, error) {
+	t0, p0 := r.FaultCounts()
+	c, err := characterizeDevice(ctx, i, r, captures)
+	t1, p1 := r.FaultCounts()
+	c.TransientFaults, c.PermanentFaults = t1-t0, p1-p0
+	return c, err
+}
+
+func characterizeDevice(ctx context.Context, i int, r *rig.Rig, captures int) (Characterization, error) {
 	dev := r.Device()
 	if !dev.SRAM.Powered() {
 		if _, err := r.PowerOnContext(ctx); err != nil {
@@ -165,6 +181,21 @@ type StripeResult struct {
 	Parity *Shard
 }
 
+// ShardProgress tells a striped encode how far a shard already got in a
+// previous (crashed) run, so StripeWithOptions can re-enter the soak at
+// the exact slice boundary a campaign checkpoint captured.
+type ShardProgress struct {
+	// Record, when non-nil, marks the shard fully encoded: the slot is
+	// skipped entirely and Record is used as-is.
+	Record *core.Record
+	// Prepared means the payload is already in SRAM (the slot's rig was
+	// restored from a mid-soak checkpoint); the prepare phase is skipped.
+	Prepared bool
+	// AppliedHours is the stress the checkpointed device has already
+	// absorbed.
+	AppliedHours float64
+}
+
 // StripeOptions configures failure tolerance for a striped encode.
 type StripeOptions struct {
 	// Spares are standby devices. When a shard's primary dies
@@ -176,6 +207,65 @@ type StripeOptions struct {
 	// Gather can then reconstruct any single lost shard — an erasure
 	// code at the fleet layer, above the per-device ECC.
 	ParityRig *rig.Rig
+	// Breakers, when non-nil, gates every per-device encode through the
+	// device's circuit breaker: open or quarantined devices are skipped
+	// (triggering spare re-routing immediately instead of after another
+	// retry budget) and every outcome is recorded.
+	Breakers *BreakerSet
+
+	// SliceHours dices each shard's soak into slices of this length,
+	// with OnSlice consulted after every slice — the supervisor's
+	// journaling hook. Zero (with no Progress hook) keeps the legacy
+	// single-shot soak.
+	SliceHours float64
+	// Progress reports a slot's prior progress (crash resume). Nil means
+	// every shard starts from scratch.
+	Progress func(slot int) ShardProgress
+	// OnPrepared fires after a slot's payload is written and conditions
+	// are elevated, before its first slice. An error aborts the shard.
+	OnPrepared func(slot int, r *rig.Rig) error
+	// OnSlice fires after each completed stress slice with cumulative
+	// applied hours. An error aborts the shard.
+	OnSlice func(slot int, r *rig.Rig, appliedHours, totalHours float64) error
+	// OnEncoded fires after a shard's encode finished and its record was
+	// minted. An error aborts the shard.
+	OnEncoded func(slot int, r *rig.Rig, rec *core.Record) error
+}
+
+// staged reports whether the options request the sliced phase-hook path.
+func (o StripeOptions) staged() bool {
+	return o.SliceHours > 0 || o.Progress != nil || o.OnPrepared != nil ||
+		o.OnSlice != nil || o.OnEncoded != nil
+}
+
+// progressFor is the nil-safe Progress lookup.
+func (o StripeOptions) progressFor(slot int) ShardProgress {
+	if o.Progress == nil {
+		return ShardProgress{}
+	}
+	return o.Progress(slot)
+}
+
+// PlanSegments computes the per-slot message-byte layout of a stripe
+// over devices with the given SRAM sizes: each slot takes as much of
+// the remainder as its capacity allows. Campaign supervisors use the
+// same planner to digest their schedules, so a resumed campaign can
+// verify it is laying out exactly the stripe the crashed one was.
+func PlanSegments(sramBytes []int, messageLen int, codec ecc.Codec) ([]int, error) {
+	sizes := make([]int, len(sramBytes))
+	remaining := messageLen
+	for i, sb := range sramBytes {
+		take := core.MaxMessageBytes(sb, codec)
+		if take > remaining {
+			take = remaining
+		}
+		sizes[i] = take
+		remaining -= take
+	}
+	if remaining > 0 {
+		return nil, fmt.Errorf("fleet: message exceeds fleet capacity by %d bytes", remaining)
+	}
+	return sizes, nil
 }
 
 // Stripe splits message across the rigs' devices, encoding shard i on
@@ -249,17 +339,86 @@ func StripeWithOptions(ctx context.Context, rigs []*rig.Rig, message []byte, opt
 		return nil
 	}
 
+	// encodeStaged drives one carrier through the sliced session path,
+	// resuming from checkpointed progress and firing the supervisor's
+	// phase hooks at every boundary.
+	encodeStaged := func(slot int, r *rig.Rig, seg []byte, prog ShardProgress) (*core.Record, error) {
+		var s *core.EncodeSession
+		var err error
+		if prog.Prepared {
+			s, err = core.ResumeEncode(ctx, r, seg, opts, prog.AppliedHours)
+		} else {
+			s, err = core.BeginEncode(ctx, r, seg, opts)
+			if err == nil && sopts.OnPrepared != nil {
+				err = sopts.OnPrepared(slot, r)
+			}
+		}
+		if err != nil {
+			return nil, err
+		}
+		slice := sopts.SliceHours
+		if slice <= 0 {
+			slice = s.TotalHours()
+		}
+		for s.RemainingHours() > 0 {
+			if err := s.StressSlice(ctx, slice); err != nil {
+				return nil, err
+			}
+			if sopts.OnSlice != nil {
+				if err := sopts.OnSlice(slot, r, s.AppliedHours(), s.TotalHours()); err != nil {
+					return nil, err
+				}
+			}
+		}
+		rec, err := s.Finish(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if sopts.OnEncoded != nil {
+			if err := sopts.OnEncoded(slot, r, rec); err != nil {
+				return nil, err
+			}
+		}
+		return rec, nil
+	}
+
+	// encodeOn runs one attempt on one carrier, gated through its
+	// circuit breaker when a set is mounted.
+	encodeOn := func(slot int, r *rig.Rig, seg []byte, prog ShardProgress) (*core.Record, error) {
+		id := r.Device().DeviceID()
+		if err := sopts.Breakers.allow(id, r.ClockHours()); err != nil {
+			return nil, err
+		}
+		var rec *core.Record
+		var err error
+		if sopts.staged() {
+			rec, err = encodeStaged(slot, r, seg, prog)
+		} else {
+			rec, err = core.EncodeContext(ctx, r, seg, opts)
+		}
+		sopts.Breakers.record(id, err, r.ClockHours())
+		return rec, err
+	}
+
 	encodeShard := func(jb job) (*core.Record, error) {
 		seg := message[jb.start : jb.start+jb.n]
-		rec, err := core.EncodeContext(ctx, rigs[jb.idx], seg, opts)
-		// Permanent device death is the re-route trigger; transient
-		// faults were already retried inside EncodeContext.
-		for err != nil && faults.IsPermanent(err) {
+		prog := sopts.progressFor(jb.idx)
+		if prog.Record != nil {
+			// A previous run already finished this shard.
+			return prog.Record, nil
+		}
+		rec, err := encodeOn(jb.idx, rigs[jb.idx], seg, prog)
+		// Permanent device death re-routes to a spare, as do breaker
+		// rejections — an open or quarantined primary should cost the
+		// stripe nothing beyond the Allow call. Transient faults were
+		// already retried inside the rig. Spares always start from
+		// scratch: checkpointed progress belongs to the primary's SRAM.
+		for err != nil && isRerouteable(err) {
 			sp := nextSpare(jb.n)
 			if sp == nil {
 				break
 			}
-			rec, err = core.EncodeContext(ctx, sp, seg, opts)
+			rec, err = encodeOn(jb.idx, sp, seg, ShardProgress{})
 		}
 		return rec, err
 	}
@@ -295,7 +454,13 @@ func StripeWithOptions(ctx context.Context, rigs []*rig.Rig, message []byte, opt
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			parityRec, parityErr = core.EncodeContext(ctx, sopts.ParityRig, parity, opts)
+			pr := sopts.ParityRig
+			id := pr.Device().DeviceID()
+			if parityErr = sopts.Breakers.allow(id, pr.ClockHours()); parityErr != nil {
+				return
+			}
+			parityRec, parityErr = core.EncodeContext(ctx, pr, parity, opts)
+			sopts.Breakers.record(id, parityErr, pr.ClockHours())
 		}()
 	}
 	wg.Wait()
@@ -331,6 +496,11 @@ type ShardStatus struct {
 	DeviceID  string
 	Err       error // nil when the shard decoded (or was reconstructed)
 	Recovered bool  // true when rebuilt from the parity carrier
+	// TransientFaults / PermanentFaults count the classified faults the
+	// carrier's rig observed while this shard decoded (per-attempt,
+	// including in-rig retries).
+	TransientFaults int
+	PermanentFaults int
 }
 
 // GatherReport is the outcome of a degraded-capable Gather.
@@ -341,6 +511,16 @@ type GatherReport struct {
 	Complete bool
 	// Shards records the per-slot outcomes, ordered by slot.
 	Shards []ShardStatus
+	// Quarantined lists device IDs the mounted breaker set has written
+	// off (empty without GatherOptions.Breakers).
+	Quarantined []string
+}
+
+// GatherOptions configures failure handling for a gather pass.
+type GatherOptions struct {
+	// Breakers, when non-nil, gates each carrier's decode through its
+	// circuit breaker and surfaces the quarantine list in the report.
+	Breakers *BreakerSet
 }
 
 // Err joins the failures of every unrecovered shard (nil when Complete).
@@ -383,6 +563,14 @@ func Gather(rigs []*rig.Rig, striped *StripeResult, opts core.Options) ([]byte, 
 // problems (nil result, unresolvable layout); per-shard trouble lives in
 // the report.
 func GatherContext(ctx context.Context, rigs []*rig.Rig, striped *StripeResult, opts core.Options) (*GatherReport, error) {
+	return GatherWithOptions(ctx, rigs, striped, opts, GatherOptions{})
+}
+
+// GatherWithOptions is GatherContext with breaker enforcement: carriers
+// whose breakers are open or quarantined are not even consulted (their
+// shards go straight to parity reconstruction), and the report carries
+// the quarantine list.
+func GatherWithOptions(ctx context.Context, rigs []*rig.Rig, striped *StripeResult, opts core.Options, gopts GatherOptions) (*GatherReport, error) {
 	if striped == nil {
 		return nil, errors.New("fleet: nil stripe result")
 	}
@@ -412,18 +600,29 @@ func GatherContext(ctx context.Context, rigs []*rig.Rig, striped *StripeResult, 
 		if err != nil {
 			return nil, err
 		}
-		part, err := core.DecodeContext(ctx, r, shard.Record, opts)
-		if err == nil && shard.Record.HasDigest() {
-			if verr := shard.Record.VerifyMessage(part, opts.Key); verr != nil {
-				part, err = nil, verr
+		t0, p0 := r.FaultCounts()
+		var part []byte
+		id := r.Device().DeviceID()
+		if err = gopts.Breakers.allow(id, r.ClockHours()); err == nil {
+			part, err = core.DecodeContext(ctx, r, shard.Record, opts)
+			if err == nil && shard.Record.HasDigest() {
+				if verr := shard.Record.VerifyMessage(part, opts.Key); verr != nil {
+					part, err = nil, verr
+				}
 			}
+			gopts.Breakers.record(id, err, r.ClockHours())
 		}
-		st := ShardStatus{Index: shard.Index, DeviceID: shard.Record.DeviceID, Err: err}
+		t1, p1 := r.FaultCounts()
+		st := ShardStatus{
+			Index: shard.Index, DeviceID: shard.Record.DeviceID, Err: err,
+			TransientFaults: t1 - t0, PermanentFaults: p1 - p0,
+		}
 		if err == nil {
 			segments[shard.Index] = part
 		}
 		rep.Shards = append(rep.Shards, st)
 	}
+	rep.Quarantined = gopts.Breakers.Quarantined()
 	for _, lost := range striped.Lost {
 		rep.Shards = append(rep.Shards, ShardStatus{
 			Index: lost, Err: fmt.Errorf("fleet: shard %d was never encoded: %w", lost, faults.ErrDeviceDead),

@@ -38,6 +38,9 @@ type HealthSweepReport struct {
 	Carriers  []CarrierHealth
 	Flagged   []int // indices of carriers below the margin threshold
 	Refreshed []int // indices whose refresh completed successfully
+	// Quarantined lists device IDs the mounted breaker set has written
+	// off (empty without HealthSweepOptions.Breakers).
+	Quarantined []string
 }
 
 // Err joins the per-carrier failures (nil when every carrier probed —
@@ -71,6 +74,10 @@ type HealthSweepOptions struct {
 	Adaptive core.AdaptiveOptions
 	// StressHours is the refresh re-soak; ≤ 0 uses the model default.
 	StressHours float64
+	// Breakers, when non-nil, gates every probe and refresh through the
+	// carrier's circuit breaker and surfaces the quarantine list in the
+	// report — a sweep then doubles as the fleet's triage pass.
+	Breakers *BreakerSet
 }
 
 func (o HealthSweepOptions) threshold() float64 {
@@ -117,12 +124,17 @@ func HealthSweep(ctx context.Context, rigs []*rig.Rig, opts HealthSweepOptions) 
 			c := &rep.Carriers[i]
 			c.Index = i
 			c.DeviceID = r.Device().DeviceID()
+			if err := opts.Breakers.allow(c.DeviceID, r.ClockHours()); err != nil {
+				c.Err = err
+				return
+			}
 			var probe *rig.HealthReport
 			err := faults.Retry(ctx, r, core.DefaultMaxRetries, core.DefaultRetryBackoffHours, func() error {
 				var perr error
 				probe, perr = r.ProbeHealthContext(ctx, opts.Captures, 0)
 				return perr
 			})
+			opts.Breakers.record(c.DeviceID, err, r.ClockHours())
 			if err != nil {
 				c.Err = err
 				return
@@ -139,6 +151,7 @@ func HealthSweep(ctx context.Context, rigs []*rig.Rig, opts HealthSweepOptions) 
 		}
 	}
 	if !opts.Refresh || len(rep.Flagged) == 0 {
+		rep.Quarantined = opts.Breakers.Quarantined()
 		return rep, nil
 	}
 
@@ -154,7 +167,12 @@ func HealthSweep(ctx context.Context, rigs []*rig.Rig, opts HealthSweepOptions) 
 				c.Err = fmt.Errorf("fleet: carrier flagged but no record to refresh from")
 				return
 			}
+			if err := opts.Breakers.allow(c.DeviceID, rigs[i].ClockHours()); err != nil {
+				c.Err = err
+				return
+			}
 			rr, err := core.Refresh(ctx, rigs[i], rec, opts.Adaptive, opts.StressHours)
+			opts.Breakers.record(c.DeviceID, err, rigs[i].ClockHours())
 			c.Refresh = rr
 			if err != nil {
 				c.Err = err
@@ -169,5 +187,6 @@ func HealthSweep(ctx context.Context, rigs []*rig.Rig, opts HealthSweepOptions) 
 			rep.Refreshed = append(rep.Refreshed, i)
 		}
 	}
+	rep.Quarantined = opts.Breakers.Quarantined()
 	return rep, nil
 }

@@ -1,0 +1,89 @@
+// Package ioatomic writes durable artifacts atomically. The encoding
+// half of an Invisible Bits campaign produces files whose loss or
+// corruption is unrecoverable at any price: a device image is the
+// serialized analog state of a chip that soaked for tens of simulated
+// hours in the thermal chamber, and a record file is the only copy of
+// the pre-shared decode parameters. A bare os.WriteFile torn by a crash
+// or power loss leaves a half-written file under the final name — the
+// reader then fails (best case) or decodes garbage (worst case).
+//
+// WriteFile and WriteTo follow the classic safe-save protocol:
+//
+//  1. write the full contents to a temp file in the destination
+//     directory (same filesystem, so the rename below is atomic),
+//  2. fsync the temp file, so the data is on stable storage before the
+//     name appears,
+//  3. rename the temp file over the destination (POSIX rename replaces
+//     atomically: readers see the old file or the new, never a mix),
+//  4. fsync the directory, so the rename itself survives power loss.
+//
+// On any failure the temp file is removed and the destination is
+// untouched.
+package ioatomic
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile atomically replaces path with data. The file is durable
+// (contents and directory entry fsynced) before WriteFile returns nil.
+func WriteFile(path string, data []byte, perm os.FileMode) error {
+	return WriteTo(path, perm, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
+}
+
+// WriteTo is WriteFile for streaming producers (gob encoders, JSON
+// encoders): write is handed the temp file and the result replaces path
+// atomically only if write and every fsync succeed.
+func WriteTo(path string, perm os.FileMode, write func(w io.Writer) error) error {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	tmp, err := os.CreateTemp(dir, base+".tmp*")
+	if err != nil {
+		return fmt.Errorf("ioatomic: %w", err)
+	}
+	tmpName := tmp.Name()
+	// On any failure below, remove the temp file; Remove after a
+	// successful rename fails harmlessly (the name is gone).
+	defer os.Remove(tmpName)
+
+	if err := write(tmp); err != nil {
+		tmp.Close()
+		return fmt.Errorf("ioatomic: write %s: %w", path, err)
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		tmp.Close()
+		return fmt.Errorf("ioatomic: chmod %s: %w", path, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("ioatomic: fsync %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("ioatomic: close %s: %w", path, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("ioatomic: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a completed rename survives power loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("ioatomic: open dir: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("ioatomic: fsync dir %s: %w", dir, err)
+	}
+	return nil
+}

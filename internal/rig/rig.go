@@ -46,7 +46,66 @@ type Rig struct {
 
 	injector faults.Injector
 
+	transientFaults int
+	permanentFaults int
+
 	events []string
+}
+
+// State is the controller-side condition of the rig: everything the
+// evaluation hardware holds that the device image does not. A campaign
+// checkpoint persists it next to the device image so a crash-resumed
+// supervisor can re-enter a soak at the exact conditions — clock,
+// chamber, supply, and the §7.2 bypass — the crashed process left
+// behind. JSON- and gob-encodable.
+type State struct {
+	ClockHours float64
+	ChamberC   float64
+	SupplyV    float64
+	Bypassed   bool
+}
+
+// State snapshots the rig's controller state.
+func (r *Rig) State() State {
+	return State{
+		ClockHours: r.clockHours,
+		ChamberC:   r.chamberC,
+		SupplyV:    r.supplyV,
+		Bypassed:   r.bypassed,
+	}
+}
+
+// RestoreState re-establishes a checkpointed controller state on a
+// freshly mounted rig: the clock resumes where the crashed campaign
+// left it, and the chamber/supply/bypass are re-applied without ramp
+// time (the checkpoint recorded conditions that were already reached).
+// The safe-voltage interlock still holds — a checkpoint cannot smuggle
+// in an overdrive the device was never qualified for.
+func (r *Rig) RestoreState(s State) error {
+	if s.SupplyV <= 0 {
+		return fmt.Errorf("rig: checkpoint has non-positive supply voltage %v", s.SupplyV)
+	}
+	if ceil := r.dev.Model.SafeVoltageCeiling(); s.SupplyV > ceil {
+		return fmt.Errorf("%w: checkpointed %.2fV > %.2fV for %s",
+			ErrUnsafeVoltage, s.SupplyV, ceil, r.dev.Model.Name)
+	}
+	if s.Bypassed && !r.dev.Model.RequiresRegulatorBypass {
+		return fmt.Errorf("rig: checkpoint claims a bypass on %s, which exposes its core rail", r.dev.Model.Name)
+	}
+	r.clockHours = s.ClockHours
+	r.chamberC = s.ChamberC
+	r.supplyV = s.SupplyV
+	r.bypassed = s.Bypassed
+	r.logf("restored checkpoint state: %.2fV/%.0f°C, bypassed=%v", s.SupplyV, s.ChamberC, s.Bypassed)
+	return nil
+}
+
+// FaultCounts reports how many classified faults the rig has observed at
+// its injector hook points, split by severity. Fleet reports snapshot
+// the counters around each per-device operation, making retry spend and
+// breaker trips explainable post-hoc.
+func (r *Rig) FaultCounts() (transient, permanent int) {
+	return r.transientFaults, r.permanentFaults
 }
 
 // Option customizes rig construction.
@@ -118,8 +177,12 @@ func (r *Rig) opError(op faults.Op) error {
 	err := r.injector.OpError(op, r.clockHours)
 	if err != nil {
 		r.logf("FAULT %s: %v", op, err)
-		if faults.IsPermanent(err) {
+		switch {
+		case faults.IsPermanent(err):
+			r.permanentFaults++
 			r.dev.Kill(err)
+		case faults.IsTransient(err):
+			r.transientFaults++
 		}
 	}
 	return err

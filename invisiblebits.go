@@ -32,6 +32,7 @@ import (
 	"io"
 
 	"invisiblebits/internal/analog"
+	"invisiblebits/internal/campaign"
 	"invisiblebits/internal/core"
 	"invisiblebits/internal/device"
 	"invisiblebits/internal/ecc"
@@ -337,6 +338,10 @@ type StripeResilience struct {
 	// Parity, when non-nil, carries an XOR parity shard over the data
 	// segments so GatherReportFor can reconstruct any single lost shard.
 	Parity *Carrier
+	// Breakers, when non-nil, gates every per-device operation through
+	// the shared circuit-breaker set: repeatedly failing carriers trip
+	// open and re-route to spares without burning the retry budget.
+	Breakers *FleetBreakers
 }
 
 // GatherOutcome reports per-shard fates from a degraded-capable gather.
@@ -347,7 +352,7 @@ type GatherOutcome = fleet.GatherReport
 // mid-soak (re-routed to a spare) or, with parity, one shard being lost
 // outright.
 func StripeMessageWith(ctx context.Context, carriers []*Carrier, message []byte, opts Options, res StripeResilience) (*StripedMessage, error) {
-	sopts := fleet.StripeOptions{Spares: rigsOf(res.Spares)}
+	sopts := fleet.StripeOptions{Spares: rigsOf(res.Spares), Breakers: res.Breakers}
 	if res.Parity != nil {
 		sopts.ParityRig = res.Parity.rig
 	}
@@ -360,6 +365,13 @@ func StripeMessageWith(ctx context.Context, carriers []*Carrier, message []byte,
 // slice must include spares and the parity carrier used at stripe time.
 func GatherReportFor(ctx context.Context, carriers []*Carrier, striped *StripedMessage, opts Options) (*GatherOutcome, error) {
 	return fleet.GatherContext(ctx, rigsOf(carriers), striped, opts)
+}
+
+// GatherReportWith is GatherReportFor with a circuit-breaker set:
+// quarantined carriers are skipped outright (their shards fall back to
+// parity reconstruction when available) and the report lists them.
+func GatherReportWith(ctx context.Context, carriers []*Carrier, striped *StripedMessage, opts Options, breakers *FleetBreakers) (*GatherOutcome, error) {
+	return fleet.GatherWithOptions(ctx, rigsOf(carriers), striped, opts, fleet.GatherOptions{Breakers: breakers})
 }
 
 // FleetHealth aggregates a health sweep across carriers.
@@ -383,3 +395,92 @@ func SaveDevice(dev *Device, w io.Writer) error { return dev.Save(w) }
 
 // LoadDevice reconstructs a device from a SaveDevice image.
 func LoadDevice(r io.Reader) (*Device, error) { return device.Load(r) }
+
+// SaveDeviceFile writes a device image to path atomically (temp file +
+// fsync + rename): a crash mid-save never leaves a torn image under the
+// final name.
+func SaveDeviceFile(dev *Device, path string) error { return dev.SaveFile(path) }
+
+// LoadDeviceFile reconstructs a device from an image file.
+func LoadDeviceFile(path string) (*Device, error) { return device.LoadFile(path) }
+
+// ErrTruncatedImage marks a device image whose byte stream ended early —
+// the signature of a torn write or interrupted copy. Check with
+// errors.Is on LoadDevice/LoadDeviceFile errors.
+var ErrTruncatedImage = device.ErrTruncatedImage
+
+// --- circuit breakers -----------------------------------------------------------
+
+type (
+	// FleetBreakers is a set of per-device circuit breakers. A carrier
+	// that keeps failing trips its breaker (closed → open with
+	// exponential backoff on the simulated clock → half-open probe) and
+	// is eventually quarantined, so a dying rig stops consuming retry
+	// budget and spare re-routing kicks in early.
+	FleetBreakers = fleet.BreakerSet
+	// BreakerConfig tunes failure thresholds, backoff, and the
+	// quarantine trip count; the zero value uses the defaults.
+	BreakerConfig = fleet.BreakerConfig
+	// BreakerStats is one device's breaker state snapshot.
+	BreakerStats = fleet.BreakerStats
+	// BreakerState is a breaker's position in the closed → open →
+	// half-open → quarantined lifecycle.
+	BreakerState = fleet.BreakerState
+)
+
+// Breaker lifecycle states, as reported in BreakerStats.
+const (
+	BreakerClosed      = fleet.BreakerClosed
+	BreakerOpen        = fleet.BreakerOpen
+	BreakerHalfOpen    = fleet.BreakerHalfOpen
+	BreakerQuarantined = fleet.BreakerQuarantined
+)
+
+// NewFleetBreakers builds a breaker set shared across fleet passes —
+// stripe, gather, and health sweeps all feed (and consult) the same
+// per-device failure history.
+func NewFleetBreakers(cfg BreakerConfig) *FleetBreakers { return fleet.NewBreakerSet(cfg) }
+
+// FleetBreakerStats snapshots every tracked device's breaker state,
+// sorted by device ID. Nil-safe: a nil set reports nothing.
+func FleetBreakerStats(b *FleetBreakers) []BreakerStats { return b.Stats() }
+
+// --- crash-safe campaigns -------------------------------------------------------
+
+type (
+	// CampaignSpec is the durable description of an imprint campaign:
+	// fleet, message, codec, soak schedule, and checkpoint cadence.
+	// Keys never appear in it.
+	CampaignSpec = campaign.Spec
+	// CampaignOptions carries the in-memory extras: the encryption key
+	// and an optional breaker set.
+	CampaignOptions = campaign.Options
+	// CampaignResult is the campaign's durable outcome (records, final
+	// image paths, equivalent bench hours, quarantine list).
+	CampaignResult = campaign.Result
+)
+
+// RunCampaign starts a crash-safe imprint campaign in dir: every phase
+// transition lands in a write-ahead journal and device images are
+// checkpointed atomically at slice boundaries, so a host crash, power
+// cut, or Ctrl-C at ANY point is recoverable with ResumeCampaign — and
+// the resumed outcome is bit-identical to an uninterrupted run. A
+// directory that already holds a journal is refused.
+func RunCampaign(ctx context.Context, dir string, spec CampaignSpec, opts CampaignOptions) (*CampaignResult, error) {
+	return campaign.Run(ctx, dir, spec, opts)
+}
+
+// ResumeCampaign re-enters a crashed campaign: it replays the journal
+// (verifying the schedule digest), rebuilds every carrier from its
+// latest checkpoint, skips completed slices, and drives the rest.
+// Resuming a finished campaign just returns its sealed result.
+func ResumeCampaign(ctx context.Context, dir string, opts CampaignOptions) (*CampaignResult, error) {
+	return campaign.Resume(ctx, dir, opts)
+}
+
+// DecodeCampaign reloads a finished campaign's final device images and
+// gathers the message back — the receiving party's side, driven purely
+// from the campaign directory plus the pre-shared key.
+func DecodeCampaign(ctx context.Context, dir string, key *Key) ([]byte, error) {
+	return campaign.DecodeResult(ctx, dir, key)
+}
