@@ -243,10 +243,28 @@ func main() {
 		defaultWorkers += "," + strconv.Itoa(n)
 	}
 	var (
-		out     = flag.String("o", "BENCH_4.json", "output path for the benchmark report")
-		workers = flag.String("workers", defaultWorkers, "comma-separated worker counts (must include 1 for the serial baseline)")
+		out       = flag.String("o", "", "output path for the benchmark report (default BENCH_4.json, or BENCH_5.json with -sched)")
+		workers   = flag.String("workers", defaultWorkers, "comma-separated worker counts (must include 1 for the serial baseline)")
+		schedMode = flag.Bool("sched", false, "benchmark the multi-tenant scheduler (campaigns/chamber-hour and latency at scale) instead of the hot-path grids")
+		tenants   = flag.String("sched-tenants", "1000,10000", "comma-separated tenancy levels for -sched")
 	)
 	flag.Parse()
+
+	if *schedMode {
+		path := *out
+		if path == "" {
+			path = "BENCH_5.json"
+		}
+		grid, err := parseWorkers(*tenants)
+		if err != nil {
+			fail(err)
+		}
+		runSchedBench(path, grid)
+		return
+	}
+	if *out == "" {
+		*out = "BENCH_4.json"
+	}
 
 	grid, err := parseWorkers(*workers)
 	if err != nil {

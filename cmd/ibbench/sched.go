@@ -1,0 +1,165 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"invisiblebits/internal/campaign"
+	"invisiblebits/internal/ioatomic"
+	"invisiblebits/internal/sched"
+	"invisiblebits/internal/stegocrypt"
+)
+
+// schedBenchPoint is one scheduler run: a tenancy level with batching
+// on or off, measured in both simulated chamber time (the economics)
+// and wall-clock time (the implementation).
+type schedBenchPoint struct {
+	Tenants  int  `json:"tenants"`
+	Batching bool `json:"batching"`
+
+	Done   int `json:"done"`
+	Failed int `json:"failed"`
+
+	// ChamberHours is total simulated chamber occupancy; the headline
+	// is the batched column being a small fraction of the unbatched one
+	// at the same tenancy.
+	ChamberHours  float64 `json:"chamber_hours"`
+	Passes        int     `json:"passes"`
+	BatchedSlices int     `json:"batched_slices"`
+
+	CampaignsPerChamberHour float64 `json:"campaigns_per_chamber_hour"`
+	// LatencyP50/P99 are submission-to-completion latencies in
+	// simulated chamber hours (queue wait included).
+	LatencyP50 float64 `json:"latency_p50_hours"`
+	LatencyP99 float64 `json:"latency_p99_hours"`
+
+	WallSeconds float64 `json:"wall_seconds"`
+}
+
+type schedBenchReport struct {
+	Schema     string `json:"schema"`
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// Notes records the workload shape: every campaign is one
+	// MSP430G2553 board soaking one 2.5 h slice at the shared operating
+	// point, journal fsync disabled (NoSync) so the numbers measure
+	// scheduling, not disk.
+	Notes  string            `json:"notes"`
+	Points []schedBenchPoint `json:"points"`
+	// ChamberHoursSaved maps "<tenants>" to the fraction of chamber
+	// time batching saved at that tenancy level.
+	ChamberHoursSaved map[string]float64 `json:"chamber_hours_saved_frac"`
+}
+
+// runSchedBench measures the multi-tenant scheduler at 1k and 10k
+// tenants, batching on and off, and writes BENCH_5.json. Simulated
+// chamber hours carry the economics claim (shared passes amortize the
+// soak), wall seconds show the scheduler itself keeps up.
+func runSchedBench(out string, tenantGrid []int) {
+	benchKey := stegocrypt.KeyFromPassphrase("ibbench-sched")
+	keyFor := func(string, string) *stegocrypt.Key { return &benchKey }
+
+	report := schedBenchReport{
+		Schema:     "invisiblebits/bench/v5",
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Notes: "one MSP430G2553 board per campaign, one 2.5h slice, shared (3.6V, 85C) operating point, " +
+			"16 chamber slots, journal NoSync",
+		ChamberHoursSaved: map[string]float64{},
+	}
+
+	for _, n := range tenantGrid {
+		var hours [2]float64
+		for _, batching := range []bool{true, false} {
+			dir, err := os.MkdirTemp("", "ibbench-sched-")
+			if err != nil {
+				fail(err)
+			}
+			pt, err := schedBenchRun(dir, n, batching, keyFor)
+			os.RemoveAll(dir)
+			if err != nil {
+				fail(err)
+			}
+			report.Points = append(report.Points, pt)
+			if batching {
+				hours[0] = pt.ChamberHours
+			} else {
+				hours[1] = pt.ChamberHours
+			}
+			fmt.Printf("sched %6d tenants batching=%-5v %10.1f chamber h  p99 %8.1f h  %6.1f s wall\n",
+				n, batching, pt.ChamberHours, pt.LatencyP99, pt.WallSeconds)
+		}
+		saved := 1 - hours[0]/hours[1]
+		report.ChamberHoursSaved[fmt.Sprintf("%d", n)] = saved
+		fmt.Printf("sched %6d tenants: batching saves %.0f%% of chamber time\n", n, 100*saved)
+	}
+
+	blob, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	if err := ioatomic.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Printf("wrote %s\n", out)
+}
+
+func schedBenchRun(dir string, tenants int, batching bool, keyFor func(string, string) *stegocrypt.Key) (schedBenchPoint, error) {
+	s, err := sched.New(dir, sched.Config{
+		KeyFor:          keyFor,
+		MaxQueued:       tenants,
+		DisableBatching: !batching,
+		NoSync:          true,
+	})
+	if err != nil {
+		return schedBenchPoint{}, err
+	}
+	start := time.Now()
+	for i := 0; i < tenants; i++ {
+		sub := sched.Submission{
+			Tenant: fmt.Sprintf("tenant-%05d", i),
+			Spec: campaign.Spec{
+				ID:          fmt.Sprintf("bench-%05d", i),
+				Model:       "MSP430G2553",
+				Serials:     []string{fmt.Sprintf("bch%05d", i)},
+				Message:     []byte("bench payload"),
+				StressHours: 2.5,
+				SliceHours:  2.5,
+			},
+		}
+		if err := s.Submit(sub); err != nil {
+			return schedBenchPoint{}, fmt.Errorf("submit %d: %w", i, err)
+		}
+	}
+	if err := s.Drain(context.Background()); err != nil {
+		return schedBenchPoint{}, err
+	}
+	wall := time.Since(start).Seconds()
+	st := s.Status()
+	if st.Done != tenants || st.Failed != 0 {
+		return schedBenchPoint{}, fmt.Errorf("bench run finished %d/%d campaigns (%d failed)", st.Done, tenants, st.Failed)
+	}
+	return schedBenchPoint{
+		Tenants:                 tenants,
+		Batching:                batching,
+		Done:                    st.Done,
+		Failed:                  st.Failed,
+		ChamberHours:            st.ChamberHours,
+		Passes:                  st.Passes,
+		BatchedSlices:           st.BatchedSlices,
+		CampaignsPerChamberHour: st.CampaignsPerChamberHour,
+		LatencyP50:              st.LatencyP50,
+		LatencyP99:              st.LatencyP99,
+		WallSeconds:             wall,
+	}, nil
+}

@@ -11,6 +11,7 @@
 //	ibexperiments -faultdrill           rehearse a fleet campaign under faults
 //	ibexperiments -retention            retention-decay sweep (± refresh)
 //	ibexperiments -campaigndrill        crash/resume rehearsal of the supervisor
+//	ibexperiments -scheddrill           kill/resume/decode rehearsal of the scheduler
 package main
 
 import (
@@ -31,8 +32,16 @@ func main() {
 		drill     = flag.Bool("faultdrill", false, "run the fleet fault drill and exit")
 		retention = flag.Bool("retention", false, "run the retention-decay sweep (decode success vs shelf years, with and without refresh) and exit")
 		cdrill    = flag.Bool("campaigndrill", false, "run the campaign crash/resume drill and exit")
+		sdrill    = flag.Bool("scheddrill", false, "run the multi-tenant scheduler kill/resume drill and exit")
 	)
 	flag.Parse()
+
+	if *sdrill {
+		if err := runSchedDrill(); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *cdrill {
 		if err := runCampaignDrill(); err != nil {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"fmt"
+	"io"
 
 	"invisiblebits/internal/campaign"
 	"invisiblebits/internal/cliutil"
@@ -9,6 +10,7 @@ import (
 	"invisiblebits/internal/device"
 	"invisiblebits/internal/ecc"
 	"invisiblebits/internal/fleet"
+	"invisiblebits/internal/sched"
 	"invisiblebits/internal/textplot"
 )
 
@@ -17,8 +19,11 @@ import (
 // message segments the stripe planner will assign, the slice/checkpoint
 // cadence the supervisor will journal, and the schedule digest Resume
 // will verify — so the operator can audit the plan before committing the
-// fleet to a multi-day soak.
-func planCampaign(spec campaign.Spec) error {
+// fleet to a multi-day soak. The journal budget is sized in bytes by
+// marshaling representative records, scheduler per-tenant overhead
+// included, so an operator running many campaigns under ibserve can
+// provision the journal volume.
+func planCampaign(w io.Writer, spec campaign.Spec) error {
 	m, err := device.ByName(spec.Model)
 	if err != nil {
 		return err
@@ -53,7 +58,6 @@ func planCampaign(spec campaign.Spec) error {
 
 	perSlot := core.MaxMessageBytes(m.SRAMBytes, codec)
 	rows := make([][]string, len(spec.Serials))
-	journalRecords := 2 // begin + done
 	for i, ser := range spec.Serials {
 		rows[i] = []string{
 			fmt.Sprintf("%d", i),
@@ -64,22 +68,23 @@ func planCampaign(spec campaign.Spec) error {
 			fmt.Sprintf("%d", slices),
 			fmt.Sprintf("%d", ckpts),
 		}
-		// prepared + one record per slice + encoded (checkpoints share
-		// slice records' fsync cadence but are their own appends).
-		journalRecords += 2 + slices + ckpts
 	}
+	budget := sched.EstimateJournalBudget(spec, m)
 
-	fmt.Printf("campaign %q: %d B message across %d× %s (%d B SRAM each)\n\n",
+	fmt.Fprintf(w, "campaign %q: %d B message across %d× %s (%d B SRAM each)\n\n",
 		spec.ID, len(spec.Message), len(spec.Serials), m.Name, m.SRAMBytes)
-	fmt.Println(textplot.Table(
+	fmt.Fprintln(w, textplot.Table(
 		[]string{"slot", "serial", "segment", "fill", "soak", "slices", "ckpts"}, rows))
-	fmt.Printf("slice granularity:  %.2f h  (journal record per slice)\n", spec.SliceHours)
-	fmt.Printf("checkpoint cadence: every %d slices + final (atomic image per checkpoint)\n",
+	fmt.Fprintf(w, "slice granularity:  %.2f h  (journal record per slice)\n", spec.SliceHours)
+	fmt.Fprintf(w, "checkpoint cadence: every %d slices + final (atomic image per checkpoint)\n",
 		spec.CheckpointEvery)
-	fmt.Printf("journal budget:     ~%d fsynced records for an uninterrupted run\n", journalRecords)
-	fmt.Printf("schedule digest:    %s\n", spec.ScheduleDigest())
-	fmt.Println("                    (binds this exact message, fleet, and cadence)")
-	fmt.Println("\na crash at any point resumes with `campaign.Resume` (see README," +
+	fmt.Fprintf(w, "journal budget:     ~%d fsynced records, ~%d B for an uninterrupted run\n",
+		budget.Records, budget.Bytes)
+	fmt.Fprintf(w, "                    (+%d B one-time per-tenant scheduler overhead under ibserve)\n",
+		budget.TenantBytes)
+	fmt.Fprintf(w, "schedule digest:    %s\n", spec.ScheduleDigest())
+	fmt.Fprintln(w, "                    (binds this exact message, fleet, and cadence)")
+	fmt.Fprintln(w, "\na crash at any point resumes with `campaign.Resume` (see README,"+
 		" \"Surviving interruptions\"); the digest above is what Resume verifies.")
 	return nil
 }

@@ -61,7 +61,7 @@ func main() {
 				spec.Serials = append(spec.Serials, fmt.Sprintf("%s-%d", *campaignID, i))
 			}
 		}
-		if err := planCampaign(spec); err != nil {
+		if err := planCampaign(os.Stdout, spec); err != nil {
 			fatal(err)
 		}
 		return

@@ -1,0 +1,124 @@
+// Command ibserve runs the multi-tenant campaign scheduler as a JSON
+// service: tenants POST campaign submissions, the scheduler multiplexes
+// them over one simulated chamber (batching compatible campaigns into
+// shared stress passes), and every admission decision and slice of
+// progress is journaled so a killed server resumes exactly where it
+// died — point it at the same -dir and restart.
+//
+// Per-campaign encryption keys are derived on demand from the master
+// passphrase, the tenant, and the campaign ID; nothing secret is ever
+// persisted. Decoding a finished campaign therefore needs the same
+// passphrase and the campaign directory (ibdecode, or
+// campaign.DecodeResult).
+//
+// Usage:
+//
+//	ibserve -dir /var/lib/ibserve -passphrase "..." -addr :8080
+//	ibserve -dir /var/lib/ibserve -passphrase "..." -slots 32 -quota-campaigns 4
+//
+// Routes:
+//
+//	POST /api/submit          {tenant, spec, spares} → 202 {campaign}
+//	GET  /api/status          scheduler-wide counters and latency percentiles
+//	GET  /api/campaigns/{id}  one campaign's state
+//	POST /api/drain           stop admission, wait for quiescence
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+
+	"invisiblebits/internal/sched"
+	"invisiblebits/internal/stegocrypt"
+)
+
+func main() {
+	var (
+		dir        = flag.String("dir", "ibserve-data", "state directory (journal + campaign artifacts)")
+		addr       = flag.String("addr", ":8080", "listen address")
+		passphrase = flag.String("passphrase", "", "master passphrase for per-campaign key derivation (required)")
+		slots      = flag.Int("slots", sched.DefaultChamberSlots, "chamber carrier slots per pass")
+		setup      = flag.Float64("setup-hours", sched.DefaultSetupHours, "chamber re-targeting cost when the operating point changes")
+		queued     = flag.Int("queue", sched.DefaultMaxQueued, "max campaigns in flight before submissions bounce with 429")
+		campaigns  = flag.Int("quota-campaigns", 0, "per-tenant active-campaign quota (0 = unlimited)")
+		devices    = flag.Int("quota-devices", 0, "per-tenant device quota (0 = unlimited)")
+		hours      = flag.Float64("quota-hours", 0, "per-tenant chamber-hour quota (0 = unlimited)")
+		batch      = flag.Bool("batch", true, "coalesce compatible campaigns into shared chamber passes")
+	)
+	flag.Parse()
+
+	if *passphrase == "" {
+		fatal(errors.New("ibserve: -passphrase is required (keys are derived, never stored)"))
+	}
+	master := *passphrase
+	cfg := sched.Config{
+		ChamberSlots: *slots,
+		SetupHours:   *setup,
+		MaxQueued:    *queued,
+		DefaultQuota: sched.Quota{
+			MaxCampaigns:    *campaigns,
+			MaxDevices:      *devices,
+			MaxChamberHours: *hours,
+		},
+		DisableBatching: !*batch,
+		KeyFor: func(tenant, id string) *stegocrypt.Key {
+			k := stegocrypt.KeyFromPassphrase(master + "|" + tenant + "|" + id)
+			return &k
+		},
+	}
+
+	s, resumed, err := openScheduler(*dir, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	verb := "created"
+	if resumed {
+		verb = "resumed"
+	}
+	st := s.Status()
+	fmt.Printf("ibserve: %s scheduler in %s (%d active, %d done, %d failed, %.1f chamber hours)\n",
+		verb, *dir, st.Active, st.Done, st.Failed, st.ChamberHours)
+	fmt.Printf("ibserve: listening on %s\n", *addr)
+
+	// The scheduler loop dying on a journal failure must take the
+	// process down loudly — a serving-but-dead scheduler would 500
+	// forever. A clean drain, by contrast, keeps the process up: the
+	// drain response and follow-up status queries still need serving,
+	// and new submissions bounce with 503 until the operator stops it.
+	go func() {
+		<-s.Done()
+		if err := s.Err(); err != nil {
+			fatal(fmt.Errorf("scheduler died: %w", err))
+		}
+		fmt.Println("ibserve: drain complete; serving status only")
+	}()
+
+	if err := http.ListenAndServe(*addr, sched.NewServer(s)); err != nil {
+		fatal(err)
+	}
+}
+
+// openScheduler resumes an existing state directory or creates a fresh
+// one: the presence of a journal decides, so a restart after a crash
+// (or a drain) picks up every in-flight campaign from its last durable
+// checkpoint.
+func openScheduler(dir string, cfg sched.Config) (*sched.Scheduler, bool, error) {
+	if _, err := os.Stat(filepath.Join(dir, "journal.jsonl")); err == nil {
+		s, rerr := sched.Resume(dir, cfg)
+		return s, true, rerr
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, false, err
+	}
+	s, err := sched.New(dir, cfg)
+	return s, false, err
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ibserve:", err)
+	os.Exit(1)
+}

@@ -83,7 +83,11 @@ func (s Spec) withDefaults() Spec {
 	return s
 }
 
-func (s Spec) validate() error {
+// Validate rejects structurally unusable specs: bad IDs, duplicate or
+// empty serials, empty messages, unknown models or codecs. The
+// scheduler calls it at admission time so a doomed campaign is rejected
+// at Submit rather than burning chamber hours first.
+func (s Spec) Validate() error {
 	if s.ID == "" || strings.ContainsAny(s.ID, "/\\") {
 		return fmt.Errorf("campaign: invalid campaign ID %q", s.ID)
 	}
@@ -184,7 +188,7 @@ type Result struct {
 // disk, and Resume is the only safe way back in.
 func Run(ctx context.Context, dir string, spec Spec, opts Options) (*Result, error) {
 	spec = spec.withDefaults()
-	if err := spec.validate(); err != nil {
+	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -374,7 +378,7 @@ func run(ctx context.Context, dir string, spec Spec, opts Options, j *Journal,
 				return err
 			}
 			if err := r.Device().SaveFile(filepath.Join(dir, name)); err != nil {
-				return err
+				return fmt.Errorf("%w: final image for slot %d: %w", ErrJournalIO, slot, err)
 			}
 			state := r.State()
 			if err := j.Append(Entry{
@@ -423,7 +427,7 @@ func run(ctx context.Context, dir string, spec Spec, opts Options, j *Journal,
 		return nil, err
 	}
 	if err := ioatomic.WriteFile(filepath.Join(dir, resultFile), resJSON, 0o644); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: persist result: %w", ErrJournalIO, err)
 	}
 	if err := j.Append(Entry{Type: entryDone, Campaign: spec.ID, Slot: -1}); err != nil {
 		return nil, err
@@ -441,7 +445,7 @@ func checkpointSlot(j *Journal, dir string, slot int, r *rig.Rig, applied float6
 		return err
 	}
 	if err := r.Device().SaveFile(filepath.Join(dir, name)); err != nil {
-		return err
+		return fmt.Errorf("%w: checkpoint image for slot %d: %w", ErrJournalIO, slot, err)
 	}
 	state := r.State()
 	return j.Append(Entry{
@@ -460,7 +464,7 @@ func readSpec(dir string) (Spec, error) {
 		return spec, fmt.Errorf("campaign: parse %s: %w", specFile, err)
 	}
 	spec = spec.withDefaults()
-	return spec, spec.validate()
+	return spec, spec.Validate()
 }
 
 func readResult(dir string) (*Result, error) {

@@ -154,6 +154,57 @@ func TestCrashMatrixResumeEquivalence(t *testing.T) {
 	t.Logf("crash matrix: %d kill points, all resumed bit-identically", points)
 }
 
+// TestJournalIOFailureFailsClosedTyped pins the durability-failure
+// contract (the crash matrix's sibling: instead of dying at a kill
+// point, the disk refuses an atomic rename): the campaign must fail
+// closed with an error classifying as ErrJournalIO, and once the
+// obstruction is cleared, Resume must still reach the bit-identical
+// outcome — an I/O failure is just another crash as far as the journal
+// is concerned.
+func TestJournalIOFailureFailsClosedTyped(t *testing.T) {
+	ctx := context.Background()
+	key := testKey()
+	base := t.TempDir()
+	spec := testSpec(t, "journalio")
+
+	refDir := filepath.Join(base, "ref")
+	refRes, err := Run(ctx, refDir, spec, Options{Key: key})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refImages := readImages(t, refDir, refRes)
+
+	// A directory squatting on slot 0's final-image name makes the
+	// atomic rename fail (rename(2) cannot replace a directory with a
+	// file — even for root, unlike permission bits).
+	dir := filepath.Join(base, "blocked")
+	if err := os.MkdirAll(filepath.Join(dir, "slot-0-final.img"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(ctx, dir, spec, Options{Key: key})
+	if err == nil {
+		t.Fatal("campaign succeeded with an unwritable final image path")
+	}
+	if !errors.Is(err, ErrJournalIO) {
+		t.Fatalf("durability failure surfaced as %v, want ErrJournalIO in the chain", err)
+	}
+
+	// Clear the obstruction; the journal holds everything that durably
+	// happened, so Resume completes bit-identically.
+	if err := os.Remove(filepath.Join(dir, "slot-0-final.img")); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Resume(ctx, dir, Options{Key: key})
+	if err != nil {
+		t.Fatalf("resume after I/O failure: %v", err)
+	}
+	assertSameOutcome(t, "post-IO-failure resume", dir, res, refRes, refImages)
+	got, err := DecodeResult(ctx, dir, key)
+	if err != nil || !bytes.Equal(got, spec.Message) {
+		t.Fatalf("decode after I/O-failure resume: %v", err)
+	}
+}
+
 // TestDoubleCrashResume kills the campaign, then kills the *resume*,
 // then resumes again — dying twice must be no worse than dying once.
 func TestDoubleCrashResume(t *testing.T) {

@@ -1,15 +1,12 @@
 package campaign
 
 import (
-	"bytes"
-	"encoding/json"
 	"fmt"
-	"os"
-	"sync"
 
 	"invisiblebits/internal/core"
 	"invisiblebits/internal/faults"
 	"invisiblebits/internal/rig"
+	"invisiblebits/internal/wal"
 )
 
 // The journal is the campaign's write-ahead log: one JSONL record per
@@ -17,13 +14,25 @@ import (
 // so a crash at ANY point leaves a prefix of the truth on disk. Resume
 // replays that prefix against the checkpointed device images and
 // re-enters the soak at the exact slice boundary the journal proves was
-// reached.
+// reached. The append/fsync/poison/torn-tail machinery lives in
+// internal/wal (shared with the scheduler's service-scope journal);
+// this file owns the campaign's record grammar and its fail-closed
+// replay.
 //
 // Replay fails closed: a journal with gaps, duplicates, out-of-order
 // slices, a foreign schedule digest, or records for impossible slots is
 // rejected outright — the only tolerated damage is a torn final line,
 // the signature of dying mid-append, which is dropped (that record's
 // effects were by construction not yet acted on).
+
+// ErrJournalIO marks a failure of the campaign's durability layer — a
+// journal append that could not be written or fsynced, an image or
+// result file whose atomic rename failed. The campaign fails closed on
+// it: progress that cannot be made durable must not be acted on, or the
+// next resume would replay a truth the disk never held. Test with
+// errors.Is; it aliases wal.ErrJournalIO so scheduler- and
+// campaign-scope failures classify identically.
+var ErrJournalIO = wal.ErrJournalIO
 
 // Entry types, in the order a slot experiences them.
 const (
@@ -64,98 +73,58 @@ type Entry struct {
 	Record *core.Record `json:"record,omitempty"`
 }
 
-// Journal is the append side. Appends are serialized and each record is
-// fsynced before Append returns. A Journal whose kill hook has fired is
+// Kind implements wal.Record: the entry's type names its kill point.
+func (e *Entry) Kind() string { return e.Type }
+
+// SetSeq implements wal.Record.
+func (e *Entry) SetSeq(seq int) { e.Seq = seq }
+
+// Journal is the campaign's append side: a wal.Journal speaking the
+// campaign record grammar. A Journal whose kill hook has fired is
 // poisoned: every later append fails, the way every write of a dead
 // process fails — crash simulation would be meaningless if a "killed"
 // supervisor could keep persisting state.
 type Journal struct {
-	mu       sync.Mutex
-	f        *os.File
-	hook     faults.Hook
-	nextSeq  int
-	poisoned bool
+	w *wal.Journal
 }
 
 // createJournal starts a fresh journal at path; failing if one exists
 // (an existing journal means the campaign must be Resumed, not re-Run).
 func createJournal(path string, hook faults.Hook) (*Journal, error) {
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	w, err := wal.Create(path, wal.Options{Hook: hook})
 	if err != nil {
-		return nil, fmt.Errorf("campaign: create journal: %w", err)
+		return nil, fmt.Errorf("campaign: %w", err)
 	}
-	return &Journal{f: f, hook: hook}, nil
+	return &Journal{w: w}, nil
 }
 
 // openJournal reopens an existing journal for appending, first
 // truncating it to validLen (dropping a torn tail so new records never
 // glue onto half a line). nextSeq continues the replayed sequence.
 func openJournal(path string, hook faults.Hook, nextSeq int, validLen int64) (*Journal, error) {
-	if err := os.Truncate(path, validLen); err != nil {
-		return nil, fmt.Errorf("campaign: trim journal tail: %w", err)
-	}
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	w, err := wal.Open(path, wal.Options{Hook: hook}, nextSeq, validLen)
 	if err != nil {
-		return nil, fmt.Errorf("campaign: open journal: %w", err)
+		return nil, fmt.Errorf("campaign: %w", err)
 	}
-	return &Journal{f: f, hook: hook, nextSeq: nextSeq}, nil
+	return &Journal{w: w}, nil
 }
 
 // Close releases the journal file (it does not seal the campaign — only
 // a done record does that).
-func (j *Journal) Close() error {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	return j.f.Close()
-}
+func (j *Journal) Close() error { return j.w.Close() }
 
 // Gate consults the kill hook at a named non-journal point (image
 // writes). Once the hook fires, the journal is poisoned for good.
-func (j *Journal) Gate(point string) error {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	return j.gateLocked(point)
-}
-
-func (j *Journal) gateLocked(point string) error {
-	if j.poisoned {
-		return faults.ErrKilled
-	}
-	if j.hook == nil {
-		return nil
-	}
-	if err := j.hook(point); err != nil {
-		j.poisoned = true
-		return err
-	}
-	return nil
-}
+func (j *Journal) Gate(point string) error { return j.w.Gate(point) }
 
 // Append assigns the next sequence number, writes the record as one
 // JSON line, and fsyncs before returning. Any failure — kill hook,
-// write, or sync — poisons the journal.
+// write, or sync — poisons the journal; I/O failures additionally
+// classify as ErrJournalIO.
 func (j *Journal) Append(e Entry) error {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	if err := j.gateLocked("journal/" + e.Type); err != nil {
+	if err := j.w.Append(&e); err != nil {
 		return err
 	}
-	e.Seq = j.nextSeq
-	line, err := json.Marshal(e)
-	if err != nil {
-		j.poisoned = true
-		return fmt.Errorf("campaign: marshal journal record: %w", err)
-	}
-	line = append(line, '\n')
-	if _, err := j.f.Write(line); err != nil {
-		j.poisoned = true
-		return fmt.Errorf("campaign: append journal record: %w", err)
-	}
-	if err := j.f.Sync(); err != nil {
-		j.poisoned = true
-		return fmt.Errorf("campaign: fsync journal: %w", err)
-	}
-	j.nextSeq++
 	return nil
 }
 
@@ -163,46 +132,15 @@ func (j *Journal) Append(e Entry) error {
 // line. validLen is the byte offset just past the last intact record —
 // what a resuming supervisor truncates to before appending.
 func ReadJournal(path string) (entries []Entry, validLen int64, err error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, 0, fmt.Errorf("campaign: read journal: %w", err)
-	}
-	return ParseJournal(data)
+	return wal.ReadFile(path, entryOK)
 }
 
 // ParseJournal is ReadJournal over in-memory bytes (the fuzz surface).
 func ParseJournal(data []byte) (entries []Entry, validLen int64, err error) {
-	var off int64
-	for len(data) > 0 {
-		nl := bytes.IndexByte(data, '\n')
-		line := data
-		torn := nl < 0 // no terminator: a write died mid-line
-		if !torn {
-			line = data[:nl]
-		}
-		var e Entry
-		if uerr := json.Unmarshal(line, &e); uerr != nil || e.Type == "" {
-			rest := data
-			if !torn {
-				rest = data[nl+1:]
-			}
-			if len(bytes.TrimSpace(rest)) == 0 || torn && bytes.IndexByte(rest, '\n') < 0 {
-				// Damaged final line: the torn tail of a crashed append.
-				return entries, off, nil
-			}
-			return nil, 0, fmt.Errorf("campaign: journal record %d is corrupt mid-file", len(entries))
-		}
-		if torn {
-			// Parsed, but never terminated — the fsync cannot have
-			// completed, so the record does not count.
-			return entries, off, nil
-		}
-		entries = append(entries, e)
-		off += int64(nl + 1)
-		data = data[nl+1:]
-	}
-	return entries, off, nil
+	return wal.Parse(data, entryOK)
 }
+
+func entryOK(e *Entry) bool { return e.Type != "" }
 
 // SlotReplay is one slot's reconstructed position.
 type SlotReplay struct {

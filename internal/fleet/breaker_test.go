@@ -3,6 +3,7 @@ package fleet
 import (
 	"context"
 	"errors"
+	"sync"
 	"testing"
 
 	"invisiblebits/internal/faults"
@@ -204,5 +205,63 @@ func TestBreakerQuarantineSavesRetries(t *testing.T) {
 	}
 	if skipped < sweeps-2 {
 		t.Fatalf("quarantine skipped only %d ops, want ≥ %d", skipped, sweeps-2)
+	}
+}
+
+// TestBreakerHalfOpenSingleProbeConcurrent pins the half-open
+// admission contract under real concurrency: many goroutines hammering
+// an expired-backoff breaker at once must see exactly one Allow succeed
+// — the single probe — and everyone else rejected with ErrBreakerOpen.
+// Run under -race, this also proves the open→half-open transition and
+// the probing flag are properly serialized.
+func TestBreakerHalfOpenSingleProbeConcurrent(t *testing.T) {
+	for round := 0; round < 25; round++ {
+		cfg := BreakerConfig{FailureThreshold: 1, BaseBackoffHours: 1}
+		b := newBreaker(cfg)
+		b.Allow(0)
+		b.Record(faults.ErrLinkDropped, 0)
+		if got := b.State(); got != BreakerOpen {
+			t.Fatalf("round %d: state %s after trip, want open", round, got)
+		}
+
+		const goroutines = 8
+		results := make([]error, goroutines)
+		start := make(chan struct{})
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				<-start
+				// Clock 2h: past the 1h backoff, so the breaker is ripe
+				// for its half-open probe — but only one of us gets it.
+				results[g] = b.Allow(2)
+			}(g)
+		}
+		close(start)
+		wg.Wait()
+
+		admitted := 0
+		for g, err := range results {
+			switch {
+			case err == nil:
+				admitted++
+			case !errors.Is(err, ErrBreakerOpen):
+				t.Fatalf("round %d: goroutine %d rejected with %v, want ErrBreakerOpen", round, g, err)
+			}
+		}
+		if admitted != 1 {
+			t.Fatalf("round %d: %d probes admitted through a half-open breaker, want exactly 1", round, admitted)
+		}
+		if got := b.State(); got != BreakerHalfOpen {
+			t.Fatalf("round %d: state %s, want half-open with probe in flight", round, got)
+		}
+
+		// The probe's outcome releases the slot: a success closes the
+		// breaker and traffic flows again for everyone.
+		b.Record(nil, 2)
+		if err := b.Allow(2.5); err != nil {
+			t.Fatalf("round %d: Allow after probe success: %v", round, err)
+		}
 	}
 }

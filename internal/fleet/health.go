@@ -12,11 +12,31 @@ import (
 )
 
 // DefaultMarginThreshold flags a carrier for maintenance when its array
-// mean margin drops below this value. A fresh imprint probes well above
-// 0.9; by the time the mean margin nears 0.6 a meaningful fraction of
-// cells have drifted into coin-flip territory and fixed-effort decode
-// starts failing.
+// mean margin drops below this value and no baseline is known. A fresh
+// imprint probes well above 0.9; by the time the mean margin nears 0.6
+// a meaningful fraction of cells have drifted into coin-flip territory
+// and fixed-effort decode starts failing. The catch — learned the hard
+// way in the retention study — is that the mean margin is nearly
+// decay-insensitive on this channel: a cell that drifts to the wrong
+// value still votes for it unanimously, so a fleet can rot well past
+// decodability while its mean margin sits comfortably above 0.6. The
+// fixed default therefore only catches catastrophic loss; calibrated
+// sweeps (HealthSweepOptions.BaselineMargin) compare against the
+// campaign's own fresh-capture baseline instead.
 const DefaultMarginThreshold = 0.6
+
+// DefaultBaselineDropFrac is the tolerated fractional margin drop below
+// a calibrated baseline before a carrier is flagged. Because the mean
+// margin barely moves under decay (half a percent separates fresh from
+// fully rotted on a weak-cell-heavy fleet), the guard band must be far
+// tighter than intuition suggests — and per-carrier: the carrier-to-
+// carrier spread in fresh margins is as large as the decay signal
+// itself, so a fleet-mean baseline cannot separate a healthy low-margin
+// carrier from a decayed high-margin one. The margin estimator is
+// repeatable to a few hundredths of a percent at a 45-capture burst, so
+// half a percent below the carrier's OWN fresh baseline is a decisive
+// decay signal, not probe noise.
+const DefaultBaselineDropFrac = 0.005
 
 // CarrierHealth is one carrier's outcome in a health sweep.
 type CarrierHealth struct {
@@ -60,9 +80,26 @@ type HealthSweepOptions struct {
 	// Captures is the probe burst per carrier; 0 means
 	// rig.DefaultHealthCaptures.
 	Captures int
-	// MarginThreshold flags carriers probing below it; 0 means
-	// DefaultMarginThreshold.
+	// MarginThreshold flags carriers probing below it. It is the
+	// explicit override and always wins when > 0; when zero the sweep
+	// calibrates from BaselineMargin, falling back to
+	// DefaultMarginThreshold only when no baseline is known either.
 	MarginThreshold float64
+	// BaselineMargins are per-carrier fresh-capture margins, measured
+	// right after encoding (MeasureBaselineMargins) before any shelf
+	// decay, index-aligned with the sweep's rigs. When set (and
+	// MarginThreshold is not), each carrier is flagged once its margin
+	// drops more than BaselineDropFrac below its OWN baseline — the
+	// calibrated threshold that catches gradual decay the 0.6 default
+	// sails past.
+	BaselineMargins []float64
+	// BaselineMargin is the fleet-wide scalar fallback for carriers
+	// without an entry in BaselineMargins (coarser: fresh margins spread
+	// carrier-to-carrier about as far as decay moves them).
+	BaselineMargin float64
+	// BaselineDropFrac overrides the tolerated fractional drop below
+	// BaselineMargin; 0 means DefaultBaselineDropFrac.
+	BaselineDropFrac float64
 	// Refresh schedules a core.Refresh for every flagged carrier that
 	// has a record in Records.
 	Refresh bool
@@ -80,11 +117,45 @@ type HealthSweepOptions struct {
 	Breakers *BreakerSet
 }
 
-func (o HealthSweepOptions) threshold() float64 {
-	if o.MarginThreshold <= 0 {
-		return DefaultMarginThreshold
+// thresholdFor resolves carrier i's flagging threshold: the explicit
+// override wins, then the carrier's own calibrated baseline, then the
+// fleet-wide baseline, then the catastrophic-loss default.
+func (o HealthSweepOptions) thresholdFor(i int) float64 {
+	if o.MarginThreshold > 0 {
+		return o.MarginThreshold
 	}
-	return o.MarginThreshold
+	frac := o.BaselineDropFrac
+	if frac <= 0 {
+		frac = DefaultBaselineDropFrac
+	}
+	if i < len(o.BaselineMargins) && o.BaselineMargins[i] > 0 {
+		return o.BaselineMargins[i] * (1 - frac)
+	}
+	if o.BaselineMargin > 0 {
+		return o.BaselineMargin * (1 - frac)
+	}
+	return DefaultMarginThreshold
+}
+
+// MeasureBaselineMargins probes every carrier and returns its fresh
+// margin, index-aligned with rigs — run it right after an encode, while
+// the imprint is fresh, and feed the result to later sweeps as
+// BaselineMargins. Probing needs no plaintext or key. Any carrier
+// failure fails the measurement: a partial baseline would silently
+// leave some carriers on the loose catastrophic-loss default.
+func MeasureBaselineMargins(ctx context.Context, rigs []*rig.Rig, captures int) ([]float64, error) {
+	rep, err := HealthSweep(ctx, rigs, HealthSweepOptions{Captures: captures})
+	if err != nil {
+		return nil, err
+	}
+	if err := rep.Err(); err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(rep.Carriers))
+	for i, c := range rep.Carriers {
+		out[i] = c.Probe.MeanMargin
+	}
+	return out, nil
 }
 
 // recordFor matches a carrier to its encode record by device ID, then
@@ -114,7 +185,6 @@ func HealthSweep(ctx context.Context, rigs []*rig.Rig, opts HealthSweepOptions) 
 		return nil, errors.New("fleet: no devices")
 	}
 	rep := &HealthSweepReport{Carriers: make([]CarrierHealth, len(rigs))}
-	threshold := opts.threshold()
 
 	var wg sync.WaitGroup
 	for i, r := range rigs {
@@ -140,7 +210,7 @@ func HealthSweep(ctx context.Context, rigs []*rig.Rig, opts HealthSweepOptions) 
 				return
 			}
 			c.Probe = probe
-			c.Flagged = probe.MeanMargin < threshold
+			c.Flagged = probe.MeanMargin < opts.thresholdFor(i)
 		}(i, r)
 	}
 	wg.Wait()

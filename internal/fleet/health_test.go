@@ -158,3 +158,123 @@ func TestHealthSweepToleratesDeadCarrier(t *testing.T) {
 		t.Fatal("sweep error summary should name the casualty")
 	}
 }
+
+// TestHealthSweepBaselineCalibration pins the PR 2 retention-study
+// lesson as an executable regression: on a weak-cell-heavy fleet the
+// mean vote margin is nearly decay-insensitive (a drifted cell still
+// votes its wrong value unanimously), so a fleet can rot from fresh to
+// fully decayed while every margin stays far above the 0.6 default —
+// the default-threshold sweep sees nothing. Calibrating against each
+// carrier's own fresh-capture baseline (MeasureBaselineMargins) flags
+// the same decayed fleet, while a re-probe of the fresh fleet stays
+// unflagged. The explicit MarginThreshold override still wins over the
+// baseline when both are set.
+func TestHealthSweepBaselineCalibration(t *testing.T) {
+	model, err := device.ByName("MSP432P401")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep7, err := ecc.NewRepetition(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := stegocrypt.KeyFromPassphrase("baseline-cal")
+	opts := core.Options{
+		Codec:       ecc.Composite{Outer: ecc.Hamming74{}, Inner: rep7},
+		Key:         &key,
+		StressHours: 14,
+	}
+	capBytes := core.MaxMessageBytes(1<<10, opts.Codec)
+	msg := make([]byte, 2*capBytes)
+	rng.NewSource(99).Bytes(msg)
+	profile := faults.Profile{Seed: 7, WeakFrac: 0.14}
+	ctx := context.Background()
+	// The decay signal is ~0.5% of margin, so probe with a burst big
+	// enough that estimator noise (~0.03% at 45 captures) is negligible.
+	const captures = 45
+
+	mkFleet := func() []*rig.Rig {
+		rigs := make([]*rig.Rig, 2)
+		for i := range rigs {
+			d, err := device.New(model, fmt.Sprintf("bl-%d", i), device.WithSRAMLimit(1<<10))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rigs[i] = rig.New(d, rig.WithInjector(faults.New(profile, d.Serial)))
+		}
+		return rigs
+	}
+
+	rigs := mkFleet()
+	if _, err := Stripe(rigs, msg, opts); err != nil {
+		t.Fatal(err)
+	}
+	baselines, err := MeasureBaselineMargins(ctx, rigs, captures)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range baselines {
+		if b <= 0.8 || b >= 1 {
+			t.Fatalf("carrier %d fresh baseline %.4f, want a high fresh margin", i, b)
+		}
+	}
+
+	// A fresh fleet swept against its own baseline is NOT flagged:
+	// calibration must not turn healthy carriers into maintenance work.
+	fresh, err := HealthSweep(ctx, rigs, HealthSweepOptions{Captures: captures, BaselineMargins: baselines})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fresh.Flagged) != 0 {
+		t.Fatalf("fresh fleet flagged %v against its own baseline", fresh.Flagged)
+	}
+
+	// Rot the fleet: a year of hot shelf storage, enough that decode
+	// degrades — yet the margins barely move.
+	for _, r := range rigs {
+		if err := r.ShelveAtFor(365*24, 45); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The decay-insensitive mean-margin case: the default threshold
+	// misses the rot entirely.
+	missed, err := HealthSweep(ctx, rigs, HealthSweepOptions{Captures: captures})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missed.Flagged) != 0 {
+		t.Fatalf("default 0.6 threshold flagged %v — the decay-insensitivity premise broke", missed.Flagged)
+	}
+	for _, c := range missed.Carriers {
+		if c.Probe.MeanMargin < DefaultMarginThreshold {
+			t.Fatalf("carrier %d decayed margin %.4f fell below the default threshold — scenario no longer exercises the miss",
+				c.Index, c.Probe.MeanMargin)
+		}
+	}
+
+	// The calibrated sweep catches it: every carrier dropped more than
+	// DefaultBaselineDropFrac below its own fresh baseline.
+	caught, err := HealthSweep(ctx, rigs, HealthSweepOptions{Captures: captures, BaselineMargins: baselines})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(caught.Flagged) != len(rigs) {
+		for _, c := range caught.Carriers {
+			t.Logf("carrier %d: margin %.4f baseline %.4f", c.Index, c.Probe.MeanMargin, baselines[c.Index])
+		}
+		t.Fatalf("calibrated sweep flagged %v, want all %d decayed carriers", caught.Flagged, len(rigs))
+	}
+
+	// The explicit override still wins: a permissive explicit threshold
+	// un-flags the fleet even with baselines supplied.
+	over, err := HealthSweep(ctx, rigs, HealthSweepOptions{
+		Captures: captures, BaselineMargins: baselines, MarginThreshold: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(over.Flagged) != 0 {
+		t.Fatalf("explicit 0.5 threshold flagged %v despite override", over.Flagged)
+	}
+}

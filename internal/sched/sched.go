@@ -1,0 +1,999 @@
+// Package sched is campaign-as-a-service: a long-running, multi-tenant
+// scheduler that multiplexes thousands of concurrent imprint campaigns
+// over one shared thermal-chamber pool on the simulated clock. The
+// paper's economics rest on a single chamber amortized across many
+// boards; sched is where that amortization becomes policy:
+//
+//   - admission control — per-tenant quotas (campaigns, devices,
+//     chamber-hours) with typed rejections and a bounded queue that
+//     applies backpressure instead of buffering without limit;
+//   - cross-campaign batching — campaigns whose schedules share a
+//     (V, T) operating point and slice quantum ride one chamber pass
+//     together, with a starvation guard so a deferred tenant's slices
+//     eventually run unbatched;
+//   - whole-scheduler crash safety — one write-ahead journal (wal)
+//     records the tenant table, every admission, every batch
+//     assignment, and every slot transition, so killing the service at
+//     ANY append resumes every in-flight campaign bit-identically;
+//   - graceful degradation — mid-batch faults re-route the affected
+//     campaign through the circuit breakers (spare carriers) or fail
+//     it with a typed, per-tenant error while unaffected tenants
+//     proceed.
+//
+// Carrier-agnosticism comes free: the scheduler only speaks
+// device.Model operating points and campaign.Spec schedules, so any
+// catalog entry — SRAM today, other drift-capable memories tomorrow —
+// batches by its own (V, T).
+package sched
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"invisiblebits/internal/campaign"
+	"invisiblebits/internal/cliutil"
+	"invisiblebits/internal/core"
+	"invisiblebits/internal/device"
+	"invisiblebits/internal/ecc"
+	"invisiblebits/internal/faults"
+	"invisiblebits/internal/fleet"
+	"invisiblebits/internal/ioatomic"
+	"invisiblebits/internal/rig"
+	"invisiblebits/internal/stegocrypt"
+	"invisiblebits/internal/wal"
+)
+
+// Typed admission rejections. Submit's contract is that every refusal
+// is classifiable with errors.Is — an HTTP layer maps them to status
+// codes, a fleet client maps them to retry policy.
+var (
+	// ErrQuotaExceeded rejects a submission that would push its tenant
+	// over a quota bound (campaigns, devices, or chamber-hours).
+	ErrQuotaExceeded = errors.New("sched: tenant quota exceeded")
+	// ErrSaturated rejects a submission because the scheduler's bounded
+	// queue is full — the backpressure signal: retry later, the
+	// scheduler will not buffer unboundedly.
+	ErrSaturated = errors.New("sched: submission queue saturated")
+	// ErrDraining rejects a submission because the scheduler is
+	// draining: in-flight campaigns finish, nothing new is admitted.
+	ErrDraining = errors.New("sched: scheduler draining")
+	// ErrDuplicateCampaign rejects a campaign ID the scheduler has
+	// already accepted (including finished ones — their directories and
+	// journal records persist).
+	ErrDuplicateCampaign = errors.New("sched: campaign ID already submitted")
+	// ErrSerialInUse rejects a submission naming a carrier serial some
+	// other campaign already owns — two campaigns imprinting the same
+	// physical board would destroy both messages.
+	ErrSerialInUse = errors.New("sched: carrier serial already in use")
+)
+
+// Scheduler defaults.
+const (
+	DefaultChamberSlots = 16
+	DefaultSetupHours   = 0.5
+	DefaultMaxQueued    = 1024
+	DefaultStarveLimit  = 8
+	// DefaultMaxBarrenPasses terminates a campaign that keeps taking
+	// chamber passes without any slot making durable progress — a
+	// perpetually flaky fleet must not hold its queue position forever.
+	DefaultMaxBarrenPasses = 25
+)
+
+const (
+	journalFile  = "journal.jsonl"
+	campaignsDir = "campaigns"
+)
+
+// Submission is one tenant's campaign request.
+type Submission struct {
+	// Tenant names the quota owner.
+	Tenant string `json:"tenant"`
+	// Spec is the campaign schedule (campaign.Spec: model, serials,
+	// message, codec, slice/checkpoint cadence).
+	Spec campaign.Spec `json:"spec"`
+	// Spares lists reserve serials the scheduler may re-route slots to
+	// when a carrier dies or its breaker writes it off.
+	Spares []string `json:"spares,omitempty"`
+}
+
+// Config parameterizes a scheduler. The zero value selects defaults.
+type Config struct {
+	// ChamberSlots is the board capacity of one chamber pass; 0 means
+	// DefaultChamberSlots.
+	ChamberSlots int
+	// SetupHours is the chamber re-targeting cost charged when a pass
+	// runs at a different (V, T) than its predecessor; 0 means
+	// DefaultSetupHours, negative means free re-targeting.
+	SetupHours float64
+	// MaxQueued bounds the scheduler's non-terminal campaigns; Submits
+	// beyond it are rejected with ErrSaturated. 0 means
+	// DefaultMaxQueued.
+	MaxQueued int
+	// DefaultQuota applies to tenants without an entry in Quotas. Zero
+	// fields are unlimited.
+	DefaultQuota Quota
+	// Quotas are per-tenant overrides, fixed at the tenant's first
+	// admission (journaled; a resumed scheduler keeps the journaled
+	// quota for known tenants).
+	Quotas map[string]Quota
+	// DisableBatching schedules one campaign per pass — the control arm
+	// of the batching benchmark.
+	DisableBatching bool
+	// StarveLimit is the number of passes a runnable campaign may be
+	// passed over before it is promoted to batch lead — the chamber
+	// adopts ITS operating point (alone if no compatible peer exists).
+	// 0 means DefaultStarveLimit.
+	StarveLimit int
+	// MaxBarrenPasses terminates a campaign after this many consecutive
+	// passes without durable progress; 0 means DefaultMaxBarrenPasses.
+	MaxBarrenPasses int
+	// KeyFor supplies the encryption key for a campaign (nil, or a nil
+	// return, encodes unencrypted). Keys live only in memory — a
+	// resumed scheduler must be handed the same function.
+	KeyFor func(tenant, campaignID string) *stegocrypt.Key
+	// InjectorFor mounts a fault injector on the carrier with the given
+	// serial (nil, or a nil return, for clean rigs). Deterministic
+	// injectors keep resumed runs bit-identical.
+	InjectorFor func(serial string) faults.Injector
+	// Breakers is the shared circuit-breaker set gating every slot
+	// operation; nil disables breaker enforcement.
+	Breakers *fleet.BreakerSet
+	// Hook is the crash-test kill-point hook consulted at every journal
+	// append and image/result write. Nil in production.
+	Hook faults.Hook
+	// NoSync skips per-append fsync (wal.Options.NoSync). Benchmarks
+	// only — it voids the crash-safety contract.
+	NoSync bool
+}
+
+func (c Config) chamberSlots() int {
+	if c.ChamberSlots <= 0 {
+		return DefaultChamberSlots
+	}
+	return c.ChamberSlots
+}
+
+func (c Config) setupHours() float64 {
+	if c.SetupHours == 0 {
+		return DefaultSetupHours
+	}
+	if c.SetupHours < 0 {
+		return 0
+	}
+	return c.SetupHours
+}
+
+func (c Config) maxQueued() int {
+	if c.MaxQueued <= 0 {
+		return DefaultMaxQueued
+	}
+	return c.MaxQueued
+}
+
+func (c Config) starveLimit() int {
+	if c.StarveLimit <= 0 {
+		return DefaultStarveLimit
+	}
+	return c.StarveLimit
+}
+
+func (c Config) maxBarrenPasses() int {
+	if c.MaxBarrenPasses <= 0 {
+		return DefaultMaxBarrenPasses
+	}
+	return c.MaxBarrenPasses
+}
+
+func (c Config) quotaFor(tenant string) Quota {
+	if q, ok := c.Quotas[tenant]; ok {
+		return q
+	}
+	return c.DefaultQuota
+}
+
+func (c Config) keyFor(tenant, id string) *stegocrypt.Key {
+	if c.KeyFor == nil {
+		return nil
+	}
+	return c.KeyFor(tenant, id)
+}
+
+// tenantState is one tenant's live quota accounting.
+type tenantState struct {
+	quota    Quota
+	active   int     // non-terminal campaigns
+	devices  int     // serials + spares held by non-terminal campaigns
+	estHours float64 // cumulative chamber-hour estimate ever charged
+	done     int
+	failed   int
+}
+
+// slotState is one campaign slot's live position. During a pass the
+// slot belongs to its worker goroutine; between passes it belongs to
+// the scheduler loop.
+type slotState struct {
+	serial string
+	seg    []byte // message segment (nil for zero-width slots)
+
+	rig  *rig.Rig
+	sess *core.EncodeSession
+
+	prepared   bool
+	applied    float64
+	sliceCount int
+
+	// Journal high-water marks: after an in-memory rebuild from a
+	// checkpoint the slot re-runs slices the journal already holds, and
+	// re-appending them would rewind the replay stream — so appends are
+	// suppressed until live progress passes the high-water mark again.
+	preparedJournaled bool
+	journaledApplied  float64
+
+	// Latest durable checkpoint (rebuild bootstrap).
+	ckptImage   string
+	ckptApplied float64
+	ckptRig     *rig.State
+
+	record     *core.Record
+	finalImage string
+	finalClock float64
+}
+
+func (sl *slotState) live() bool     { return len(sl.seg) > 0 }
+func (sl *slotState) finished() bool { return !sl.live() || sl.record != nil }
+
+// campState is one campaign's live scheduling state.
+type campState struct {
+	id     string
+	tenant string
+	spec   campaign.Spec
+	model  device.Model
+	opts   core.Options
+	segs   []int
+	slots  []*slotState
+	spares []string
+	dir    string
+
+	estHours  float64
+	devsHeld  int // serials + spares charged against the tenant's device quota
+	submitSeq int
+	submitAt  float64
+
+	deferrals int
+	barren    int
+
+	done      bool
+	failed    bool
+	errText   string
+	doneAt    float64
+	baselines []float64
+}
+
+func (c *campState) terminal() bool { return c.done || c.failed }
+
+func (c *campState) runnable() bool {
+	if c.terminal() {
+		return false
+	}
+	for _, sl := range c.slots {
+		if !sl.finished() {
+			return true
+		}
+	}
+	return false
+}
+
+// complete reports whether every live slot minted its record.
+func (c *campState) complete() bool {
+	for _, sl := range c.slots {
+		if !sl.finished() {
+			return false
+		}
+	}
+	return true
+}
+
+// Scheduler is the multi-tenant campaign scheduler. All methods are
+// safe for concurrent use.
+type Scheduler struct {
+	cfg Config
+	dir string
+	j   *wal.Journal
+
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	tenants map[string]*tenantState
+	camps   map[string]*campState
+	queue   []string          // non-terminal campaign IDs, admission order
+	serials map[string]string // serial → owning campaign, never released
+
+	chamberHours  float64
+	passes        int
+	setups        int
+	batchedSlices int
+	lastV, lastT  float64
+	lastPoint     bool
+
+	latencies []float64 // completed-campaign latencies, chamber hours
+
+	draining bool
+	fatal    error
+	done     chan struct{}
+}
+
+// New starts a fresh scheduler rooted at dir: opens a new journal and
+// launches the scheduling loop. A directory that already holds a
+// journal is refused — that scheduler's truth is on disk, and Resume is
+// the only safe way back in.
+func New(dir string, cfg Config) (*Scheduler, error) {
+	if err := os.MkdirAll(filepath.Join(dir, campaignsDir), 0o755); err != nil {
+		return nil, fmt.Errorf("sched: %w", err)
+	}
+	j, err := wal.Create(filepath.Join(dir, journalFile), wal.Options{Hook: cfg.Hook, NoSync: cfg.NoSync})
+	if err != nil {
+		if errors.Is(err, os.ErrExist) {
+			return nil, fmt.Errorf("sched: %s already holds a journal; use Resume: %w", dir, err)
+		}
+		return nil, err
+	}
+	s := newScheduler(dir, cfg, j)
+	go s.loop()
+	return s, nil
+}
+
+func newScheduler(dir string, cfg Config, j *wal.Journal) *Scheduler {
+	s := &Scheduler{
+		cfg:     cfg,
+		dir:     dir,
+		j:       j,
+		tenants: map[string]*tenantState{},
+		camps:   map[string]*campState{},
+		serials: map[string]string{},
+		done:    make(chan struct{}),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Resume re-enters a crashed (or cleanly stopped) scheduler: it replays
+// the journal, re-validates every campaign's spec.json against its
+// journaled schedule digest, rebuilds every in-flight slot from its
+// latest durable checkpoint, and continues scheduling. Campaigns whose
+// slots never reached a checkpoint restart those slots from scratch,
+// deterministically. Fails closed on any journal inconsistency.
+func Resume(dir string, cfg Config) (*Scheduler, error) {
+	path := filepath.Join(dir, journalFile)
+	entries, validLen, err := ReadJournal(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := Replay(entries)
+	if err != nil {
+		return nil, err
+	}
+	j, err := wal.Open(path, wal.Options{Hook: cfg.Hook, NoSync: cfg.NoSync}, st.NextSeq, validLen)
+	if err != nil {
+		return nil, err
+	}
+	s := newScheduler(dir, cfg, j)
+	s.chamberHours = st.ChamberHours
+	s.passes = st.Passes
+	s.setups = st.Setups
+	s.batchedSlices = st.BatchedSlices
+	s.lastV, s.lastT, s.lastPoint = st.LastV, st.LastT, st.LastPoint
+	// Draining is not inherited: the resume record this incarnation is
+	// about to append clears it in replay too, keeping disk and memory
+	// in agreement.
+
+	for tenant, q := range st.Tenants {
+		s.tenants[tenant] = &tenantState{quota: q}
+	}
+	for _, id := range st.Order {
+		cr := st.Campaigns[id]
+		c, err := s.rebuildCampaign(id, cr)
+		if err != nil {
+			j.Close()
+			return nil, err
+		}
+		s.camps[id] = c
+		ts := s.tenants[cr.Tenant]
+		ts.estHours += c.estHours
+		switch {
+		case cr.Done:
+			ts.done++
+			s.latencies = append(s.latencies, cr.DoneAt-cr.SubmitAt)
+		case cr.Failed:
+			ts.failed++
+		default:
+			ts.active++
+			ts.devices += c.devsHeld
+			s.queue = append(s.queue, id)
+		}
+		// Every serial the campaign ever touched stays reserved: the
+		// spec's originals, the remaining spares, and any spare a reroute
+		// already consumed (now a slot's live serial).
+		for _, ser := range c.spec.Serials {
+			s.serials[ser] = id
+		}
+		for _, ser := range cr.Spares {
+			s.serials[ser] = id
+		}
+		for _, sr := range cr.Slots {
+			if sr.Serial != "" {
+				s.serials[sr.Serial] = id
+			}
+		}
+	}
+
+	if len(entries) > 0 {
+		if err := s.j.Append(&Entry{Type: entryResume, Slot: -1}); err != nil {
+			j.Close()
+			return nil, err
+		}
+	}
+	go s.loop()
+	return s, nil
+}
+
+// rebuildCampaign reconstructs one campaign from its replayed state,
+// verifying spec.json still matches the journaled schedule digest.
+func (s *Scheduler) rebuildCampaign(id string, cr *CampaignReplay) (*campState, error) {
+	cdir := filepath.Join(s.dir, campaignsDir, id)
+	b, err := os.ReadFile(filepath.Join(cdir, "spec.json"))
+	if err != nil {
+		return nil, fmt.Errorf("sched: campaign %q: %w", id, err)
+	}
+	var spec campaign.Spec
+	if err := json.Unmarshal(b, &spec); err != nil {
+		return nil, fmt.Errorf("sched: campaign %q spec: %w", id, err)
+	}
+	if digest := spec.ScheduleDigest(); digest != cr.Digest {
+		return nil, fmt.Errorf("sched: campaign %q schedule digest mismatch: journal %s…, spec %s… — the spec changed under a live scheduler",
+			id, cr.Digest[:12], digest[:12])
+	}
+	if len(spec.Serials) != len(cr.Slots) {
+		return nil, fmt.Errorf("sched: campaign %q journal plans %d slots, spec has %d", id, len(cr.Slots), len(spec.Serials))
+	}
+	c, err := s.buildCampaign(id, cr.Tenant, spec, cr.Spares, cr.EstHours, cr.SubmitSeq, cr.SubmitAt)
+	if err != nil {
+		return nil, err
+	}
+	// Devices held = originals + remaining spares + spares a reroute
+	// already consumed (they live on as slot serials).
+	c.devsHeld = len(spec.Serials) + len(cr.Spares)
+	for _, sr := range cr.Slots {
+		if sr.Serial != "" {
+			c.devsHeld++
+		}
+	}
+	c.done, c.failed, c.errText = cr.Done, cr.Failed, cr.Error
+	c.doneAt, c.baselines = cr.DoneAt, cr.Baselines
+	if c.terminal() {
+		return c, nil
+	}
+	for i, sr := range cr.Slots {
+		sl := c.slots[i]
+		if sr.Serial != "" {
+			sl.serial = sr.Serial // reroute landed here
+		}
+		switch {
+		case sr.Record != nil:
+			sl.record = sr.Record
+			sl.finalImage = sr.FinalImage
+			sl.finalClock = sr.FinalClock
+		case sr.CkptImage != "":
+			sl.ckptImage = sr.CkptImage
+			sl.ckptApplied = sr.CkptApplied
+			sl.ckptRig = sr.CkptRig
+			sl.preparedJournaled = true
+			sl.journaledApplied = sr.CkptApplied
+		default:
+			// Never checkpointed: the slot restarts from scratch. The
+			// resume record rewound the replay stream, so re-appending
+			// its early records is legal.
+		}
+	}
+	return c, nil
+}
+
+// buildCampaign assembles the in-memory campaign: codec, key, segment
+// layout, one slotState per serial.
+func (s *Scheduler) buildCampaign(id, tenant string, spec campaign.Spec, spares []string, est float64, submitSeq int, submitAt float64) (*campState, error) {
+	model, err := device.ByName(spec.Model)
+	if err != nil {
+		return nil, err
+	}
+	var codec ecc.Codec
+	if spec.Codec != "" {
+		codec, err = cliutil.ParseCodec(spec.Codec)
+		if err != nil {
+			return nil, err
+		}
+	}
+	sizes := make([]int, len(spec.Serials))
+	for i := range sizes {
+		sizes[i] = model.SRAMBytes
+	}
+	segs, err := fleet.PlanSegments(sizes, len(spec.Message), codec)
+	if err != nil {
+		return nil, err
+	}
+	c := &campState{
+		id:     id,
+		tenant: tenant,
+		spec:   spec,
+		model:  model,
+		opts: core.Options{
+			Codec:       codec,
+			Key:         s.cfg.keyFor(tenant, id),
+			StressHours: spec.StressHours,
+			Captures:    spec.Captures,
+		},
+		segs:      segs,
+		spares:    append([]string(nil), spares...),
+		dir:       filepath.Join(s.dir, campaignsDir, id),
+		estHours:  est,
+		submitSeq: submitSeq,
+		submitAt:  submitAt,
+	}
+	off := 0
+	for i, ser := range spec.Serials {
+		sl := &slotState{serial: ser}
+		if segs[i] > 0 {
+			sl.seg = spec.Message[off : off+segs[i]]
+			off += segs[i]
+		}
+		c.slots = append(c.slots, sl)
+	}
+	return c, nil
+}
+
+// estChamberHours is the admission-time chamber budget estimate: the
+// campaign occupies the chamber for its soak length regardless of how
+// many boards ride each pass.
+func estChamberHours(spec campaign.Spec, model device.Model) float64 {
+	if spec.StressHours > 0 {
+		return spec.StressHours
+	}
+	return model.EncodingHours
+}
+
+// Submit admits a campaign or rejects it with a typed error:
+// ErrDraining, ErrSaturated (queue backpressure), ErrQuotaExceeded,
+// ErrDuplicateCampaign, ErrSerialInUse, or a spec validation error.
+// Admission is durable when Submit returns nil: spec.json is written
+// and the submit record is fsynced before the scheduler acts on it.
+func (s *Scheduler) Submit(sub Submission) error {
+	if sub.Tenant == "" {
+		return errors.New("sched: submission without a tenant")
+	}
+	spec := sub.Spec
+	if spec.SliceHours <= 0 {
+		spec.SliceHours = campaign.DefaultSliceHours
+	}
+	if spec.CheckpointEvery <= 0 {
+		spec.CheckpointEvery = campaign.DefaultCheckpointEvery
+	}
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	model, err := device.ByName(spec.Model)
+	if err != nil {
+		return err
+	}
+	if len(spec.Serials) > s.cfg.chamberSlots() {
+		return fmt.Errorf("sched: campaign %q needs %d boards, chamber passes hold %d", spec.ID, len(spec.Serials), s.cfg.chamberSlots())
+	}
+	seen := map[string]bool{}
+	for _, ser := range spec.Serials {
+		seen[ser] = true
+	}
+	for _, sp := range sub.Spares {
+		if sp == "" || seen[sp] {
+			return fmt.Errorf("sched: campaign %q: duplicate or empty spare serial %q", spec.ID, sp)
+		}
+		seen[sp] = true
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.fatal != nil {
+		return fmt.Errorf("sched: scheduler is dead: %w", s.fatal)
+	}
+	if s.draining {
+		return ErrDraining
+	}
+	if len(s.queue) >= s.cfg.maxQueued() {
+		return fmt.Errorf("%w: %d campaigns queued", ErrSaturated, len(s.queue))
+	}
+	if _, dup := s.camps[spec.ID]; dup {
+		return fmt.Errorf("%w: %q", ErrDuplicateCampaign, spec.ID)
+	}
+	for ser := range seen {
+		if owner, used := s.serials[ser]; used {
+			return fmt.Errorf("%w: %q belongs to campaign %q", ErrSerialInUse, ser, owner)
+		}
+	}
+
+	est := estChamberHours(spec, model)
+	devs := len(spec.Serials) + len(sub.Spares)
+	ts, known := s.tenants[sub.Tenant]
+	quota := s.cfg.quotaFor(sub.Tenant)
+	if known {
+		quota = ts.quota
+	}
+	if quota.MaxCampaigns > 0 && activeOf(ts)+1 > quota.MaxCampaigns {
+		return fmt.Errorf("%w: tenant %q at %d/%d campaigns", ErrQuotaExceeded, sub.Tenant, activeOf(ts), quota.MaxCampaigns)
+	}
+	if quota.MaxDevices > 0 && devicesOf(ts)+devs > quota.MaxDevices {
+		return fmt.Errorf("%w: tenant %q would hold %d/%d devices", ErrQuotaExceeded, sub.Tenant, devicesOf(ts)+devs, quota.MaxDevices)
+	}
+	if quota.MaxChamberHours > 0 && estOf(ts)+est > quota.MaxChamberHours {
+		return fmt.Errorf("%w: tenant %q would commit %.1f/%.1f chamber-hours", ErrQuotaExceeded, sub.Tenant, estOf(ts)+est, quota.MaxChamberHours)
+	}
+
+	// Admission is now certain barring durability failure. Journal the
+	// tenant first (its quota is immutable from here), then make the
+	// spec durable, then the submit record that makes it all count.
+	if !known {
+		if err := s.append(&Entry{Type: entryTenant, Tenant: sub.Tenant, Quota: &quota, Slot: -1}); err != nil {
+			return err
+		}
+		ts = &tenantState{quota: quota}
+		s.tenants[sub.Tenant] = ts
+	}
+	cdir := filepath.Join(s.dir, campaignsDir, spec.ID)
+	if err := os.MkdirAll(cdir, 0o755); err != nil {
+		return fmt.Errorf("sched: %w", err)
+	}
+	specJSON, err := json.MarshalIndent(spec, "", "  ")
+	if err != nil {
+		return fmt.Errorf("sched: %w", err)
+	}
+	if err := s.gate("spec/" + spec.ID); err != nil {
+		return err
+	}
+	if err := ioatomic.WriteFile(filepath.Join(cdir, "spec.json"), specJSON, 0o644); err != nil {
+		err = fmt.Errorf("%w: persist spec for %q: %w", wal.ErrJournalIO, spec.ID, err)
+		s.noteFatalLocked(err)
+		return err
+	}
+	if err := s.append(&Entry{
+		Type: entrySubmit, Tenant: sub.Tenant, Campaign: spec.ID,
+		Digest: spec.ScheduleDigest(), Slots: len(spec.Serials),
+		Spares: sub.Spares, EstHours: est, AtHours: s.chamberHours, Slot: -1,
+	}); err != nil {
+		return err
+	}
+
+	c, err := s.buildCampaign(spec.ID, sub.Tenant, spec, sub.Spares, est, s.j.NextSeq()-1, s.chamberHours)
+	if err != nil {
+		// Validation passed above; a build failure here is a bug, but
+		// the journal already holds the admission — fail the campaign
+		// rather than leave a ghost record.
+		return err
+	}
+	c.devsHeld = devs
+	s.camps[spec.ID] = c
+	s.queue = append(s.queue, spec.ID)
+	ts.active++
+	ts.devices += devs
+	ts.estHours += est
+	for ser := range seen {
+		s.serials[ser] = spec.ID
+	}
+	s.cond.Broadcast()
+	return nil
+}
+
+func activeOf(ts *tenantState) int {
+	if ts == nil {
+		return 0
+	}
+	return ts.active
+}
+
+func devicesOf(ts *tenantState) int {
+	if ts == nil {
+		return 0
+	}
+	return ts.devices
+}
+
+func estOf(ts *tenantState) float64 {
+	if ts == nil {
+		return 0
+	}
+	return ts.estHours
+}
+
+// append journals a record while holding s.mu; journal failures are
+// fatal to the whole scheduler (fail closed).
+func (s *Scheduler) append(e *Entry) error {
+	if err := s.j.Append(e); err != nil {
+		s.noteFatalLocked(err)
+		return err
+	}
+	return nil
+}
+
+// gate consults the kill hook at a named non-journal point while
+// holding s.mu.
+func (s *Scheduler) gate(point string) error {
+	if err := s.j.Gate(point); err != nil {
+		s.noteFatalLocked(err)
+		return err
+	}
+	return nil
+}
+
+func (s *Scheduler) noteFatalLocked(err error) {
+	if s.fatal == nil {
+		s.fatal = err
+	}
+	s.cond.Broadcast()
+}
+
+// Drain stops admission for this incarnation — durably, so replay can
+// enforce that no submit follows it — and blocks until every in-flight
+// campaign reaches a terminal state, the context is cancelled, or the
+// scheduler dies. Draining does not survive Resume: a crash mid-drain
+// leaves the next incarnation open for business, in-flight campaigns
+// intact.
+func (s *Scheduler) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if s.fatal != nil {
+		err := s.fatal
+		s.mu.Unlock()
+		return err
+	}
+	if !s.draining {
+		if err := s.append(&Entry{Type: entryDrain, AtHours: s.chamberHours, Slot: -1}); err != nil {
+			s.mu.Unlock()
+			return err
+		}
+		s.draining = true
+		s.cond.Broadcast()
+	}
+	s.mu.Unlock()
+
+	select {
+	case <-s.done:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fatal
+}
+
+// Done is closed when the scheduling loop exits: after a completed
+// drain, or on a fatal journal failure (see Err).
+func (s *Scheduler) Done() <-chan struct{} { return s.done }
+
+// Err returns the fatal error that killed the scheduler, if any.
+func (s *Scheduler) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fatal
+}
+
+// loop is the scheduling loop: wait for runnable work, plan one chamber
+// pass, execute it, apply the outcomes, repeat. It exits when draining
+// completes or the journal fails.
+func (s *Scheduler) loop() {
+	defer close(s.done)
+	defer s.j.Close()
+	for {
+		s.mu.Lock()
+		var plan *passPlan
+		for {
+			if s.fatal != nil {
+				s.mu.Unlock()
+				return
+			}
+			s.completeFinishedLocked()
+			if s.fatal != nil {
+				s.mu.Unlock()
+				return
+			}
+			plan = s.planPassLocked()
+			if plan != nil {
+				break
+			}
+			if s.draining && s.allTerminalLocked() {
+				s.mu.Unlock()
+				return
+			}
+			s.cond.Wait()
+		}
+		if err := s.commitPassLocked(plan); err != nil {
+			s.mu.Unlock()
+			return
+		}
+		s.mu.Unlock()
+
+		s.executePass(plan)
+
+		s.mu.Lock()
+		s.applyPassLocked(plan)
+		s.mu.Unlock()
+	}
+}
+
+func (s *Scheduler) allTerminalLocked() bool {
+	return len(s.queue) == 0
+}
+
+// completeFinishedLocked seals queued campaigns with no slot work left.
+// Normally completion happens in applyPassLocked right after the
+// finishing pass, but a campaign resumed from a crash that landed
+// between its last encoded record and its done record arrives here
+// already finished — no pass will ever carry it, so the loop sweeps
+// for it before planning.
+func (s *Scheduler) completeFinishedLocked() {
+	for _, id := range append([]string(nil), s.queue...) {
+		c := s.camps[id]
+		if !c.terminal() && c.complete() {
+			s.completeCampaignLocked(c)
+			if s.fatal != nil {
+				return
+			}
+		}
+	}
+}
+
+// Status is a point-in-time snapshot of the scheduler.
+type Status struct {
+	ChamberHours  float64 `json:"chamber_hours"`
+	Passes        int     `json:"passes"`
+	Setups        int     `json:"setups"`
+	BatchedSlices int     `json:"batched_slices"`
+
+	Active int  `json:"active"`
+	Done   int  `json:"done"`
+	Failed int  `json:"failed"`
+	Drain  bool `json:"draining"`
+
+	// CampaignsPerChamberHour is completed campaigns over elapsed
+	// chamber hours — the throughput headline.
+	CampaignsPerChamberHour float64 `json:"campaigns_per_chamber_hour"`
+	// LatencyP50/P99 are completed-campaign latencies (submission to
+	// done) in chamber hours.
+	LatencyP50 float64 `json:"latency_p50_hours"`
+	LatencyP99 float64 `json:"latency_p99_hours"`
+
+	Tenants map[string]TenantStatus `json:"tenants,omitempty"`
+}
+
+// TenantStatus is one tenant's slice of the snapshot.
+type TenantStatus struct {
+	Quota          Quota   `json:"quota"`
+	Active         int     `json:"active"`
+	Devices        int     `json:"devices"`
+	CommittedHours float64 `json:"committed_hours"`
+	Done           int     `json:"done"`
+	Failed         int     `json:"failed"`
+}
+
+// CampaignStatus is one campaign's snapshot.
+type CampaignStatus struct {
+	Campaign string `json:"campaign"`
+	Tenant   string `json:"tenant"`
+	// State is "queued", "done", or "failed" ("queued" covers both
+	// waiting and mid-soak — the queue IS the run state).
+	State string `json:"state"`
+	Error string `json:"error,omitempty"`
+
+	Slots        int     `json:"slots"`
+	AppliedHours float64 `json:"applied_hours"`
+	TotalHours   float64 `json:"total_hours"`
+
+	SubmittedAt  float64 `json:"submitted_at_hours"`
+	DoneAt       float64 `json:"done_at_hours,omitempty"`
+	LatencyHours float64 `json:"latency_hours,omitempty"`
+
+	// Baselines are the per-slot fresh-capture margins probed at
+	// completion — feed them to fleet.HealthSweepOptions.BaselineMargins
+	// for calibrated maintenance sweeps.
+	Baselines []float64 `json:"baselines,omitempty"`
+}
+
+// Status snapshots the scheduler.
+func (s *Scheduler) Status() Status {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Status{
+		ChamberHours:  s.chamberHours,
+		Passes:        s.passes,
+		Setups:        s.setups,
+		BatchedSlices: s.batchedSlices,
+		Active:        len(s.queue),
+		Drain:         s.draining,
+		Tenants:       map[string]TenantStatus{},
+	}
+	for name, ts := range s.tenants {
+		st.Done += ts.done
+		st.Failed += ts.failed
+		st.Tenants[name] = TenantStatus{
+			Quota:          ts.quota,
+			Active:         ts.active,
+			Devices:        ts.devices,
+			CommittedHours: ts.estHours,
+			Done:           ts.done,
+			Failed:         ts.failed,
+		}
+	}
+	if s.chamberHours > 0 {
+		st.CampaignsPerChamberHour = float64(st.Done) / s.chamberHours
+	}
+	st.LatencyP50 = percentile(s.latencies, 0.50)
+	st.LatencyP99 = percentile(s.latencies, 0.99)
+	return st
+}
+
+// Campaign snapshots one campaign; ok is false for unknown IDs.
+func (s *Scheduler) Campaign(id string) (CampaignStatus, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.camps[id]
+	if !ok {
+		return CampaignStatus{}, false
+	}
+	cs := CampaignStatus{
+		Campaign:    c.id,
+		Tenant:      c.tenant,
+		State:       "queued",
+		Error:       c.errText,
+		Slots:       len(c.slots),
+		SubmittedAt: c.submitAt,
+		Baselines:   c.baselines,
+	}
+	switch {
+	case c.done:
+		cs.State = "done"
+	case c.failed:
+		cs.State = "failed"
+	}
+	if c.terminal() {
+		cs.DoneAt = c.doneAt
+		cs.LatencyHours = c.doneAt - c.submitAt
+	}
+	total := estChamberHours(c.spec, c.model)
+	for _, sl := range c.slots {
+		if !sl.live() {
+			continue
+		}
+		cs.TotalHours += total
+		if sl.record != nil {
+			cs.AppliedHours += total
+		} else {
+			cs.AppliedHours += sl.applied
+		}
+	}
+	return cs, true
+}
+
+func percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	idx := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

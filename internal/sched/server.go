@@ -1,0 +1,129 @@
+package sched
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strings"
+)
+
+// Server is the thin net/http JSON facade over a Scheduler — the
+// service surface cmd/ibserve exposes. Routes:
+//
+//	POST /api/submit          {tenant, spec, spares} → 202 {campaign}
+//	GET  /api/status          → 200 Status
+//	GET  /api/campaigns/{id}  → 200 CampaignStatus | 404
+//	POST /api/drain           → 200 Status (after quiescence)
+//
+// Typed admission rejections map onto status codes so clients can
+// build retry policy without parsing strings: quota → 403, saturation
+// → 429 (with Retry-After), draining → 503, duplicates and serial
+// conflicts → 409, validation → 400.
+type Server struct {
+	s   *Scheduler
+	mux *http.ServeMux
+}
+
+// NewServer wraps a scheduler in its HTTP facade.
+func NewServer(s *Scheduler) *Server {
+	srv := &Server{s: s, mux: http.NewServeMux()}
+	srv.mux.HandleFunc("/api/submit", srv.handleSubmit)
+	srv.mux.HandleFunc("/api/status", srv.handleStatus)
+	srv.mux.HandleFunc("/api/campaigns/", srv.handleCampaign)
+	srv.mux.HandleFunc("/api/drain", srv.handleDrain)
+	return srv
+}
+
+// ServeHTTP implements http.Handler.
+func (srv *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	srv.mux.ServeHTTP(w, r)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // the response is already committed
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// submitStatus maps a Submit rejection to its HTTP status.
+func submitStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrQuotaExceeded):
+		return http.StatusForbidden
+	case errors.Is(err, ErrSaturated):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrDuplicateCampaign), errors.Is(err, ErrSerialInUse):
+		return http.StatusConflict
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func (srv *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{"POST only"})
+		return
+	}
+	var sub Submission
+	if err := json.NewDecoder(r.Body).Decode(&sub); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{"parse submission: " + err.Error()})
+		return
+	}
+	if err := srv.s.Submit(sub); err != nil {
+		code := submitStatus(err)
+		if code == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", "60")
+		}
+		writeJSON(w, code, errorBody{err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusAccepted, struct {
+		Campaign string `json:"campaign"`
+	}{sub.Spec.ID})
+}
+
+func (srv *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{"GET only"})
+		return
+	}
+	writeJSON(w, http.StatusOK, srv.s.Status())
+}
+
+func (srv *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{"GET only"})
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/api/campaigns/")
+	cs, ok := srv.s.Campaign(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{"unknown campaign " + id})
+		return
+	}
+	writeJSON(w, http.StatusOK, cs)
+}
+
+func (srv *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{"POST only"})
+		return
+	}
+	if err := srv.s.Drain(r.Context()); err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorBody{err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, srv.s.Status())
+}

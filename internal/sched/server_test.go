@@ -1,0 +1,134 @@
+package sched
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func postJSON(t *testing.T, srv http.Handler, path string, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(buf))
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, req)
+	return w
+}
+
+func getPath(t *testing.T, srv http.Handler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, req)
+	return w
+}
+
+// TestServerEndpoints drives the full JSON surface end to end against a
+// live scheduler: submit, status, per-campaign lookup, typed rejection
+// mapping, and drain.
+func TestServerEndpoints(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(dir, Config{
+		KeyFor:       testKeyFor,
+		DefaultQuota: Quota{MaxCampaigns: 1, MaxDevices: 4, MaxChamberHours: 100},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(s)
+
+	// Accepted submission → 202 with the campaign ID echoed back.
+	sub := miniSub("alice", "web-1", []string{"web-0"}, 7.5)
+	w := postJSON(t, srv, "/api/submit", sub)
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", w.Code, w.Body)
+	}
+	if !strings.Contains(w.Body.String(), "web-1") {
+		t.Fatalf("submit response %q does not echo the campaign", w.Body)
+	}
+
+	// Typed rejections map onto status codes.
+	if w := postJSON(t, srv, "/api/submit", sub); w.Code != http.StatusConflict {
+		t.Fatalf("duplicate submit: %d %s", w.Code, w.Body)
+	}
+	if w := postJSON(t, srv, "/api/submit", miniSub("alice", "web-2", []string{"web-9"}, 7.5)); w.Code != http.StatusForbidden {
+		t.Fatalf("quota rejection: %d %s", w.Code, w.Body)
+	}
+	bad := miniSub("alice", "", []string{"web-8"}, 7.5)
+	if w := postJSON(t, srv, "/api/submit", bad); w.Code != http.StatusBadRequest {
+		t.Fatalf("validation rejection: %d %s", w.Code, w.Body)
+	}
+	req := httptest.NewRequest(http.MethodPost, "/api/submit", strings.NewReader("{not json"))
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("malformed body: %d %s", rec.Code, rec.Body)
+	}
+
+	// Unknown campaign → 404; wrong method → 405.
+	if w := getPath(t, srv, "/api/campaigns/nope"); w.Code != http.StatusNotFound {
+		t.Fatalf("unknown campaign: %d %s", w.Code, w.Body)
+	}
+	if w := getPath(t, srv, "/api/submit"); w.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET submit: %d %s", w.Code, w.Body)
+	}
+
+	// Drain blocks until quiescent, then reports final status.
+	w = postJSON(t, srv, "/api/drain", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("drain: %d %s", w.Code, w.Body)
+	}
+	var st Status
+	if err := json.Unmarshal(w.Body.Bytes(), &st); err != nil {
+		t.Fatalf("drain body: %v (%s)", err, w.Body)
+	}
+	if st.Done != 1 || st.Active != 0 || !st.Drain {
+		t.Fatalf("post-drain status: %+v", st)
+	}
+
+	// Campaign lookup after completion.
+	w = getPath(t, srv, "/api/campaigns/web-1")
+	if w.Code != http.StatusOK {
+		t.Fatalf("campaign lookup: %d %s", w.Code, w.Body)
+	}
+	var cs CampaignStatus
+	if err := json.Unmarshal(w.Body.Bytes(), &cs); err != nil {
+		t.Fatal(err)
+	}
+	if cs.State != "done" {
+		t.Fatalf("campaign state: %+v", cs)
+	}
+
+	// A draining scheduler rejects new work with 503.
+	if w := postJSON(t, srv, "/api/submit", miniSub("bob", "web-3", []string{"web-7"}, 7.5)); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("submit after drain: %d %s", w.Code, w.Body)
+	}
+
+	// The decoded payload survives the whole HTTP round trip.
+	if got := decodeCampaign(t, dir, "alice", "web-1"); !bytes.Equal(got, sub.Spec.Message) {
+		t.Fatalf("web-1 decodes to %q", got)
+	}
+}
+
+// TestServerSaturationRetryAfter pins the backpressure contract: a full
+// queue returns 429 with a Retry-After hint.
+func TestServerSaturationRetryAfter(t *testing.T) {
+	s := newIdleScheduler(t, Config{MaxQueued: 1})
+	srv := NewServer(s)
+	if w := postJSON(t, srv, "/api/submit", miniSub("alice", "sat-1", []string{"sat-0"}, 5)); w.Code != http.StatusAccepted {
+		t.Fatalf("first submit: %d %s", w.Code, w.Body)
+	}
+	w := postJSON(t, srv, "/api/submit", miniSub("bob", "sat-2", []string{"sat-9"}, 5))
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("saturated submit: %d %s", w.Code, w.Body)
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Fatal("saturated response missing Retry-After")
+	}
+}

@@ -1,0 +1,213 @@
+// Package wal is the shared write-ahead journal beneath the crash-safe
+// supervisors: one JSONL record per state transition, fsynced before
+// the caller takes the next step, so a crash at ANY point leaves a
+// clean prefix of the truth on disk. internal/campaign journals one
+// campaign with it; internal/sched journals a whole multi-tenant
+// scheduler (tenant table, queue, batch assignments) with the same
+// machinery — the PR 5 single-campaign guarantees extended to service
+// scope without forking the durability code.
+//
+// The journal is kill-point instrumented: a faults.Hook is consulted
+// before every append and at named non-journal gates (image writes),
+// and once the hook fires the journal is poisoned — every later append
+// fails, the way every write of a dead process fails. Crash-matrix
+// tests use this to prove that dying at every single append still
+// resumes to a bit-identical outcome.
+//
+// Parsing fails closed: the only tolerated damage is a torn final line
+// (the signature of dying mid-append), which is dropped — that record's
+// effects were by construction not yet acted on. Anything else (a gap,
+// a mid-file corruption) is the caller's job to reject during replay.
+package wal
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+
+	"invisiblebits/internal/faults"
+)
+
+// ErrJournalIO marks a failure of the durability layer itself — an
+// append that could not be written or fsynced, a journal that could not
+// be opened or trimmed. Supervisors must fail closed on it: a campaign
+// whose journal cannot make progress durable must stop, not continue
+// with an un-journaled state the next resume will never see. Test with
+// errors.Is.
+var ErrJournalIO = errors.New("wal: journal I/O failure")
+
+// Record is one journal record. The journal stamps the sequence number
+// via SetSeq immediately before marshalling, and consults the kill hook
+// under the point name "journal/<Kind()>".
+type Record interface {
+	// Kind names the record type (the hook's kill-point suffix).
+	Kind() string
+	// SetSeq stamps the journal-assigned sequence number.
+	SetSeq(seq int)
+}
+
+// Journal is the append side. Appends are serialized and each record is
+// fsynced before Append returns (unless the journal was opened NoSync).
+type Journal struct {
+	mu       sync.Mutex
+	f        *os.File
+	hook     faults.Hook
+	nextSeq  int
+	noSync   bool
+	poisoned bool
+}
+
+// Options configures journal creation.
+type Options struct {
+	// Hook is the crash-test kill-point hook; nil in production.
+	Hook faults.Hook
+	// NoSync skips the per-append fsync. Benchmarks only: a NoSync
+	// journal still orders and formats records identically, but a crash
+	// may lose acknowledged appends — it must never back a supervisor
+	// whose resume guarantees matter.
+	NoSync bool
+}
+
+// Create starts a fresh journal at path, failing if one exists (an
+// existing journal means the supervisor must be resumed, not re-run).
+func Create(path string, opts Options) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("%w: create journal: %w", ErrJournalIO, err)
+	}
+	return &Journal{f: f, hook: opts.Hook, noSync: opts.NoSync}, nil
+}
+
+// Open reopens an existing journal for appending, first truncating it
+// to validLen (dropping a torn tail so new records never glue onto half
+// a line). nextSeq continues the replayed sequence.
+func Open(path string, opts Options, nextSeq int, validLen int64) (*Journal, error) {
+	if err := os.Truncate(path, validLen); err != nil {
+		return nil, fmt.Errorf("%w: trim journal tail: %w", ErrJournalIO, err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("%w: open journal: %w", ErrJournalIO, err)
+	}
+	return &Journal{f: f, hook: opts.Hook, noSync: opts.NoSync, nextSeq: nextSeq}, nil
+}
+
+// Close releases the journal file (it does not seal the supervisor —
+// only the supervisor's own terminal record does that).
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}
+
+// NextSeq returns the sequence number the next append will carry.
+func (j *Journal) NextSeq() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.nextSeq
+}
+
+// Gate consults the kill hook at a named non-journal point (image
+// writes, result persistence). Once the hook fires, the journal is
+// poisoned for good.
+func (j *Journal) Gate(point string) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.gateLocked(point)
+}
+
+func (j *Journal) gateLocked(point string) error {
+	if j.poisoned {
+		return faults.ErrKilled
+	}
+	if j.hook == nil {
+		return nil
+	}
+	if err := j.hook(point); err != nil {
+		j.poisoned = true
+		return err
+	}
+	return nil
+}
+
+// Append assigns the next sequence number, writes the record as one
+// JSON line, and fsyncs before returning. Any failure — kill hook,
+// write, or sync — poisons the journal: a supervisor that could not
+// persist one transition must not persist later ones over the gap.
+func (j *Journal) Append(rec Record) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.gateLocked("journal/" + rec.Kind()); err != nil {
+		return err
+	}
+	rec.SetSeq(j.nextSeq)
+	line, err := json.Marshal(rec)
+	if err != nil {
+		j.poisoned = true
+		return fmt.Errorf("wal: marshal journal record: %w", err)
+	}
+	line = append(line, '\n')
+	if _, err := j.f.Write(line); err != nil {
+		j.poisoned = true
+		return fmt.Errorf("%w: append journal record: %w", ErrJournalIO, err)
+	}
+	if !j.noSync {
+		if err := j.f.Sync(); err != nil {
+			j.poisoned = true
+			return fmt.Errorf("%w: fsync journal: %w", ErrJournalIO, err)
+		}
+	}
+	j.nextSeq++
+	return nil
+}
+
+// Parse splits JSONL data into records of type T, tolerating only a
+// torn final line. ok reports whether an unmarshalled record is
+// structurally present (e.g. carries a non-empty type tag) — a line
+// that unmarshals to a zero record is treated like one that does not
+// parse at all. validLen is the byte offset just past the last intact
+// record: what a resuming supervisor truncates to before appending.
+func Parse[T any](data []byte, ok func(*T) bool) (entries []T, validLen int64, err error) {
+	var off int64
+	for len(data) > 0 {
+		nl := bytes.IndexByte(data, '\n')
+		line := data
+		torn := nl < 0 // no terminator: a write died mid-line
+		if !torn {
+			line = data[:nl]
+		}
+		var e T
+		if uerr := json.Unmarshal(line, &e); uerr != nil || !ok(&e) {
+			rest := data
+			if !torn {
+				rest = data[nl+1:]
+			}
+			if len(bytes.TrimSpace(rest)) == 0 || torn && bytes.IndexByte(rest, '\n') < 0 {
+				// Damaged final line: the torn tail of a crashed append.
+				return entries, off, nil
+			}
+			return nil, 0, fmt.Errorf("wal: journal record %d is corrupt mid-file", len(entries))
+		}
+		if torn {
+			// Parsed, but never terminated — the fsync cannot have
+			// completed, so the record does not count.
+			return entries, off, nil
+		}
+		entries = append(entries, e)
+		off += int64(nl + 1)
+		data = data[nl+1:]
+	}
+	return entries, off, nil
+}
+
+// ReadFile parses the journal file at path with Parse.
+func ReadFile[T any](path string, ok func(*T) bool) (entries []T, validLen int64, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w: read journal: %w", ErrJournalIO, err)
+	}
+	return Parse(data, ok)
+}

@@ -30,6 +30,7 @@ package invisiblebits
 import (
 	"context"
 	"io"
+	"net/http"
 
 	"invisiblebits/internal/analog"
 	"invisiblebits/internal/campaign"
@@ -40,6 +41,7 @@ import (
 	"invisiblebits/internal/fleet"
 	"invisiblebits/internal/parallel"
 	"invisiblebits/internal/rig"
+	"invisiblebits/internal/sched"
 	"invisiblebits/internal/sram"
 	"invisiblebits/internal/stegocrypt"
 )
@@ -484,3 +486,49 @@ func ResumeCampaign(ctx context.Context, dir string, opts CampaignOptions) (*Cam
 func DecodeCampaign(ctx context.Context, dir string, key *Key) ([]byte, error) {
 	return campaign.DecodeResult(ctx, dir, key)
 }
+
+// --- multi-tenant scheduling ----------------------------------------------------
+
+type (
+	// Scheduler multiplexes many tenants' campaigns over one shared
+	// chamber, batching compatible stress slices into shared passes and
+	// journaling every decision for crash-safe resume.
+	Scheduler = sched.Scheduler
+	// SchedulerConfig tunes admission (quotas, queue depth), batching,
+	// and fault handling for a Scheduler.
+	SchedulerConfig = sched.Config
+	// SchedulerQuota bounds one tenant's slice of the shared pool.
+	SchedulerQuota = sched.Quota
+	// CampaignSubmission is one tenant's campaign plus its spare
+	// carriers.
+	CampaignSubmission = sched.Submission
+	// SchedulerStatus is a point-in-time snapshot: chamber economics,
+	// per-tenant counters, latency percentiles.
+	SchedulerStatus = sched.Status
+)
+
+// Scheduler admission rejections, for errors.Is retry policy.
+var (
+	ErrSchedulerQuota     = sched.ErrQuotaExceeded
+	ErrSchedulerSaturated = sched.ErrSaturated
+	ErrSchedulerDraining  = sched.ErrDraining
+)
+
+// NewScheduler starts a multi-tenant campaign scheduler in dir. Every
+// admission, batch assignment, and slice of progress is journaled;
+// killing the process at any point and calling ResumeScheduler on the
+// same directory continues every campaign bit-identically.
+func NewScheduler(dir string, cfg SchedulerConfig) (*Scheduler, error) {
+	return sched.New(dir, cfg)
+}
+
+// ResumeScheduler re-enters a crashed (or stopped) scheduler: the
+// journal is replayed, every spec re-verified against its digest, every
+// in-flight slot rebuilt from its latest durable checkpoint.
+func ResumeScheduler(dir string, cfg SchedulerConfig) (*Scheduler, error) {
+	return sched.Resume(dir, cfg)
+}
+
+// NewSchedulerServer wraps a scheduler in its net/http JSON facade —
+// the service surface cmd/ibserve exposes.
+func NewSchedulerServer(s *Scheduler) http.Handler { return sched.NewServer(s) }
