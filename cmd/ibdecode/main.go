@@ -40,24 +40,19 @@ func main() {
 	)
 	flag.Parse()
 
-	devF, err := os.Open(*devPath)
-	if err != nil {
-		fatal(err)
-	}
-	dev, err := ib.LoadDevice(devF)
-	devF.Close()
+	// LoadDeviceFile and ReadFileSealed verify the sha256 seal footer on
+	// sealed artifacts and accept legacy unsealed ones as-is.
+	dev, err := ib.LoadDeviceFile(*devPath)
 	if err != nil {
 		fatal(err)
 	}
 
-	recF, err := os.Open(*recPath)
+	recJSON, _, err := ioatomic.ReadFileSealed(nil, *recPath)
 	if err != nil {
 		fatal(err)
 	}
 	var rec ib.Record
-	err = json.NewDecoder(recF).Decode(&rec)
-	recF.Close()
-	if err != nil {
+	if err := json.Unmarshal(recJSON, &rec); err != nil {
 		fatal(fmt.Errorf("parsing record: %w", err))
 	}
 

@@ -17,7 +17,6 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"io"
 	"os"
 
 	ib "invisiblebits"
@@ -97,18 +96,17 @@ func main() {
 		fatal(err)
 	}
 
-	// Both artifacts are written atomically: a crash mid-save must not
-	// leave a torn device image or record under the final name.
-	if err := ioatomic.WriteTo(*devOut, 0o644, func(w io.Writer) error {
-		return ib.SaveDevice(dev, w)
-	}); err != nil {
+	// Both artifacts are written atomically (a crash mid-save must not
+	// leave a torn file under the final name) and sealed with a sha256
+	// footer, so a later read detects bit rot instead of decoding noise.
+	if err := ib.SaveDeviceFile(dev, *devOut); err != nil {
 		fatal(err)
 	}
 	recJSON, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
 		fatal(err)
 	}
-	if err := ioatomic.WriteFile(*recOut, append(recJSON, '\n'), 0o644); err != nil {
+	if err := ioatomic.WriteFileSealed(nil, *recOut, append(recJSON, '\n'), 0o644); err != nil {
 		fatal(err)
 	}
 

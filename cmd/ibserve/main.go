@@ -82,6 +82,18 @@ func main() {
 	st := s.Status()
 	fmt.Printf("ibserve: %s scheduler in %s (%d active, %d done, %d failed, %.1f chamber hours)\n",
 		verb, *dir, st.Active, st.Done, st.Failed, st.ChamberHours)
+	if sal := s.Salvage(); sal != nil {
+		if sal.Degraded() {
+			fmt.Printf("ibserve: DEGRADED resume: salvaged %d journal records (%d records / %d bytes dropped: %s), %d campaigns quarantined, %d checkpoints struck, %d temp files swept\n",
+				sal.JournalRecords, sal.DroppedRecords, sal.DroppedBytes, sal.Reason,
+				len(sal.Quarantined), len(sal.BadCheckpoints), len(sal.TempFilesSwept))
+			for _, id := range sal.Quarantined {
+				fmt.Printf("ibserve: quarantined campaign %s (state unrecoverable; see /api/campaigns/%s)\n", id, id)
+			}
+		} else {
+			fmt.Printf("ibserve: clean resume: %d journal records replayed\n", sal.JournalRecords)
+		}
+	}
 	fmt.Printf("ibserve: listening on %s\n", *addr)
 
 	// The scheduler loop dying on a journal failure must take the

@@ -16,7 +16,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"os"
 	"path/filepath"
 	"strings"
 
@@ -29,6 +28,8 @@ import (
 	"invisiblebits/internal/ioatomic"
 	"invisiblebits/internal/rig"
 	"invisiblebits/internal/stegocrypt"
+	"invisiblebits/internal/storage"
+	"invisiblebits/internal/wal"
 )
 
 const (
@@ -162,6 +163,40 @@ type Options struct {
 	// Hook is the crash-test kill-point hook; every journal append and
 	// image write consults it. Nil in production.
 	Hook faults.Hook
+	// FS is the filesystem seam for every durable artifact (journal,
+	// spec, images, result). Nil means the real OS filesystem;
+	// fault-injection tests substitute a storage.FaultFS.
+	FS storage.FS
+}
+
+// SalvageSummary reports what a degraded resume had to give up on —
+// the typed outcome operators see instead of a silent recovery. All
+// fields zero/empty means the resume was clean.
+type SalvageSummary struct {
+	// JournalRecords is how many journal records were replayed.
+	JournalRecords int `json:"journal_records"`
+	// DroppedRecords is how many structurally-parsed records were
+	// discarded because replay validation rejected them (corrupt
+	// suffix); DroppedBytes counts all journal bytes cut, including
+	// unparseable ones.
+	DroppedRecords int   `json:"dropped_records,omitempty"`
+	DroppedBytes   int64 `json:"dropped_bytes,omitempty"`
+	// TornTail reports the benign signature of dying mid-append, as
+	// opposed to mid-file corruption.
+	TornTail bool `json:"torn_tail,omitempty"`
+	// Reason says why the journal was cut ("" when it was not).
+	Reason string `json:"reason,omitempty"`
+	// BadCheckpoints lists checkpoint images that failed verification
+	// and were struck from the history (ckptbad records appended); the
+	// slot fell back to an older generation or a scratch rebuild.
+	BadCheckpoints []string `json:"bad_checkpoints,omitempty"`
+	// TempFilesSwept lists stale safe-save temp files removed on entry.
+	TempFilesSwept []string `json:"temp_files_swept,omitempty"`
+}
+
+// Degraded reports whether the resume had to salvage anything.
+func (s *SalvageSummary) Degraded() bool {
+	return s != nil && (s.DroppedBytes > 0 || len(s.BadCheckpoints) > 0)
 }
 
 // Result is the campaign's durable outcome (result.json).
@@ -191,20 +226,21 @@ func Run(ctx context.Context, dir string, spec Spec, opts Options) (*Result, err
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fsys := storage.Default(opts.FS)
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("campaign: %w", err)
 	}
-	if _, err := os.Stat(filepath.Join(dir, journalFile)); err == nil {
+	if _, err := fsys.Stat(filepath.Join(dir, journalFile)); err == nil {
 		return nil, fmt.Errorf("campaign: %s already holds a journal; use Resume", dir)
 	}
 	specJSON, err := json.MarshalIndent(spec, "", "  ")
 	if err != nil {
 		return nil, fmt.Errorf("campaign: %w", err)
 	}
-	if err := ioatomic.WriteFile(filepath.Join(dir, specFile), specJSON, 0o644); err != nil {
+	if err := ioatomic.WriteFileFS(fsys, filepath.Join(dir, specFile), specJSON, 0o644); err != nil {
 		return nil, err
 	}
-	j, err := createJournal(filepath.Join(dir, journalFile), opts.Hook)
+	j, err := createJournal(filepath.Join(dir, journalFile), opts.Hook, fsys)
 	if err != nil {
 		return nil, err
 	}
@@ -243,59 +279,149 @@ func start(ctx context.Context, dir string, spec Spec, opts Options, j *Journal)
 // its latest checkpoint — finished slots keep their records, slots that
 // never reached a checkpoint restart from scratch, deterministically —
 // and drives the remaining slices. Resuming a finished campaign simply
-// returns its result.
+// returns its result. Resume salvages storage damage silently; use
+// ResumeSalvage to see what was recovered.
 func Resume(ctx context.Context, dir string, opts Options) (*Result, error) {
-	spec, err := readSpec(dir)
+	res, _, err := ResumeSalvage(ctx, dir, opts)
+	return res, err
+}
+
+// ResumeSalvage is Resume with the degraded-resume report. Storage
+// damage that fail-closed replay would brick on is survived instead:
+// a corrupt journal suffix is cut at the last verifiable record (safe —
+// every slice of lost work is deterministically redone), a checkpoint
+// image that fails its sha256 seal is struck from history with a
+// durable ckptbad record and the slot falls back to the previous
+// generation (or a from-scratch rebuild), and stale safe-save temp
+// files are swept. The summary reports each of those decisions. Only
+// genuinely unrecoverable damage — a spec.json that is missing, broken,
+// or no longer matches the journal's schedule digest — still fails: the
+// spec holds the message itself, which no amount of determinism can
+// reconstruct.
+func ResumeSalvage(ctx context.Context, dir string, opts Options) (*Result, *SalvageSummary, error) {
+	fsys := storage.Default(opts.FS)
+	sum := &SalvageSummary{}
+	swept, err := ioatomic.SweepTemps(fsys, dir)
 	if err != nil {
-		return nil, err
+		return nil, sum, fmt.Errorf("campaign: %w", err)
 	}
-	entries, validLen, err := ReadJournal(filepath.Join(dir, journalFile))
+	sum.TempFilesSwept = swept
+	spec, err := readSpec(fsys, dir)
 	if err != nil {
-		return nil, err
+		return nil, sum, err
 	}
+	jpath := filepath.Join(dir, journalFile)
+	entries, sal, err := ReadJournalSalvage(fsys, jpath)
+	if err != nil {
+		return nil, sum, err
+	}
+	sum.DroppedBytes = sal.DroppedBytes
+	sum.TornTail = sal.TornTail
+	sum.Reason = sal.Reason
 	if len(entries) == 0 {
-		// The crash predated the begin record: nothing durable happened,
-		// so the resume IS the first run.
-		j, err := openJournal(filepath.Join(dir, journalFile), opts.Hook, 0, 0)
+		// The crash predated the begin record (or corruption consumed the
+		// whole journal): nothing durable is recoverable, so the resume
+		// IS the first run — deterministic from the spec.
+		j, err := openJournal(jpath, opts.Hook, fsys, 0, 0)
 		if err != nil {
-			return nil, err
+			return nil, sum, err
 		}
 		defer j.Close()
-		return start(ctx, dir, spec, opts, j)
+		res, err := start(ctx, dir, spec, opts, j)
+		return res, sum, err
 	}
-	st, err := Replay(entries)
-	if err != nil {
-		return nil, err
+	st, used, replayErr := ReplaySalvage(entries)
+	validLen := sal.ValidLen
+	if used < len(entries) {
+		// Structural corruption past the CRC layer: cut at the last
+		// record replay accepted.
+		sum.DroppedRecords = len(entries) - used
+		sum.DroppedBytes += sal.ValidLen - offsetOf(sal, used)
+		sum.TornTail = false
+		if replayErr != nil {
+			sum.Reason = replayErr.Error()
+		}
+		validLen = offsetOf(sal, used)
+		if used == 0 || st == nil {
+			j, err := openJournal(jpath, opts.Hook, fsys, 0, 0)
+			if err != nil {
+				return nil, sum, err
+			}
+			defer j.Close()
+			res, err := start(ctx, dir, spec, opts, j)
+			return res, sum, err
+		}
 	}
+	sum.JournalRecords = used
 	if st.Campaign != spec.ID {
-		return nil, fmt.Errorf("campaign: journal belongs to %q, spec is %q", st.Campaign, spec.ID)
+		return nil, sum, fmt.Errorf("campaign: journal belongs to %q, spec is %q", st.Campaign, spec.ID)
 	}
 	if digest := spec.ScheduleDigest(); st.Digest != digest {
-		return nil, fmt.Errorf("campaign: schedule digest mismatch: journal %s…, spec %s… — the spec changed under a live campaign",
+		return nil, sum, fmt.Errorf("campaign: schedule digest mismatch: journal %s…, spec %s… — the spec changed under a live campaign",
 			st.Digest[:12], digest[:12])
 	}
 	if len(st.Slots) != len(spec.Serials) {
-		return nil, fmt.Errorf("campaign: journal plans %d slots, spec has %d", len(st.Slots), len(spec.Serials))
+		return nil, sum, fmt.Errorf("campaign: journal plans %d slots, spec has %d", len(st.Slots), len(spec.Serials))
 	}
 	if st.Done {
-		return readResult(dir)
+		res, err := readResult(fsys, dir)
+		if err != nil {
+			// The done record guarantees result.json was written, but the
+			// disk may have eaten it since. Everything in it derives
+			// deterministically from the journal — rebuild it.
+			res, err = rebuildResult(fsys, dir, spec, st)
+			if err != nil {
+				return nil, sum, err
+			}
+			sum.Reason = "result.json rebuilt from journal"
+		}
+		return res, sum, nil
 	}
 
-	j, err := openJournal(filepath.Join(dir, journalFile), opts.Hook, st.NextSeq, validLen)
+	j, err := openJournal(jpath, opts.Hook, fsys, st.NextSeq, validLen)
 	if err != nil {
-		return nil, err
+		return nil, sum, err
 	}
 	defer j.Close()
-	if err := j.Append(Entry{
-		Type: entryResume, Campaign: spec.ID, Digest: st.Digest, Slot: -1,
-	}); err != nil {
-		return nil, err
-	}
 
 	model, err := device.ByName(spec.Model)
 	if err != nil {
-		return nil, err
+		return nil, sum, err
 	}
+	// Restore each unfinished slot from its newest verifiable checkpoint
+	// generation, striking bad images with durable ckptbad records
+	// BEFORE the resume record — replay's rewind must agree with the
+	// generation we actually restored.
+	type restored struct {
+		dev      *device.Device
+		ckpt     SlotCheckpoint
+		haveCkpt bool
+	}
+	restores := make([]restored, len(spec.Serials))
+	for i := range spec.Serials {
+		sr := &st.Slots[i]
+		if sr.Record != nil {
+			continue
+		}
+		for g := len(sr.Ckpts) - 1; g >= 0; g-- {
+			ck := sr.Ckpts[g]
+			d, lerr := device.LoadFileFS(fsys, filepath.Join(dir, ck.Image))
+			if lerr == nil {
+				restores[i] = restored{dev: d, ckpt: ck, haveCkpt: true}
+				break
+			}
+			sum.BadCheckpoints = append(sum.BadCheckpoints, ck.Image)
+			if err := j.Append(Entry{Type: entryCkptBad, Campaign: spec.ID, Slot: i, Image: ck.Image}); err != nil {
+				return nil, sum, err
+			}
+		}
+	}
+	if err := j.Append(Entry{
+		Type: entryResume, Campaign: spec.ID, Digest: st.Digest, Slot: -1,
+	}); err != nil {
+		return nil, sum, err
+	}
+
 	rigs := make([]*rig.Rig, len(spec.Serials))
 	progress := make(map[int]fleet.ShardProgress, len(spec.Serials))
 	images := make([]string, len(spec.Serials))
@@ -309,28 +435,37 @@ func Resume(ctx context.Context, dir string, opts Options) (*Result, error) {
 			progress[i] = fleet.ShardProgress{Record: sr.Record}
 			images[i] = sr.FinalImage
 			clocks[i] = sr.FinalClock
-		case sr.CkptImage != "":
-			d, err := device.LoadFile(filepath.Join(dir, sr.CkptImage))
-			if err != nil {
-				return nil, fmt.Errorf("campaign: slot %d checkpoint: %w", i, err)
-			}
-			r := rig.New(d)
-			if err := r.RestoreState(*sr.CkptRig); err != nil {
-				return nil, fmt.Errorf("campaign: slot %d rig state: %w", i, err)
+		case restores[i].haveCkpt:
+			r := rig.New(restores[i].dev)
+			if err := r.RestoreState(*restores[i].ckpt.Rig); err != nil {
+				return nil, sum, fmt.Errorf("campaign: slot %d rig state: %w", i, err)
 			}
 			rigs[i] = r
-			progress[i] = fleet.ShardProgress{Prepared: true, AppliedHours: sr.CkptApplied}
+			progress[i] = fleet.ShardProgress{Prepared: true, AppliedHours: restores[i].ckpt.Applied}
 			continue
 		}
 		// From scratch (or placeholder): device identity is (model,
 		// serial), so the rebuild replays the crashed run bit-for-bit.
 		d, err := device.New(model, ser)
 		if err != nil {
-			return nil, err
+			return nil, sum, err
 		}
 		rigs[i] = rig.New(d)
 	}
-	return run(ctx, dir, spec, opts, j, rigs, progress, images, clocks)
+	res, err := run(ctx, dir, spec, opts, j, rigs, progress, images, clocks)
+	return res, sum, err
+}
+
+// offsetOf returns the byte offset just past record used-1 (0 when
+// nothing was used).
+func offsetOf(sal wal.Salvage, used int) int64 {
+	if used == 0 {
+		return 0
+	}
+	if used-1 < len(sal.Offsets) {
+		return sal.Offsets[used-1]
+	}
+	return sal.ValidLen
 }
 
 // run drives the striped encode with journaling hooks, then seals the
@@ -338,6 +473,7 @@ func Resume(ctx context.Context, dir string, opts Options) (*Result, error) {
 // guarantees a readable result.
 func run(ctx context.Context, dir string, spec Spec, opts Options, j *Journal,
 	rigs []*rig.Rig, progress map[int]fleet.ShardProgress, images []string, clocks []float64) (*Result, error) {
+	fsys := storage.Default(opts.FS)
 	codec, err := spec.codec()
 	if err != nil {
 		return nil, err
@@ -370,14 +506,14 @@ func run(ctx context.Context, dir string, spec Spec, opts Options, j *Journal,
 			if sliceCount[slot]%spec.CheckpointEvery != 0 && applied < total {
 				return nil
 			}
-			return checkpointSlot(j, dir, slot, r, applied)
+			return checkpointSlot(j, fsys, dir, slot, r, applied)
 		},
 		OnEncoded: func(slot int, r *rig.Rig, rec *core.Record) error {
 			name := fmt.Sprintf("slot-%d-final.img", slot)
 			if err := j.Gate(fmt.Sprintf("image/final/%d", slot)); err != nil {
 				return err
 			}
-			if err := r.Device().SaveFile(filepath.Join(dir, name)); err != nil {
+			if err := r.Device().SaveFileFS(fsys, filepath.Join(dir, name)); err != nil {
 				return fmt.Errorf("%w: final image for slot %d: %w", ErrJournalIO, slot, err)
 			}
 			state := r.State()
@@ -426,7 +562,7 @@ func run(ctx context.Context, dir string, spec Spec, opts Options, j *Journal,
 	if err := j.Gate("result"); err != nil {
 		return nil, err
 	}
-	if err := ioatomic.WriteFile(filepath.Join(dir, resultFile), resJSON, 0o644); err != nil {
+	if err := ioatomic.WriteFileSealed(fsys, filepath.Join(dir, resultFile), resJSON, 0o644); err != nil {
 		return nil, fmt.Errorf("%w: persist result: %w", ErrJournalIO, err)
 	}
 	if err := j.Append(Entry{Type: entryDone, Campaign: spec.ID, Slot: -1}); err != nil {
@@ -439,12 +575,12 @@ func run(ctx context.Context, dir string, spec Spec, opts Options, j *Journal,
 // first, then the journal record that makes the checkpoint *count*. A
 // crash between the two leaves an orphan image the replay never
 // references — harmless, and overwritten identically on the rerun.
-func checkpointSlot(j *Journal, dir string, slot int, r *rig.Rig, applied float64) error {
+func checkpointSlot(j *Journal, fsys storage.FS, dir string, slot int, r *rig.Rig, applied float64) error {
 	name := fmt.Sprintf("slot-%d-ckpt-%.4fh.img", slot, applied)
 	if err := j.Gate(fmt.Sprintf("image/ckpt/%d", slot)); err != nil {
 		return err
 	}
-	if err := r.Device().SaveFile(filepath.Join(dir, name)); err != nil {
+	if err := r.Device().SaveFileFS(fsys, filepath.Join(dir, name)); err != nil {
 		return fmt.Errorf("%w: checkpoint image for slot %d: %w", ErrJournalIO, slot, err)
 	}
 	state := r.State()
@@ -454,9 +590,17 @@ func checkpointSlot(j *Journal, dir string, slot int, r *rig.Rig, applied float6
 	})
 }
 
-func readSpec(dir string) (Spec, error) {
+// LoadSpec reads and validates dir's spec.json exactly the way Resume
+// does (defaults applied before validation), so offline tools like
+// ibfsck reproduce resume's accept/reject decision — including the
+// schedule digest a journal must match.
+func LoadSpec(fsys storage.FS, dir string) (Spec, error) {
+	return readSpec(fsys, dir)
+}
+
+func readSpec(fsys storage.FS, dir string) (Spec, error) {
 	var spec Spec
-	b, err := os.ReadFile(filepath.Join(dir, specFile))
+	b, err := storage.Default(fsys).ReadFile(filepath.Join(dir, specFile))
 	if err != nil {
 		return spec, fmt.Errorf("campaign: %w", err)
 	}
@@ -467,8 +611,8 @@ func readSpec(dir string) (Spec, error) {
 	return spec, spec.Validate()
 }
 
-func readResult(dir string) (*Result, error) {
-	b, err := os.ReadFile(filepath.Join(dir, resultFile))
+func readResult(fsys storage.FS, dir string) (*Result, error) {
+	b, _, err := ioatomic.ReadFileSealed(fsys, filepath.Join(dir, resultFile))
 	if err != nil {
 		return nil, fmt.Errorf("campaign: finished campaign without a result: %w", err)
 	}
@@ -479,15 +623,61 @@ func readResult(dir string) (*Result, error) {
 	return &res, nil
 }
 
+// rebuildResult reconstructs result.json for a campaign whose done
+// record is journaled but whose result file the disk has since eaten.
+// Everything in the result is a deterministic function of the spec and
+// the journal's encoded records — except the breaker quarantine list,
+// which is operational telemetry and is lost. The rebuilt file is
+// re-persisted (sealed) so later readers get it directly.
+func rebuildResult(fsys storage.FS, dir string, spec Spec, st *ReplayState) (*Result, error) {
+	codec, err := spec.codec()
+	if err != nil {
+		return nil, err
+	}
+	model, err := device.ByName(spec.Model)
+	if err != nil {
+		return nil, err
+	}
+	sram := make([]int, len(spec.Serials))
+	for i := range sram {
+		sram[i] = model.SRAMBytes
+	}
+	sizes, err := fleet.PlanSegments(sram, len(spec.Message), codec)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: rebuild result: %w", err)
+	}
+	res := &Result{
+		Campaign:     spec.ID,
+		MessageBytes: len(spec.Message),
+		SegmentSizes: sizes,
+		Records:      make([]*core.Record, len(st.Slots)),
+		Images:       make([]string, len(st.Slots)),
+	}
+	for i := range st.Slots {
+		sr := st.Slots[i]
+		res.Records[i] = sr.Record
+		res.Images[i] = sr.FinalImage
+		res.EquivalentHours += sr.FinalClock
+	}
+	resJSON, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("campaign: %w", err)
+	}
+	if err := ioatomic.WriteFileSealed(fsys, filepath.Join(dir, resultFile), resJSON, 0o644); err != nil {
+		return nil, fmt.Errorf("%w: rebuild result: %w", ErrJournalIO, err)
+	}
+	return res, nil
+}
+
 // DecodeResult reloads a finished campaign's final device images and
 // gathers the message back — the receiving party's side of the
 // campaign, driven purely from the campaign directory plus the key.
 func DecodeResult(ctx context.Context, dir string, key *stegocrypt.Key) ([]byte, error) {
-	spec, err := readSpec(dir)
+	spec, err := readSpec(nil, dir)
 	if err != nil {
 		return nil, err
 	}
-	res, err := readResult(dir)
+	res, err := readResult(nil, dir)
 	if err != nil {
 		return nil, err
 	}

@@ -284,7 +284,9 @@ func TestResumeFailsClosed(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// A journal with a duplicated record is refused.
+	// A journal with a duplicated record is rejected by strict replay —
+	// and survived by salvage resume, which cuts the corrupt suffix and
+	// deterministically redoes the lost work instead of bricking.
 	jpath := filepath.Join(dir, journalFile)
 	journal, err := os.ReadFile(jpath)
 	if err != nil {
@@ -298,8 +300,19 @@ func TestResumeFailsClosed(t *testing.T) {
 	if err := os.WriteFile(jpath, dup, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Resume(ctx, dir, Options{Key: key}); err == nil {
-		t.Fatal("resume accepted a journal with a duplicated record")
+	dupEntries, _, err := ReadJournal(jpath)
+	if err != nil {
+		t.Fatalf("duplicated record should pass frame verification: %v", err)
+	}
+	if _, err := Replay(dupEntries); err == nil {
+		t.Fatal("strict replay accepted a journal with a duplicated record")
+	}
+	res, sum, err := ResumeSalvage(ctx, dir, Options{Key: key})
+	if err != nil {
+		t.Fatalf("salvage resume over a duplicated record: %v", err)
+	}
+	if res == nil || sum.DroppedRecords != 1 || !sum.Degraded() {
+		t.Fatalf("salvage summary did not report the cut: %+v", sum)
 	}
 	if err := os.WriteFile(jpath, journal, 0o644); err != nil {
 		t.Fatal(err)

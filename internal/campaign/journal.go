@@ -6,24 +6,27 @@ import (
 	"invisiblebits/internal/core"
 	"invisiblebits/internal/faults"
 	"invisiblebits/internal/rig"
+	"invisiblebits/internal/storage"
 	"invisiblebits/internal/wal"
 )
 
-// The journal is the campaign's write-ahead log: one JSONL record per
-// phase transition, fsynced before the supervisor takes the next step,
-// so a crash at ANY point leaves a prefix of the truth on disk. Resume
-// replays that prefix against the checkpointed device images and
-// re-enters the soak at the exact slice boundary the journal proves was
-// reached. The append/fsync/poison/torn-tail machinery lives in
-// internal/wal (shared with the scheduler's service-scope journal);
-// this file owns the campaign's record grammar and its fail-closed
-// replay.
+// The journal is the campaign's write-ahead log: one framed JSONL
+// record per phase transition, fsynced before the supervisor takes the
+// next step, so a crash at ANY point leaves a prefix of the truth on
+// disk. Resume replays that prefix against the checkpointed device
+// images and re-enters the soak at the exact slice boundary the journal
+// proves was reached. The append/fsync/poison/torn-tail machinery lives
+// in internal/wal (shared with the scheduler's service-scope journal);
+// this file owns the campaign's record grammar and its replay.
 //
 // Replay fails closed: a journal with gaps, duplicates, out-of-order
 // slices, a foreign schedule digest, or records for impossible slots is
 // rejected outright — the only tolerated damage is a torn final line,
 // the signature of dying mid-append, which is dropped (that record's
-// effects were by construction not yet acted on).
+// effects were by construction not yet acted on). ReplaySalvage is the
+// lenient variant behind degraded resume: it replays the longest valid
+// prefix and reports where validation stopped, which is safe because
+// every slice of lost work is deterministically redone.
 
 // ErrJournalIO marks a failure of the campaign's durability layer — a
 // journal append that could not be written or fsynced, an image or
@@ -34,6 +37,13 @@ import (
 // campaign-scope failures classify identically.
 var ErrJournalIO = wal.ErrJournalIO
 
+// ErrCorrupt marks journal bytes that failed verification mid-file —
+// re-exported from wal so campaign callers can classify storage
+// corruption without importing the journal internals. Test with
+// errors.Is; errors.As against *wal.CorruptError recovers the record
+// index and salvage point.
+var ErrCorrupt = wal.ErrCorrupt
+
 // Entry types, in the order a slot experiences them.
 const (
 	entryBegin      = "begin"      // campaign-level: ID + schedule digest + slot count
@@ -41,6 +51,7 @@ const (
 	entryPrepared   = "prepared"   // slot: payload written, conditions elevated
 	entrySlice      = "slice"      // slot: a stress slice completed
 	entryCheckpoint = "checkpoint" // slot: device image + rig state durably saved
+	entryCkptBad    = "ckptbad"    // slot: a checkpoint image failed verification; struck from history
 	entryEncoded    = "encoded"    // slot: record minted, final image saved
 	entryDone       = "done"       // campaign-level: result.json written
 )
@@ -63,7 +74,7 @@ type Entry struct {
 	Applied float64 `json:"applied_hours,omitempty"`
 	Total   float64 `json:"total_hours,omitempty"`
 	// Image names a device-image file in the campaign directory
-	// (checkpoint and encoded records).
+	// (checkpoint, ckptbad, and encoded records).
 	Image string `json:"image,omitempty"`
 	// Rig is the controller state matching Image (clock, chamber,
 	// supply, bypass) — everything outside the device that the soak's
@@ -90,8 +101,8 @@ type Journal struct {
 
 // createJournal starts a fresh journal at path; failing if one exists
 // (an existing journal means the campaign must be Resumed, not re-Run).
-func createJournal(path string, hook faults.Hook) (*Journal, error) {
-	w, err := wal.Create(path, wal.Options{Hook: hook})
+func createJournal(path string, hook faults.Hook, fsys storage.FS) (*Journal, error) {
+	w, err := wal.Create(path, wal.Options{Hook: hook, FS: fsys})
 	if err != nil {
 		return nil, fmt.Errorf("campaign: %w", err)
 	}
@@ -101,8 +112,8 @@ func createJournal(path string, hook faults.Hook) (*Journal, error) {
 // openJournal reopens an existing journal for appending, first
 // truncating it to validLen (dropping a torn tail so new records never
 // glue onto half a line). nextSeq continues the replayed sequence.
-func openJournal(path string, hook faults.Hook, nextSeq int, validLen int64) (*Journal, error) {
-	w, err := wal.Open(path, wal.Options{Hook: hook}, nextSeq, validLen)
+func openJournal(path string, hook faults.Hook, fsys storage.FS, nextSeq int, validLen int64) (*Journal, error) {
+	w, err := wal.Open(path, wal.Options{Hook: hook, FS: fsys}, nextSeq, validLen)
 	if err != nil {
 		return nil, fmt.Errorf("campaign: %w", err)
 	}
@@ -118,8 +129,8 @@ func (j *Journal) Close() error { return j.w.Close() }
 func (j *Journal) Gate(point string) error { return j.w.Gate(point) }
 
 // Append assigns the next sequence number, writes the record as one
-// JSON line, and fsyncs before returning. Any failure — kill hook,
-// write, or sync — poisons the journal; I/O failures additionally
+// framed JSON line, and fsyncs before returning. Any failure — kill
+// hook, write, or sync — poisons the journal; I/O failures additionally
 // classify as ErrJournalIO.
 func (j *Journal) Append(e Entry) error {
 	if err := j.w.Append(&e); err != nil {
@@ -135,6 +146,15 @@ func ReadJournal(path string) (entries []Entry, validLen int64, err error) {
 	return wal.ReadFile(path, entryOK)
 }
 
+// ReadJournalSalvage parses the journal file leniently over the given
+// filesystem: CRC-failed or unparseable records cut the journal at the
+// last verifiable prefix, reported in the wal.Salvage summary rather
+// than as an error. The error is non-nil only if the file itself cannot
+// be read.
+func ReadJournalSalvage(fsys storage.FS, path string) (entries []Entry, sal wal.Salvage, err error) {
+	return wal.ReadFileSalvage(fsys, path, entryOK)
+}
+
 // ParseJournal is ReadJournal over in-memory bytes (the fuzz surface).
 func ParseJournal(data []byte) (entries []Entry, validLen int64, err error) {
 	return wal.Parse(data, entryOK)
@@ -142,12 +162,25 @@ func ParseJournal(data []byte) (entries []Entry, validLen int64, err error) {
 
 func entryOK(e *Entry) bool { return e.Type != "" }
 
+// SlotCheckpoint is one durable checkpoint generation of a slot.
+type SlotCheckpoint struct {
+	Image   string
+	Applied float64
+	Rig     *rig.State
+}
+
 // SlotReplay is one slot's reconstructed position.
 type SlotReplay struct {
 	// Prepared / Applied describe the live (pre-crash) soak position.
 	Prepared bool
 	Applied  float64
-	// CkptImage / CkptApplied / CkptRig are the latest durable
+	// Ckpts is the surviving checkpoint history, oldest first — every
+	// generation the journal saved and never struck with a ckptbad
+	// record. Images are uniquely named per applied-hours, so
+	// generations accumulate on disk and an older one can step in when
+	// the newest fails verification.
+	Ckpts []SlotCheckpoint
+	// CkptImage / CkptApplied / CkptRig are the newest surviving
 	// checkpoint — the position a resume actually restarts from.
 	CkptImage   string
 	CkptApplied float64
@@ -159,6 +192,16 @@ type SlotReplay struct {
 	FinalClock float64
 }
 
+// syncNewest re-derives the newest-checkpoint fields from the history.
+func (s *SlotReplay) syncNewest() {
+	if n := len(s.Ckpts); n > 0 {
+		c := s.Ckpts[n-1]
+		s.CkptImage, s.CkptApplied, s.CkptRig = c.Image, c.Applied, c.Rig
+	} else {
+		s.CkptImage, s.CkptApplied, s.CkptRig = "", 0, nil
+	}
+}
+
 // ReplayState is the validated outcome of replaying a journal.
 type ReplayState struct {
 	Campaign string
@@ -168,14 +211,15 @@ type ReplayState struct {
 	Done     bool
 }
 
-// Replay validates the journal prefix and reconstructs per-slot
-// progress. It fails closed: any structural inconsistency rejects the
-// whole journal rather than guessing at a resume point.
-func Replay(entries []Entry) (*ReplayState, error) {
-	if len(entries) == 0 {
-		return nil, fmt.Errorf("campaign: journal is empty")
-	}
-	head := entries[0]
+// replayer applies journal entries one at a time, validating each
+// before mutating state — so when an apply fails, the state still
+// exactly reflects the entries accepted so far (the property salvage
+// replay depends on).
+type replayer struct {
+	st *ReplayState
+}
+
+func newReplayer(head Entry) (*replayer, error) {
 	if head.Type != entryBegin {
 		return nil, fmt.Errorf("campaign: journal starts with %q, want %q", head.Type, entryBegin)
 	}
@@ -188,110 +232,180 @@ func Replay(entries []Entry) (*ReplayState, error) {
 	if head.Slots > maxSlots {
 		return nil, fmt.Errorf("campaign: begin record claims %d slots", head.Slots)
 	}
-	st := &ReplayState{
+	return &replayer{st: &ReplayState{
 		Campaign: head.Campaign,
 		Digest:   head.Digest,
 		Slots:    make([]SlotReplay, head.Slots),
+	}}, nil
+}
+
+func (r *replayer) slotOf(e Entry) (*SlotReplay, error) {
+	if e.Slot < 0 || e.Slot >= len(r.st.Slots) {
+		return nil, fmt.Errorf("campaign: record %d names slot %d of %d", e.Seq, e.Slot, len(r.st.Slots))
 	}
-	slotOf := func(e Entry) (*SlotReplay, error) {
-		if e.Slot < 0 || e.Slot >= len(st.Slots) {
-			return nil, fmt.Errorf("campaign: record %d names slot %d of %d", e.Seq, e.Slot, len(st.Slots))
+	return &r.st.Slots[e.Slot], nil
+}
+
+func (r *replayer) apply(i int, e Entry) error {
+	st := r.st
+	if e.Seq != i {
+		return fmt.Errorf("campaign: journal sequence broken: record %d claims seq %d", i, e.Seq)
+	}
+	if st.Done {
+		return fmt.Errorf("campaign: record %d follows the done record", i)
+	}
+	if i == 0 {
+		return nil // begin record, validated by newReplayer
+	}
+	switch e.Type {
+	case entryBegin:
+		return fmt.Errorf("campaign: duplicate begin record at seq %d", i)
+	case entryResume:
+		if e.Campaign != st.Campaign || e.Digest != st.Digest {
+			return fmt.Errorf("campaign: resume record at seq %d carries a foreign schedule digest", i)
 		}
-		return &st.Slots[e.Slot], nil
+		// A new process took over: live progress rewinds to what was
+		// durably checkpointed. Finished slots stay finished.
+		for k := range st.Slots {
+			s := &st.Slots[k]
+			if s.Record != nil {
+				continue
+			}
+			s.Prepared = s.CkptImage != ""
+			s.Applied = s.CkptApplied
+		}
+	case entryPrepared:
+		s, err := r.slotOf(e)
+		if err != nil {
+			return err
+		}
+		if s.Record != nil || s.Prepared {
+			return fmt.Errorf("campaign: slot %d prepared twice (seq %d)", e.Slot, i)
+		}
+		s.Prepared = true
+	case entrySlice:
+		s, err := r.slotOf(e)
+		if err != nil {
+			return err
+		}
+		if s.Record != nil || !s.Prepared {
+			return fmt.Errorf("campaign: slice for unprepared slot %d (seq %d)", e.Slot, i)
+		}
+		if e.Applied <= s.Applied {
+			return fmt.Errorf("campaign: slot %d slice rewinds %.4fh → %.4fh (seq %d): duplicated or reordered records",
+				e.Slot, s.Applied, e.Applied, i)
+		}
+		if e.Total > 0 && e.Applied > e.Total+1e-9 {
+			return fmt.Errorf("campaign: slot %d overshoots its schedule (seq %d)", e.Slot, i)
+		}
+		s.Applied = e.Applied
+	case entryCheckpoint:
+		s, err := r.slotOf(e)
+		if err != nil {
+			return err
+		}
+		if s.Record != nil || !s.Prepared {
+			return fmt.Errorf("campaign: checkpoint for unprepared slot %d (seq %d)", e.Slot, i)
+		}
+		if e.Image == "" || e.Rig == nil {
+			return fmt.Errorf("campaign: checkpoint record at seq %d lacks image or rig state", i)
+		}
+		if e.Applied != s.Applied {
+			return fmt.Errorf("campaign: checkpoint at seq %d claims %.4fh, slot %d is at %.4fh",
+				i, e.Applied, e.Slot, s.Applied)
+		}
+		s.Ckpts = append(s.Ckpts, SlotCheckpoint{Image: e.Image, Applied: e.Applied, Rig: e.Rig})
+		s.syncNewest()
+	case entryCkptBad:
+		s, err := r.slotOf(e)
+		if err != nil {
+			return err
+		}
+		if s.Record != nil {
+			return fmt.Errorf("campaign: ckptbad for finished slot %d (seq %d)", e.Slot, i)
+		}
+		if e.Image == "" {
+			return fmt.Errorf("campaign: ckptbad record at seq %d names no image", i)
+		}
+		found := -1
+		for k := len(s.Ckpts) - 1; k >= 0; k-- {
+			if s.Ckpts[k].Image == e.Image {
+				found = k
+				break
+			}
+		}
+		if found < 0 {
+			return fmt.Errorf("campaign: ckptbad at seq %d strikes unknown checkpoint %q for slot %d", i, e.Image, e.Slot)
+		}
+		s.Ckpts = append(s.Ckpts[:found], s.Ckpts[found+1:]...)
+		s.syncNewest()
+	case entryEncoded:
+		s, err := r.slotOf(e)
+		if err != nil {
+			return err
+		}
+		if s.Record != nil || !s.Prepared {
+			return fmt.Errorf("campaign: encoded record for slot %d out of order (seq %d)", e.Slot, i)
+		}
+		if e.Record == nil || e.Image == "" {
+			return fmt.Errorf("campaign: encoded record at seq %d lacks record or image", i)
+		}
+		s.Record, s.FinalImage, s.FinalClock = e.Record, e.Image, e.Applied
+	case entryDone:
+		for k := range st.Slots {
+			// Zero-width slots never prepare; anything that did must
+			// have finished.
+			if st.Slots[k].Prepared && st.Slots[k].Record == nil {
+				return fmt.Errorf("campaign: done record at seq %d with slot %d unfinished", i, k)
+			}
+		}
+		st.Done = true
+	default:
+		return fmt.Errorf("campaign: unknown record type %q at seq %d", e.Type, i)
+	}
+	return nil
+}
+
+// Replay validates the journal prefix and reconstructs per-slot
+// progress. It fails closed: any structural inconsistency rejects the
+// whole journal rather than guessing at a resume point.
+func Replay(entries []Entry) (*ReplayState, error) {
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("campaign: journal is empty")
+	}
+	r, err := newReplayer(entries[0])
+	if err != nil {
+		return nil, err
 	}
 	for i, e := range entries {
-		if e.Seq != i {
-			return nil, fmt.Errorf("campaign: journal sequence broken: record %d claims seq %d", i, e.Seq)
-		}
-		if st.Done {
-			return nil, fmt.Errorf("campaign: record %d follows the done record", i)
-		}
-		if i == 0 {
-			continue
-		}
-		switch e.Type {
-		case entryBegin:
-			return nil, fmt.Errorf("campaign: duplicate begin record at seq %d", i)
-		case entryResume:
-			if e.Campaign != st.Campaign || e.Digest != st.Digest {
-				return nil, fmt.Errorf("campaign: resume record at seq %d carries a foreign schedule digest", i)
-			}
-			// A new process took over: live progress rewinds to what was
-			// durably checkpointed. Finished slots stay finished.
-			for k := range st.Slots {
-				s := &st.Slots[k]
-				if s.Record != nil {
-					continue
-				}
-				s.Prepared = s.CkptImage != ""
-				s.Applied = s.CkptApplied
-			}
-		case entryPrepared:
-			s, err := slotOf(e)
-			if err != nil {
-				return nil, err
-			}
-			if s.Record != nil || s.Prepared {
-				return nil, fmt.Errorf("campaign: slot %d prepared twice (seq %d)", e.Slot, i)
-			}
-			s.Prepared = true
-		case entrySlice:
-			s, err := slotOf(e)
-			if err != nil {
-				return nil, err
-			}
-			if s.Record != nil || !s.Prepared {
-				return nil, fmt.Errorf("campaign: slice for unprepared slot %d (seq %d)", e.Slot, i)
-			}
-			if e.Applied <= s.Applied {
-				return nil, fmt.Errorf("campaign: slot %d slice rewinds %.4fh → %.4fh (seq %d): duplicated or reordered records",
-					e.Slot, s.Applied, e.Applied, i)
-			}
-			if e.Total > 0 && e.Applied > e.Total+1e-9 {
-				return nil, fmt.Errorf("campaign: slot %d overshoots its schedule (seq %d)", e.Slot, i)
-			}
-			s.Applied = e.Applied
-		case entryCheckpoint:
-			s, err := slotOf(e)
-			if err != nil {
-				return nil, err
-			}
-			if s.Record != nil || !s.Prepared {
-				return nil, fmt.Errorf("campaign: checkpoint for unprepared slot %d (seq %d)", e.Slot, i)
-			}
-			if e.Image == "" || e.Rig == nil {
-				return nil, fmt.Errorf("campaign: checkpoint record at seq %d lacks image or rig state", i)
-			}
-			if e.Applied != s.Applied {
-				return nil, fmt.Errorf("campaign: checkpoint at seq %d claims %.4fh, slot %d is at %.4fh",
-					i, e.Applied, e.Slot, s.Applied)
-			}
-			s.CkptImage, s.CkptApplied, s.CkptRig = e.Image, e.Applied, e.Rig
-		case entryEncoded:
-			s, err := slotOf(e)
-			if err != nil {
-				return nil, err
-			}
-			if s.Record != nil || !s.Prepared {
-				return nil, fmt.Errorf("campaign: encoded record for slot %d out of order (seq %d)", e.Slot, i)
-			}
-			if e.Record == nil || e.Image == "" {
-				return nil, fmt.Errorf("campaign: encoded record at seq %d lacks record or image", i)
-			}
-			s.Record, s.FinalImage, s.FinalClock = e.Record, e.Image, e.Applied
-		case entryDone:
-			for k := range st.Slots {
-				// Zero-width slots never prepare; anything that did must
-				// have finished.
-				if st.Slots[k].Prepared && st.Slots[k].Record == nil {
-					return nil, fmt.Errorf("campaign: done record at seq %d with slot %d unfinished", i, k)
-				}
-			}
-			st.Done = true
-		default:
-			return nil, fmt.Errorf("campaign: unknown record type %q at seq %d", e.Type, i)
+		if err := r.apply(i, e); err != nil {
+			return nil, err
 		}
 	}
-	st.NextSeq = len(entries)
-	return st, nil
+	r.st.NextSeq = len(entries)
+	return r.st, nil
+}
+
+// ReplaySalvage replays the longest prefix of entries that validates,
+// returning the reconstructed state, how many entries were used, and
+// the validation error that stopped it (nil when every entry was used).
+// A journal whose begin record itself is unusable salvages to (nil, 0,
+// err): nothing durable is recoverable, which for a campaign means a
+// deterministic from-scratch restart.
+func ReplaySalvage(entries []Entry) (*ReplayState, int, error) {
+	if len(entries) == 0 {
+		return nil, 0, fmt.Errorf("campaign: journal is empty")
+	}
+	r, err := newReplayer(entries[0])
+	if err != nil {
+		return nil, 0, err
+	}
+	for i, e := range entries {
+		if err := r.apply(i, e); err != nil {
+			r.st.NextSeq = i
+			return r.st, i, err
+		}
+	}
+	r.st.NextSeq = len(entries)
+	return r.st, len(entries), nil
 }

@@ -1,6 +1,7 @@
 package device
 
 import (
+	"bytes"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -9,6 +10,7 @@ import (
 
 	"invisiblebits/internal/ioatomic"
 	"invisiblebits/internal/sram"
+	"invisiblebits/internal/storage"
 )
 
 // ErrTruncatedImage marks a device image whose byte stream ended before
@@ -18,6 +20,13 @@ import (
 // *missing its tail*, and callers (campaign resume in particular) treat
 // it as "this checkpoint never durably existed".
 var ErrTruncatedImage = errors.New("device: image truncated")
+
+// ErrCorruptImage marks a device image file whose sha256 seal footer no
+// longer matches its contents — the bytes changed at rest. Unlike
+// ErrTruncatedImage (a clean missing tail) this is positive evidence of
+// corruption; callers must treat the whole file as untrustworthy. Check
+// with errors.Is; it also matches ioatomic.ErrSealMismatch.
+var ErrCorruptImage = fmt.Errorf("device: image corrupt: %w", ioatomic.ErrSealMismatch)
 
 // imageVersion guards the on-disk format. Version 2 added the refresh
 // maintenance ledger; version 3 records the SRAM noise-plane version
@@ -72,22 +81,44 @@ func (d *Device) Save(w io.Writer) error {
 	return nil
 }
 
-// SaveFile writes the device image to path atomically: the previous
-// image (if any) is replaced only after the new bytes are durable, so a
-// crash mid-save can never leave a torn image under the final name.
+// SaveFile writes the device image to path atomically and sealed: the
+// previous image (if any) is replaced only after the new bytes are
+// durable, so a crash mid-save can never leave a torn image under the
+// final name, and a sha256 footer (ioatomic.Seal) lets every later load
+// prove the disk returned the bytes that were stored. The gob stream
+// itself is unchanged — Save(w) output is byte-identical to earlier
+// releases, and old readers skip the footer because gob decodes exactly
+// one value and ignores trailing bytes.
 func (d *Device) SaveFile(path string) error {
-	return ioatomic.WriteTo(path, 0o644, d.Save)
+	return d.SaveFileFS(nil, path)
+}
+
+// SaveFileFS is SaveFile over an explicit filesystem seam.
+func (d *Device) SaveFileFS(fsys storage.FS, path string) error {
+	return ioatomic.WriteToSealed(fsys, path, 0o644, d.Save)
 }
 
 // LoadFile reconstructs a device from an image file written by SaveFile
-// (or any complete Save stream on disk).
+// (or any complete Save stream on disk). Sealed images are verified
+// against their sha256 footer (failure → ErrCorruptImage); pre-footer
+// images load as before.
 func LoadFile(path string) (*Device, error) {
-	f, err := os.Open(path)
+	return LoadFileFS(nil, path)
+}
+
+// LoadFileFS is LoadFile over an explicit filesystem seam.
+func LoadFileFS(fsys storage.FS, path string) (*Device, error) {
+	payload, _, err := ioatomic.ReadFileSealed(fsys, path)
 	if err != nil {
+		if errors.Is(err, ioatomic.ErrSealMismatch) {
+			return nil, fmt.Errorf("%w: %s", ErrCorruptImage, path)
+		}
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, fmt.Errorf("device: load: %w", err)
+		}
 		return nil, fmt.Errorf("device: load: %w", err)
 	}
-	defer f.Close()
-	return Load(f)
+	return Load(bytes.NewReader(payload))
 }
 
 // Load reconstructs a device from an image produced by Save.

@@ -1,0 +1,131 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestStorageProfileInert(t *testing.T) {
+	if !(StorageProfile{}).Inert() {
+		t.Fatal("zero profile should be inert")
+	}
+	if !(StorageProfile{Seed: 42}).Inert() {
+		t.Fatal("seed-only profile should be inert")
+	}
+	if (StorageProfile{WriteErrRate: 0.1}).Inert() {
+		t.Fatal("profile with a rate should not be inert")
+	}
+}
+
+// TestStorageFaultsDeterminism pins the replay contract: the same seed
+// replays the same storm decision-for-decision, regardless of how many
+// engines observe it.
+func TestStorageFaultsDeterminism(t *testing.T) {
+	profile := StorageProfile{
+		Seed:         7,
+		WriteErrRate: 0.3, SyncErrRate: 0.3, ReadErrRate: 0.3,
+		BitRotRate: 0.5, TearFrac: 0.8, RenameRevertRate: 0.5,
+	}
+	run := func() (errs []error, rots [][]byte, tears []int64, reverts []bool) {
+		eng := NewStorageFaults(profile)
+		data := []byte("twelve bytes")
+		for i := 0; i < 32; i++ {
+			errs = append(errs, eng.OpError(StorageWrite, "journal.jsonl"))
+			errs = append(errs, eng.OpError(StorageSync, "journal.jsonl"))
+			errs = append(errs, eng.OpError(StorageRead, "spec.json"))
+			rots = append(rots, eng.Rot("result.json", data))
+			tears = append(tears, eng.TearKeep("journal.jsonl", 100))
+			reverts = append(reverts, eng.RevertRename("result.json"))
+		}
+		return
+	}
+	e1, r1, t1, v1 := run()
+	e2, r2, t2, v2 := run()
+	sawErr, sawRot := false, false
+	for i := range e1 {
+		if (e1[i] == nil) != (e2[i] == nil) {
+			t.Fatalf("op error %d diverged: %v vs %v", i, e1[i], e2[i])
+		}
+		if e1[i] != nil {
+			sawErr = true
+		}
+	}
+	for i := range r1 {
+		if !bytes.Equal(r1[i], r2[i]) {
+			t.Fatalf("rot %d diverged", i)
+		}
+		if !bytes.Equal(r1[i], []byte("twelve bytes")) {
+			sawRot = true
+		}
+	}
+	for i := range t1 {
+		if t1[i] != t2[i] {
+			t.Fatalf("tear %d diverged: %d vs %d", i, t1[i], t2[i])
+		}
+		if t1[i] < 0 || t1[i] > 100 {
+			t.Fatalf("tear %d out of bounds: %d", i, t1[i])
+		}
+	}
+	for i := range v1 {
+		if v1[i] != v2[i] {
+			t.Fatalf("revert %d diverged", i)
+		}
+	}
+	if !sawErr || !sawRot {
+		t.Fatalf("storm too quiet to be a meaningful determinism check (errs=%v rots=%v)", sawErr, sawRot)
+	}
+}
+
+// TestStorageFaultsTypedErrors checks each hazard surfaces its sentinel.
+func TestStorageFaultsTypedErrors(t *testing.T) {
+	eng := NewStorageFaults(StorageProfile{WriteErrRate: 1, SyncErrRate: 1, ReadErrRate: 1})
+	if err := eng.OpError(StorageWrite, "f"); !errors.Is(err, ErrMediaError) {
+		t.Fatalf("write error = %v, want ErrMediaError", err)
+	}
+	if err := eng.OpError(StorageSync, "f"); !errors.Is(err, ErrFsyncLost) {
+		t.Fatalf("sync error = %v, want ErrFsyncLost", err)
+	}
+	if err := eng.OpError(StorageRead, "f"); !errors.Is(err, ErrMediaError) {
+		t.Fatalf("read error = %v, want ErrMediaError", err)
+	}
+}
+
+// TestRotFlipsExactlyOneByteInACopy: silent corruption flips one byte
+// and never mutates the caller's buffer.
+func TestRotFlipsExactlyOneByteInACopy(t *testing.T) {
+	eng := NewStorageFaults(StorageProfile{BitRotRate: 1})
+	orig := []byte("the disk lies without raising its voice")
+	data := append([]byte(nil), orig...)
+	out := eng.Rot("x", data)
+	if !bytes.Equal(data, orig) {
+		t.Fatal("Rot mutated the input slice")
+	}
+	diff := 0
+	for i := range out {
+		if out[i] != orig[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("Rot flipped %d bytes, want exactly 1", diff)
+	}
+}
+
+// TestNilStorageFaultsInjectNothing: a nil engine is a valid inert one.
+func TestNilStorageFaultsInjectNothing(t *testing.T) {
+	var eng *StorageFaults
+	if err := eng.OpError(StorageWrite, "f"); err != nil {
+		t.Fatalf("nil engine injected %v", err)
+	}
+	data := []byte("abc")
+	if out := eng.Rot("f", data); !bytes.Equal(out, data) {
+		t.Fatal("nil engine rotted data")
+	}
+	if keep := eng.TearKeep("f", 10); keep != 0 {
+		t.Fatalf("nil engine kept %d torn bytes, want 0", keep)
+	}
+	if eng.RevertRename("f") {
+		t.Fatal("nil engine reverted a rename")
+	}
+}

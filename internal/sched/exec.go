@@ -205,11 +205,16 @@ func (s *Scheduler) breakerRecord(deviceID string, err error, clockHours float64
 	s.cfg.Breakers.For(deviceID).Record(err, clockHours)
 }
 
-// bootstrapSlot builds the slot's rig and session: from its latest
-// durable checkpoint when one exists, from scratch otherwise. Device
+// bootstrapSlot builds the slot's rig and session: from its newest
+// verifiable durable checkpoint when one exists, from scratch otherwise.
+// A checkpoint image that fails to load — bit rot since the resume-time
+// verification — is struck from history with a durable ckptbad record
+// and the slot falls back to the previous generation, exactly what a
+// fresh resume would do; the journal high-water marks are rewound with
+// it so re-run slices re-append in agreement with replay. Device
 // identity is a pure function of (model, serial), so a from-scratch
 // rebuild replays any abandoned progress bit-identically.
-func (s *Scheduler) bootstrapSlot(ctx context.Context, c *campState, sl *slotState) error {
+func (s *Scheduler) bootstrapSlot(ctx context.Context, c *campState, idx int, sl *slotState) error {
 	var ropts []rig.Option
 	if s.cfg.InjectorFor != nil {
 		if inj := s.cfg.InjectorFor(sl.serial); inj != nil {
@@ -218,22 +223,33 @@ func (s *Scheduler) bootstrapSlot(ctx context.Context, c *campState, sl *slotSta
 	}
 	sl.sess = nil
 	sl.sliceCount = 0
-	if sl.ckptImage != "" {
-		d, err := device.LoadFile(filepath.Join(c.dir, sl.ckptImage))
+	for n := len(sl.ckpts); n > 0; n = len(sl.ckpts) {
+		ck := sl.ckpts[n-1]
+		d, err := device.LoadFileFS(s.fsys, filepath.Join(c.dir, ck.Image))
 		if err != nil {
-			return fmt.Errorf("%w: campaign %q checkpoint: %w", wal.ErrJournalIO, c.id, err)
+			if aerr := s.j.Append(&Entry{Type: entryCkptBad, Campaign: c.id, Slot: idx, Image: ck.Image}); aerr != nil {
+				return aerr
+			}
+			sl.ckpts = sl.ckpts[:n-1]
+			if prev := sl.newestCkpt(); prev != nil {
+				sl.journaledApplied = prev.Applied
+			} else {
+				sl.journaledApplied = 0
+				sl.preparedJournaled = false
+			}
+			continue
 		}
 		r := rig.New(d, ropts...)
-		if err := r.RestoreState(*sl.ckptRig); err != nil {
+		if err := r.RestoreState(*ck.Rig); err != nil {
 			return fmt.Errorf("sched: campaign %q rig state: %w", c.id, err)
 		}
-		sess, err := core.ResumeEncode(ctx, r, sl.seg, c.opts, sl.ckptApplied)
+		sess, err := core.ResumeEncode(ctx, r, sl.seg, c.opts, ck.Applied)
 		if err != nil {
 			return err
 		}
 		sl.rig, sl.sess = r, sess
 		sl.prepared = true
-		sl.applied = sl.ckptApplied
+		sl.applied = ck.Applied
 		return nil
 	}
 	d, err := device.New(c.model, sl.serial)
@@ -256,7 +272,7 @@ func (s *Scheduler) runSlot(run *slotRun, p *passPlan) {
 	ctx := context.Background()
 	c, sl := run.c, run.sl
 	if sl.rig == nil {
-		if err := s.bootstrapSlot(ctx, c, sl); err != nil {
+		if err := s.bootstrapSlot(ctx, c, run.idx, sl); err != nil {
 			run.err = err
 			return
 		}
@@ -322,7 +338,7 @@ func (s *Scheduler) driveSlot(ctx context.Context, run *slotRun, p *passPlan) er
 	if err := s.j.Gate(fmt.Sprintf("image/final/%s/%d", c.id, run.idx)); err != nil {
 		return err
 	}
-	if err := sl.rig.Device().SaveFile(filepath.Join(c.dir, name)); err != nil {
+	if err := sl.rig.Device().SaveFileFS(s.fsys, filepath.Join(c.dir, name)); err != nil {
 		return fmt.Errorf("%w: campaign %q final image for slot %d: %w", wal.ErrJournalIO, c.id, run.idx, err)
 	}
 	state := sl.rig.State()
@@ -344,7 +360,7 @@ func (s *Scheduler) checkpointSlot(c *campState, run *slotRun, sl *slotState) er
 	if err := s.j.Gate(fmt.Sprintf("image/ckpt/%s/%d", c.id, run.idx)); err != nil {
 		return err
 	}
-	if err := sl.rig.Device().SaveFile(filepath.Join(c.dir, name)); err != nil {
+	if err := sl.rig.Device().SaveFileFS(s.fsys, filepath.Join(c.dir, name)); err != nil {
 		return fmt.Errorf("%w: campaign %q checkpoint image for slot %d: %w", wal.ErrJournalIO, c.id, run.idx, err)
 	}
 	state := sl.rig.State()
@@ -354,7 +370,7 @@ func (s *Scheduler) checkpointSlot(c *campState, run *slotRun, sl *slotState) er
 	}); err != nil {
 		return err
 	}
-	sl.ckptImage, sl.ckptApplied, sl.ckptRig = name, sl.applied, &state
+	sl.ckpts = append(sl.ckpts, SlotCheckpoint{Image: name, Applied: sl.applied, Rig: &state})
 	run.progressed = true
 	return nil
 }
@@ -450,7 +466,10 @@ func (s *Scheduler) rewindSlot(sl *slotState) {
 	sl.rig = nil
 	sl.sess = nil
 	sl.prepared = false
-	sl.applied = sl.ckptApplied
+	sl.applied = 0
+	if ck := sl.newestCkpt(); ck != nil {
+		sl.applied = ck.Applied
+	}
 	sl.sliceCount = 0
 }
 
@@ -501,7 +520,7 @@ func (s *Scheduler) completeCampaignLocked(c *campState) {
 		res.Records[i] = sl.record
 		res.Images[i] = sl.finalImage
 		res.EquivalentHours += sl.finalClock
-		d, err := device.LoadFile(filepath.Join(c.dir, sl.finalImage))
+		d, err := device.LoadFileFS(s.fsys, filepath.Join(c.dir, sl.finalImage))
 		if err != nil {
 			s.noteFatalLocked(fmt.Errorf("%w: campaign %q final image for baseline probe: %w", wal.ErrJournalIO, c.id, err))
 			return
@@ -521,7 +540,7 @@ func (s *Scheduler) completeCampaignLocked(c *campState) {
 	if err := s.gate("result/" + c.id); err != nil {
 		return
 	}
-	if err := ioatomic.WriteFile(filepath.Join(c.dir, "result.json"), resJSON, 0o644); err != nil {
+	if err := ioatomic.WriteFileSealed(s.fsys, filepath.Join(c.dir, "result.json"), resJSON, 0o644); err != nil {
 		s.noteFatalLocked(fmt.Errorf("%w: campaign %q persist result: %w", wal.ErrJournalIO, c.id, err))
 		return
 	}

@@ -5,6 +5,7 @@ import (
 
 	"invisiblebits/internal/core"
 	"invisiblebits/internal/rig"
+	"invisiblebits/internal/storage"
 	"invisiblebits/internal/wal"
 )
 
@@ -40,10 +41,17 @@ const (
 	entryPrepared = "prepared" // slot payload written, conditions elevated
 	entrySlice    = "slice"    // slot absorbed one stress slice
 	entryCkpt     = "ckpt"     // slot image + rig state durably checkpointed
+	entryCkptBad  = "ckptbad"  // a checkpoint image failed verification; struck from history
 	entryEncoded  = "encoded"  // slot record minted, final image saved
 	entryReroute  = "reroute"  // slot re-routed to a spare carrier, restarting from scratch
 	entryDone     = "done"     // campaign sealed: result.json written
 	entryFailed   = "failed"   // campaign terminally failed with a typed, per-tenant error
+	// entryQuarantined marks a campaign whose on-disk state is
+	// unrecoverable (spec.json lost, corrupt, or digest-mismatched — the
+	// message itself is gone). A resuming scheduler appends it instead of
+	// refusing to start: the affected campaign is terminally parked while
+	// every other tenant resumes bit-identically.
+	entryQuarantined = "quarantined"
 )
 
 // Quota bounds one tenant's slice of the shared pool. Zero fields are
@@ -125,6 +133,13 @@ func (e *Entry) SetSeq(seq int) { e.Seq = seq }
 
 func entryOK(e *Entry) bool { return e.Type != "" }
 
+// SlotCheckpoint is one durable checkpoint generation of a slot.
+type SlotCheckpoint struct {
+	Image   string
+	Applied float64
+	Rig     *rig.State
+}
+
 // SlotReplay is one slot's reconstructed position (same shape as the
 // campaign journal's, plus the reroute-resolved serial).
 type SlotReplay struct {
@@ -134,6 +149,13 @@ type SlotReplay struct {
 	Prepared bool
 	Applied  float64
 
+	// Ckpts is the surviving checkpoint history, oldest first — every
+	// generation the journal saved and never struck with a ckptbad
+	// record. Images are uniquely named per applied-hours, so an older
+	// generation can step in when the newest fails verification.
+	Ckpts []SlotCheckpoint
+	// CkptImage / CkptApplied / CkptRig are the newest surviving
+	// checkpoint — the position a resume actually restarts from.
 	CkptImage   string
 	CkptApplied float64
 	CkptRig     *rig.State
@@ -141,6 +163,16 @@ type SlotReplay struct {
 	Record     *core.Record
 	FinalImage string
 	FinalClock float64
+}
+
+// syncNewest re-derives the newest-checkpoint fields from the history.
+func (s *SlotReplay) syncNewest() {
+	if n := len(s.Ckpts); n > 0 {
+		c := s.Ckpts[n-1]
+		s.CkptImage, s.CkptApplied, s.CkptRig = c.Image, c.Applied, c.Rig
+	} else {
+		s.CkptImage, s.CkptApplied, s.CkptRig = "", 0, nil
+	}
 }
 
 // CampaignReplay is one campaign's reconstructed state.
@@ -157,13 +189,17 @@ type CampaignReplay struct {
 
 	Done   bool
 	Failed bool
-	Error  string
+	// Quarantined marks a campaign parked by a resuming scheduler whose
+	// on-disk state was unrecoverable. Quarantine is terminal and sticky:
+	// repairing the spec later does not un-park the campaign.
+	Quarantined bool
+	Error       string
 	// Baselines are the completion-time fresh margins (done campaigns).
 	Baselines []float64
 }
 
 // Terminal reports whether the campaign needs no further scheduling.
-func (c *CampaignReplay) Terminal() bool { return c.Done || c.Failed }
+func (c *CampaignReplay) Terminal() bool { return c.Done || c.Failed || c.Quarantined }
 
 // State is the validated outcome of replaying a scheduler journal.
 type State struct {
@@ -191,6 +227,21 @@ type State struct {
 // pass naming a terminal campaign — rejects the whole journal rather
 // than guessing.
 func Replay(entries []Entry) (*State, error) {
+	st, used, err := ReplaySalvage(entries)
+	if used < len(entries) {
+		return nil, err
+	}
+	return st, nil
+}
+
+// ReplaySalvage replays the longest prefix of entries that validates,
+// returning the reconstructed state, how many entries were used, and the
+// validation error that stopped it (nil when every entry was used). The
+// state exactly reflects the accepted prefix — apply validates each
+// record before mutating anything — so a salvage-based resume can cut
+// the journal at the returned count and continue from there. An empty
+// (or fully rejected) journal salvages to a fresh scheduler state.
+func ReplaySalvage(entries []Entry) (*State, int, error) {
 	st := &State{
 		Tenants:   map[string]Quota{},
 		Campaigns: map[string]*CampaignReplay{},
@@ -198,14 +249,16 @@ func Replay(entries []Entry) (*State, error) {
 	for i := range entries {
 		e := &entries[i]
 		if e.Seq != i {
-			return nil, fmt.Errorf("sched: journal sequence broken: record %d claims seq %d", i, e.Seq)
+			st.NextSeq = i
+			return st, i, fmt.Errorf("sched: journal sequence broken: record %d claims seq %d", i, e.Seq)
 		}
 		if err := st.apply(e); err != nil {
-			return nil, err
+			st.NextSeq = i
+			return st, i, err
 		}
 	}
 	st.NextSeq = len(entries)
-	return st, nil
+	return st, len(entries), nil
 }
 
 func (st *State) campaignOf(e *Entry) (*CampaignReplay, error) {
@@ -373,7 +426,43 @@ func (st *State) apply(e *Entry) error {
 		if e.Applied != s.Applied {
 			return fmt.Errorf("sched: checkpoint %d claims %.4fh, campaign %q slot %d is at %.4fh", e.Seq, e.Applied, e.Campaign, e.Slot, s.Applied)
 		}
-		s.CkptImage, s.CkptApplied, s.CkptRig = e.Image, e.Applied, e.Rig
+		s.Ckpts = append(s.Ckpts, SlotCheckpoint{Image: e.Image, Applied: e.Applied, Rig: e.Rig})
+		s.syncNewest()
+
+	case entryCkptBad:
+		_, s, err := st.slotOf(e)
+		if err != nil {
+			return err
+		}
+		if s.Record != nil {
+			return fmt.Errorf("sched: ckptbad for finished campaign %q slot %d (seq %d)", e.Campaign, e.Slot, e.Seq)
+		}
+		if e.Image == "" {
+			return fmt.Errorf("sched: ckptbad record %d names no image", e.Seq)
+		}
+		found := -1
+		for k := len(s.Ckpts) - 1; k >= 0; k-- {
+			if s.Ckpts[k].Image == e.Image {
+				found = k
+				break
+			}
+		}
+		if found < 0 {
+			return fmt.Errorf("sched: ckptbad at seq %d strikes unknown checkpoint %q for campaign %q slot %d", e.Seq, e.Image, e.Campaign, e.Slot)
+		}
+		s.Ckpts = append(s.Ckpts[:found], s.Ckpts[found+1:]...)
+		s.syncNewest()
+		// Rewind the live position onto the surviving generation. A
+		// runtime strike (bootstrap fallback) has no resume record after
+		// it, so the stream itself must agree with the fallback: the slot
+		// re-runs — and re-appends — from the older generation (or from
+		// scratch when none survives).
+		if s.CkptImage == "" {
+			s.Prepared = false
+			s.Applied = 0
+		} else if s.Applied > s.CkptApplied {
+			s.Applied = s.CkptApplied
+		}
 
 	case entryEncoded:
 		_, s, err := st.slotOf(e)
@@ -443,6 +532,26 @@ func (st *State) apply(e *Entry) error {
 		c.Error = e.Error
 		c.DoneAt = e.AtHours
 
+	case entryQuarantined:
+		// Unlike done/failed, quarantine may land on an already-terminal
+		// campaign: a done campaign whose spec.json later rots still gets
+		// parked (its scheduling state is fine; its artifacts are not).
+		c, err := st.campaignOf(e)
+		if err != nil {
+			return err
+		}
+		if c.Quarantined {
+			return fmt.Errorf("sched: campaign %q quarantined twice (seq %d)", e.Campaign, e.Seq)
+		}
+		if e.Error == "" {
+			return fmt.Errorf("sched: quarantined record %d carries no error", e.Seq)
+		}
+		c.Quarantined = true
+		c.Error = e.Error
+		if !c.Done && !c.Failed {
+			c.DoneAt = e.AtHours
+		}
+
 	default:
 		return fmt.Errorf("sched: unknown record type %q at seq %d", e.Type, e.Seq)
 	}
@@ -453,6 +562,15 @@ func (st *State) apply(e *Entry) error {
 // final line (wal semantics).
 func ReadJournal(path string) (entries []Entry, validLen int64, err error) {
 	return wal.ReadFile(path, entryOK)
+}
+
+// ReadJournalSalvage parses a scheduler journal leniently over the given
+// filesystem: CRC-failed or unparseable records cut the journal at the
+// last verifiable prefix, reported in the wal.Salvage summary rather
+// than as an error. The error is non-nil only if the file itself cannot
+// be read.
+func ReadJournalSalvage(fsys storage.FS, path string) (entries []Entry, sal wal.Salvage, err error) {
+	return wal.ReadFileSalvage(fsys, path, entryOK)
 }
 
 // ParseJournal is ReadJournal over in-memory bytes (the fuzz surface).

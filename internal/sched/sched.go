@@ -47,6 +47,7 @@ import (
 	"invisiblebits/internal/ioatomic"
 	"invisiblebits/internal/rig"
 	"invisiblebits/internal/stegocrypt"
+	"invisiblebits/internal/storage"
 	"invisiblebits/internal/wal"
 )
 
@@ -151,6 +152,10 @@ type Config struct {
 	// NoSync skips per-append fsync (wal.Options.NoSync). Benchmarks
 	// only — it voids the crash-safety contract.
 	NoSync bool
+	// FS is the filesystem seam for every durable artifact (journal,
+	// specs, images, results). Nil means the real OS filesystem;
+	// fault-injection tests substitute a storage.FaultFS.
+	FS storage.FS
 }
 
 func (c Config) chamberSlots() int {
@@ -207,12 +212,13 @@ func (c Config) keyFor(tenant, id string) *stegocrypt.Key {
 
 // tenantState is one tenant's live quota accounting.
 type tenantState struct {
-	quota    Quota
-	active   int     // non-terminal campaigns
-	devices  int     // serials + spares held by non-terminal campaigns
-	estHours float64 // cumulative chamber-hour estimate ever charged
-	done     int
-	failed   int
+	quota       Quota
+	active      int     // non-terminal campaigns
+	devices     int     // serials + spares held by non-terminal campaigns
+	estHours    float64 // cumulative chamber-hour estimate ever charged
+	done        int
+	failed      int
+	quarantined int
 }
 
 // slotState is one campaign slot's live position. During a pass the
@@ -236,14 +242,23 @@ type slotState struct {
 	preparedJournaled bool
 	journaledApplied  float64
 
-	// Latest durable checkpoint (rebuild bootstrap).
-	ckptImage   string
-	ckptApplied float64
-	ckptRig     *rig.State
+	// ckpts is the surviving durable checkpoint history, oldest first
+	// (rebuild bootstrap). The newest generation is tried first; one that
+	// fails verification is struck with a ckptbad record and the slot
+	// falls back to the previous generation or a scratch rebuild.
+	ckpts []SlotCheckpoint
 
 	record     *core.Record
 	finalImage string
 	finalClock float64
+}
+
+// newestCkpt returns the newest surviving checkpoint generation, or nil.
+func (sl *slotState) newestCkpt() *SlotCheckpoint {
+	if n := len(sl.ckpts); n > 0 {
+		return &sl.ckpts[n-1]
+	}
+	return nil
 }
 
 func (sl *slotState) live() bool     { return len(sl.seg) > 0 }
@@ -269,14 +284,17 @@ type campState struct {
 	deferrals int
 	barren    int
 
-	done      bool
-	failed    bool
-	errText   string
-	doneAt    float64
-	baselines []float64
+	done   bool
+	failed bool
+	// quarantined parks a campaign whose on-disk state was unrecoverable
+	// at resume (spec.json lost or corrupt). Terminal; never scheduled.
+	quarantined bool
+	errText     string
+	doneAt      float64
+	baselines   []float64
 }
 
-func (c *campState) terminal() bool { return c.done || c.failed }
+func (c *campState) terminal() bool { return c.done || c.failed || c.quarantined }
 
 func (c *campState) runnable() bool {
 	if c.terminal() {
@@ -303,9 +321,14 @@ func (c *campState) complete() bool {
 // Scheduler is the multi-tenant campaign scheduler. All methods are
 // safe for concurrent use.
 type Scheduler struct {
-	cfg Config
-	dir string
-	j   *wal.Journal
+	cfg  Config
+	dir  string
+	j    *wal.Journal
+	fsys storage.FS
+
+	// salvage is the degraded-resume report; nil for a fresh scheduler,
+	// non-nil (possibly clean) after Resume.
+	salvage *ResumeSummary
 
 	mu   sync.Mutex
 	cond *sync.Cond
@@ -334,10 +357,10 @@ type Scheduler struct {
 // journal is refused — that scheduler's truth is on disk, and Resume is
 // the only safe way back in.
 func New(dir string, cfg Config) (*Scheduler, error) {
-	if err := os.MkdirAll(filepath.Join(dir, campaignsDir), 0o755); err != nil {
+	if err := storage.Default(cfg.FS).MkdirAll(filepath.Join(dir, campaignsDir), 0o755); err != nil {
 		return nil, fmt.Errorf("sched: %w", err)
 	}
-	j, err := wal.Create(filepath.Join(dir, journalFile), wal.Options{Hook: cfg.Hook, NoSync: cfg.NoSync})
+	j, err := wal.Create(filepath.Join(dir, journalFile), wal.Options{Hook: cfg.Hook, NoSync: cfg.NoSync, FS: cfg.FS})
 	if err != nil {
 		if errors.Is(err, os.ErrExist) {
 			return nil, fmt.Errorf("sched: %s already holds a journal; use Resume: %w", dir, err)
@@ -354,6 +377,7 @@ func newScheduler(dir string, cfg Config, j *wal.Journal) *Scheduler {
 		cfg:     cfg,
 		dir:     dir,
 		j:       j,
+		fsys:    storage.Default(cfg.FS),
 		tenants: map[string]*tenantState{},
 		camps:   map[string]*campState{},
 		serials: map[string]string{},
@@ -363,27 +387,112 @@ func newScheduler(dir string, cfg Config, j *wal.Journal) *Scheduler {
 	return s
 }
 
+// ResumeSummary reports what a degraded scheduler resume had to give up
+// on — the typed outcome operators see (startup log, /status) instead of
+// a silent recovery. All fields zero/empty means the resume was clean.
+type ResumeSummary struct {
+	// JournalRecords is how many journal records were replayed.
+	JournalRecords int `json:"journal_records"`
+	// DroppedRecords is how many structurally-parsed records were
+	// discarded because replay validation rejected them (corrupt
+	// suffix); DroppedBytes counts all journal bytes cut, including
+	// unparseable ones.
+	DroppedRecords int   `json:"dropped_records,omitempty"`
+	DroppedBytes   int64 `json:"dropped_bytes,omitempty"`
+	// TornTail reports the benign signature of dying mid-append, as
+	// opposed to mid-file corruption.
+	TornTail bool `json:"torn_tail,omitempty"`
+	// Reason says why the journal was cut ("" when it was not).
+	Reason string `json:"reason,omitempty"`
+	// Quarantined lists campaigns parked because their on-disk state was
+	// unrecoverable (spec.json lost, corrupt, or digest-mismatched).
+	// Every other campaign resumed normally.
+	Quarantined []string `json:"quarantined,omitempty"`
+	// BadCheckpoints lists checkpoint images that failed verification
+	// and were struck from history (ckptbad records appended); the slot
+	// fell back to an older generation or a scratch rebuild.
+	BadCheckpoints []string `json:"bad_checkpoints,omitempty"`
+	// TempFilesSwept lists stale safe-save temp files removed on entry.
+	TempFilesSwept []string `json:"temp_files_swept,omitempty"`
+}
+
+// Degraded reports whether the resume had to salvage anything.
+func (s *ResumeSummary) Degraded() bool {
+	return s != nil && (s.DroppedBytes > 0 || len(s.Quarantined) > 0 || len(s.BadCheckpoints) > 0)
+}
+
+// Salvage returns the degraded-resume report: nil for a scheduler
+// started with New, non-nil (possibly clean) for a resumed one.
+func (s *Scheduler) Salvage() *ResumeSummary { return s.salvage }
+
 // Resume re-enters a crashed (or cleanly stopped) scheduler: it replays
 // the journal, re-validates every campaign's spec.json against its
 // journaled schedule digest, rebuilds every in-flight slot from its
-// latest durable checkpoint, and continues scheduling. Campaigns whose
-// slots never reached a checkpoint restart those slots from scratch,
-// deterministically. Fails closed on any journal inconsistency.
+// newest *verified* durable checkpoint, and continues scheduling.
+// Campaigns whose slots never reached a checkpoint restart those slots
+// from scratch, deterministically.
+//
+// Storage damage that fail-closed replay would brick on is survived
+// instead: a corrupt journal suffix is cut at the last verifiable record
+// (safe — every slice of lost work is deterministically redone), a
+// checkpoint image that fails its seal is struck with a durable ckptbad
+// record and the slot falls back to the previous generation, stale
+// safe-save temp files are swept, and a campaign whose spec.json is
+// lost, corrupt, or digest-mismatched — the one genuinely unrecoverable
+// state, since the spec holds the message itself — is quarantined with a
+// durable record while every other tenant resumes bit-identically.
+// Salvage() reports each of those decisions.
 func Resume(dir string, cfg Config) (*Scheduler, error) {
+	fsys := storage.Default(cfg.FS)
+	sum := &ResumeSummary{}
+	swept, err := ioatomic.SweepTemps(fsys, dir)
+	if err != nil {
+		return nil, fmt.Errorf("sched: %w", err)
+	}
+	sum.TempFilesSwept = swept
+	croot := filepath.Join(dir, campaignsDir)
+	if ents, derr := fsys.ReadDir(croot); derr == nil {
+		for _, ent := range ents {
+			if !ent.IsDir() {
+				continue
+			}
+			swept, err := ioatomic.SweepTemps(fsys, filepath.Join(croot, ent.Name()))
+			if err != nil {
+				return nil, fmt.Errorf("sched: %w", err)
+			}
+			sum.TempFilesSwept = append(sum.TempFilesSwept, swept...)
+		}
+	}
+
 	path := filepath.Join(dir, journalFile)
-	entries, validLen, err := ReadJournal(path)
+	entries, sal, err := ReadJournalSalvage(cfg.FS, path)
 	if err != nil {
 		return nil, err
 	}
-	st, err := Replay(entries)
-	if err != nil {
-		return nil, err
+	sum.DroppedBytes = sal.DroppedBytes
+	sum.TornTail = sal.TornTail
+	sum.Reason = sal.Reason
+	st, used, replayErr := ReplaySalvage(entries)
+	validLen := sal.ValidLen
+	if used < len(entries) {
+		// Structural corruption past the CRC layer: cut at the last
+		// record replay accepted.
+		sum.DroppedRecords = len(entries) - used
+		sum.DroppedBytes += sal.ValidLen - offsetOf(sal, used)
+		sum.TornTail = false
+		if replayErr != nil {
+			sum.Reason = replayErr.Error()
+		}
+		validLen = offsetOf(sal, used)
 	}
-	j, err := wal.Open(path, wal.Options{Hook: cfg.Hook, NoSync: cfg.NoSync}, st.NextSeq, validLen)
+	sum.JournalRecords = used
+
+	j, err := wal.Open(path, wal.Options{Hook: cfg.Hook, NoSync: cfg.NoSync, FS: cfg.FS}, st.NextSeq, validLen)
 	if err != nil {
 		return nil, err
 	}
 	s := newScheduler(dir, cfg, j)
+	s.salvage = sum
 	s.chamberHours = st.ChamberHours
 	s.passes = st.Passes
 	s.setups = st.Setups
@@ -398,15 +507,34 @@ func Resume(dir string, cfg Config) (*Scheduler, error) {
 	}
 	for _, id := range st.Order {
 		cr := st.Campaigns[id]
-		c, err := s.rebuildCampaign(id, cr)
-		if err != nil {
-			j.Close()
-			return nil, err
+		var c *campState
+		if cr.Quarantined {
+			c = s.quarantinedCampaign(id, cr)
+		} else if c, err = s.rebuildCampaign(id, cr); err != nil {
+			// The campaign's own state is unrecoverable — the spec holds
+			// the message itself, which no amount of determinism can
+			// reconstruct. Park it durably; every other tenant resumes.
+			if aerr := s.j.Append(&Entry{
+				Type: entryQuarantined, Campaign: id,
+				Error: err.Error(), AtHours: st.ChamberHours, Slot: -1,
+			}); aerr != nil {
+				j.Close()
+				return nil, aerr
+			}
+			sum.Quarantined = append(sum.Quarantined, id)
+			cr.Quarantined = true
+			cr.Error = err.Error()
+			if !cr.Done && !cr.Failed {
+				cr.DoneAt = st.ChamberHours
+			}
+			c = s.quarantinedCampaign(id, cr)
 		}
 		s.camps[id] = c
 		ts := s.tenants[cr.Tenant]
 		ts.estHours += c.estHours
 		switch {
+		case cr.Quarantined:
+			ts.quarantined++
 		case cr.Done:
 			ts.done++
 			s.latencies = append(s.latencies, cr.DoneAt-cr.SubmitAt)
@@ -419,7 +547,10 @@ func Resume(dir string, cfg Config) (*Scheduler, error) {
 		}
 		// Every serial the campaign ever touched stays reserved: the
 		// spec's originals, the remaining spares, and any spare a reroute
-		// already consumed (now a slot's live serial).
+		// already consumed (now a slot's live serial). A quarantined
+		// campaign's originals are unknowable (the spec is gone) — the
+		// journal-known serials stay reserved, and the duplicate-ID check
+		// keeps the campaign itself from being resubmitted.
 		for _, ser := range c.spec.Serials {
 			s.serials[ser] = id
 		}
@@ -433,7 +564,45 @@ func Resume(dir string, cfg Config) (*Scheduler, error) {
 		}
 	}
 
-	if len(entries) > 0 {
+	// Verify every live slot's checkpoint generations, newest first,
+	// striking unloadable images with durable ckptbad records BEFORE the
+	// resume record — replay's rewind must agree with the generation the
+	// next pass actually bootstraps from.
+	for _, id := range st.Order {
+		cr := st.Campaigns[id]
+		if cr.Terminal() {
+			continue
+		}
+		c := s.camps[id]
+		for i, sl := range c.slots {
+			if sl.record != nil {
+				continue
+			}
+			for n := len(sl.ckpts); n > 0; n = len(sl.ckpts) {
+				ck := sl.ckpts[n-1]
+				if _, lerr := device.LoadFileFS(s.fsys, filepath.Join(c.dir, ck.Image)); lerr == nil {
+					break
+				}
+				if aerr := s.j.Append(&Entry{Type: entryCkptBad, Campaign: id, Slot: i, Image: ck.Image}); aerr != nil {
+					j.Close()
+					return nil, aerr
+				}
+				sum.BadCheckpoints = append(sum.BadCheckpoints, ck.Image)
+				sl.ckpts = sl.ckpts[:n-1]
+			}
+			// Re-derive the journal high-water marks from the surviving
+			// generation: the slot re-runs — and re-appends — from there.
+			if ck := sl.newestCkpt(); ck != nil {
+				sl.preparedJournaled = true
+				sl.journaledApplied = ck.Applied
+			} else {
+				sl.preparedJournaled = false
+				sl.journaledApplied = 0
+			}
+		}
+	}
+
+	if used > 0 {
 		if err := s.j.Append(&Entry{Type: entryResume, Slot: -1}); err != nil {
 			j.Close()
 			return nil, err
@@ -443,11 +612,40 @@ func Resume(dir string, cfg Config) (*Scheduler, error) {
 	return s, nil
 }
 
+// quarantinedCampaign builds the terminal placeholder for a campaign
+// whose spec is unrecoverable: enough state to answer Status queries and
+// hold the duplicate-ID reservation, nothing schedulable.
+func (s *Scheduler) quarantinedCampaign(id string, cr *CampaignReplay) *campState {
+	return &campState{
+		id:          id,
+		tenant:      cr.Tenant,
+		dir:         filepath.Join(s.dir, campaignsDir, id),
+		estHours:    cr.EstHours,
+		submitSeq:   cr.SubmitSeq,
+		submitAt:    cr.SubmitAt,
+		quarantined: true,
+		errText:     cr.Error,
+		doneAt:      cr.DoneAt,
+	}
+}
+
+// offsetOf returns the byte offset just past record used-1 (0 when
+// nothing was used).
+func offsetOf(sal wal.Salvage, used int) int64 {
+	if used == 0 {
+		return 0
+	}
+	if used-1 < len(sal.Offsets) {
+		return sal.Offsets[used-1]
+	}
+	return sal.ValidLen
+}
+
 // rebuildCampaign reconstructs one campaign from its replayed state,
 // verifying spec.json still matches the journaled schedule digest.
 func (s *Scheduler) rebuildCampaign(id string, cr *CampaignReplay) (*campState, error) {
 	cdir := filepath.Join(s.dir, campaignsDir, id)
-	b, err := os.ReadFile(filepath.Join(cdir, "spec.json"))
+	b, err := s.fsys.ReadFile(filepath.Join(cdir, "spec.json"))
 	if err != nil {
 		return nil, fmt.Errorf("sched: campaign %q: %w", id, err)
 	}
@@ -490,9 +688,7 @@ func (s *Scheduler) rebuildCampaign(id string, cr *CampaignReplay) (*campState, 
 			sl.finalImage = sr.FinalImage
 			sl.finalClock = sr.FinalClock
 		case sr.CkptImage != "":
-			sl.ckptImage = sr.CkptImage
-			sl.ckptApplied = sr.CkptApplied
-			sl.ckptRig = sr.CkptRig
+			sl.ckpts = append([]SlotCheckpoint(nil), sr.Ckpts...)
 			sl.preparedJournaled = true
 			sl.journaledApplied = sr.CkptApplied
 		default:
@@ -651,7 +847,7 @@ func (s *Scheduler) Submit(sub Submission) error {
 		s.tenants[sub.Tenant] = ts
 	}
 	cdir := filepath.Join(s.dir, campaignsDir, spec.ID)
-	if err := os.MkdirAll(cdir, 0o755); err != nil {
+	if err := s.fsys.MkdirAll(cdir, 0o755); err != nil {
 		return fmt.Errorf("sched: %w", err)
 	}
 	specJSON, err := json.MarshalIndent(spec, "", "  ")
@@ -661,7 +857,7 @@ func (s *Scheduler) Submit(sub Submission) error {
 	if err := s.gate("spec/" + spec.ID); err != nil {
 		return err
 	}
-	if err := ioatomic.WriteFile(filepath.Join(cdir, "spec.json"), specJSON, 0o644); err != nil {
+	if err := ioatomic.WriteFileFS(s.fsys, filepath.Join(cdir, "spec.json"), specJSON, 0o644); err != nil {
 		err = fmt.Errorf("%w: persist spec for %q: %w", wal.ErrJournalIO, spec.ID, err)
 		s.noteFatalLocked(err)
 		return err
@@ -858,10 +1054,17 @@ type Status struct {
 	Setups        int     `json:"setups"`
 	BatchedSlices int     `json:"batched_slices"`
 
-	Active int  `json:"active"`
-	Done   int  `json:"done"`
-	Failed int  `json:"failed"`
-	Drain  bool `json:"draining"`
+	Active int `json:"active"`
+	Done   int `json:"done"`
+	Failed int `json:"failed"`
+	// Quarantined counts campaigns parked by a degraded resume because
+	// their on-disk state was unrecoverable.
+	Quarantined int  `json:"quarantined,omitempty"`
+	Drain       bool `json:"draining"`
+
+	// Salvage is the degraded-resume report; nil for a fresh scheduler,
+	// non-nil (possibly clean) after Resume.
+	Salvage *ResumeSummary `json:"salvage,omitempty"`
 
 	// CampaignsPerChamberHour is completed campaigns over elapsed
 	// chamber hours — the throughput headline.
@@ -882,14 +1085,15 @@ type TenantStatus struct {
 	CommittedHours float64 `json:"committed_hours"`
 	Done           int     `json:"done"`
 	Failed         int     `json:"failed"`
+	Quarantined    int     `json:"quarantined,omitempty"`
 }
 
 // CampaignStatus is one campaign's snapshot.
 type CampaignStatus struct {
 	Campaign string `json:"campaign"`
 	Tenant   string `json:"tenant"`
-	// State is "queued", "done", or "failed" ("queued" covers both
-	// waiting and mid-soak — the queue IS the run state).
+	// State is "queued", "done", "failed", or "quarantined" ("queued"
+	// covers both waiting and mid-soak — the queue IS the run state).
 	State string `json:"state"`
 	Error string `json:"error,omitempty"`
 
@@ -920,9 +1124,11 @@ func (s *Scheduler) Status() Status {
 		Drain:         s.draining,
 		Tenants:       map[string]TenantStatus{},
 	}
+	st.Salvage = s.salvage
 	for name, ts := range s.tenants {
 		st.Done += ts.done
 		st.Failed += ts.failed
+		st.Quarantined += ts.quarantined
 		st.Tenants[name] = TenantStatus{
 			Quota:          ts.quota,
 			Active:         ts.active,
@@ -930,6 +1136,7 @@ func (s *Scheduler) Status() Status {
 			CommittedHours: ts.estHours,
 			Done:           ts.done,
 			Failed:         ts.failed,
+			Quarantined:    ts.quarantined,
 		}
 	}
 	if s.chamberHours > 0 {
@@ -958,6 +1165,8 @@ func (s *Scheduler) Campaign(id string) (CampaignStatus, bool) {
 		Baselines:   c.baselines,
 	}
 	switch {
+	case c.quarantined:
+		cs.State = "quarantined"
 	case c.done:
 		cs.State = "done"
 	case c.failed:

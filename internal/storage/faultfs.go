@@ -1,0 +1,450 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"invisiblebits/internal/faults"
+)
+
+// FaultFS wraps a base filesystem (usually OS()) and makes it lie the
+// way production disks do:
+//
+//   - scripted one-shot failures (FailNth) for surgical unit tests of
+//     individual error paths,
+//   - seeded probabilistic failures (faults.StorageFaults) for storm
+//     tests — write/read errors, fsyncgate, silent bit rot — replayable
+//     from a seed,
+//   - an ENOSPC byte budget,
+//   - Crash(), which models power loss with realistic semantics: every
+//     byte written since the last successful fsync may be torn away,
+//     and a rename whose directory was never fsynced may be undone
+//     (reordered directory entries), resurrecting the old target.
+//
+// An injected fsync failure follows fsyncgate semantics: the error is
+// reported AND the unflushed bytes are dropped immediately, so a caller
+// that retries the fsync "successfully" has persisted nothing.
+//
+// FaultFS tracks durability state per path (synced length vs. current
+// length) across open/close, because close does not imply sync. It is
+// safe for concurrent use.
+type FaultFS struct {
+	base FS
+	eng  *faults.StorageFaults
+
+	mu       sync.Mutex
+	files    map[string]*fileState
+	renames  []*pendingRename
+	scripted []*scriptedFault
+	budget   int64 // remaining write bytes; <0 = unlimited
+	crashes  int
+}
+
+type fileState struct {
+	syncedLen int64
+	curLen    int64
+}
+
+type pendingRename struct {
+	dir       string
+	oldpath   string
+	newpath   string
+	hadTarget bool
+	target    []byte
+}
+
+type scriptedFault struct {
+	op     faults.StorageOp
+	substr string
+	n      int
+	err    error
+	done   bool
+}
+
+// NewFaultFS wraps base with the fault engine built from profile. A
+// zero profile injects nothing probabilistically; scripted failures and
+// Crash() still work.
+func NewFaultFS(base FS, profile faults.StorageProfile) *FaultFS {
+	return &FaultFS{
+		base:   Default(base),
+		eng:    faults.NewStorageFaults(profile),
+		files:  make(map[string]*fileState),
+		budget: -1,
+	}
+}
+
+// FailNth schedules a one-shot injected failure: the nth (1-based)
+// subsequent operation of kind op whose path contains pathSubstr
+// returns err. Sync failures additionally drop the file's unflushed
+// bytes (fsyncgate).
+func (fs *FaultFS) FailNth(op faults.StorageOp, pathSubstr string, n int, err error) {
+	if n < 1 {
+		n = 1
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.scripted = append(fs.scripted, &scriptedFault{op: op, substr: pathSubstr, n: n, err: err})
+}
+
+// SetSpaceBudget caps the total bytes subsequent writes may add; once
+// exhausted every write fails with faults.ErrDiskFull (whole writes
+// fail — no partial ENOSPC writes). Negative means unlimited.
+func (fs *FaultFS) SetSpaceBudget(n int64) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.budget = n
+}
+
+// Crashes reports how many times Crash has been invoked.
+func (fs *FaultFS) Crashes() int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.crashes
+}
+
+// siteKey normalizes a path to a stable fault-decision site: the base
+// name with any random temp suffix collapsed, so seeded decisions do
+// not depend on the randomized temp-dir or temp-file names.
+func siteKey(path string) string {
+	base := filepath.Base(path)
+	if i := strings.Index(base, ".tmp"); i >= 0 {
+		base = base[:i+len(".tmp")]
+	}
+	return base
+}
+
+// inject consults scripted faults first, then the seeded engine.
+func (fs *FaultFS) inject(op faults.StorageOp, path string) error {
+	fs.mu.Lock()
+	for _, s := range fs.scripted {
+		if s.done || s.op != op || !strings.Contains(path, s.substr) {
+			continue
+		}
+		s.n--
+		if s.n <= 0 {
+			s.done = true
+			fs.mu.Unlock()
+			return s.err
+		}
+	}
+	fs.mu.Unlock()
+	return fs.eng.OpError(op, siteKey(path))
+}
+
+func (fs *FaultFS) stateFor(path string, initial int64) *fileState {
+	st, ok := fs.files[path]
+	if !ok {
+		st = &fileState{syncedLen: initial, curLen: initial}
+		fs.files[path] = st
+	}
+	return st
+}
+
+// OpenFile opens path on the base filesystem and begins durability
+// tracking for writable handles. Pre-existing bytes count as synced.
+func (fs *FaultFS) OpenFile(path string, flag int, perm os.FileMode) (File, error) {
+	if err := fs.inject(faults.StorageCreate, path); err != nil {
+		return nil, err
+	}
+	f, err := fs.base.OpenFile(path, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	writable := flag&(os.O_WRONLY|os.O_RDWR) != 0
+	if writable {
+		var size int64
+		if flag&os.O_TRUNC == 0 {
+			if info, serr := fs.base.Stat(path); serr == nil {
+				size = info.Size()
+			}
+		}
+		fs.mu.Lock()
+		st := fs.stateFor(path, size)
+		st.curLen = size
+		if st.syncedLen > size {
+			st.syncedLen = size
+		}
+		fs.mu.Unlock()
+	}
+	return &faultFile{fs: fs, f: f, path: path, writable: writable}, nil
+}
+
+// CreateTemp creates a temp file on the base filesystem, tracked from
+// length zero (nothing synced yet).
+func (fs *FaultFS) CreateTemp(dir, pattern string) (File, error) {
+	if err := fs.inject(faults.StorageCreate, filepath.Join(dir, pattern)); err != nil {
+		return nil, err
+	}
+	f, err := fs.base.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	path := f.Name()
+	fs.mu.Lock()
+	fs.files[path] = &fileState{}
+	fs.mu.Unlock()
+	return &faultFile{fs: fs, f: f, path: path, writable: true}, nil
+}
+
+// ReadFile reads path, possibly failing with an injected media error or
+// returning silently rotted bytes (one byte flipped, no error).
+func (fs *FaultFS) ReadFile(path string) ([]byte, error) {
+	if err := fs.inject(faults.StorageRead, path); err != nil {
+		return nil, err
+	}
+	data, err := fs.base.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return fs.eng.Rot(siteKey(path), data), nil
+}
+
+// Rename renames on the base filesystem, snapshots any overwritten
+// target, and records the rename as non-durable until the containing
+// directory is fsynced — Crash may undo it.
+func (fs *FaultFS) Rename(oldpath, newpath string) error {
+	if err := fs.inject(faults.StorageRename, newpath); err != nil {
+		return err
+	}
+	target, terr := fs.base.ReadFile(newpath)
+	hadTarget := terr == nil
+	if err := fs.base.Rename(oldpath, newpath); err != nil {
+		return err
+	}
+	fs.mu.Lock()
+	if st, ok := fs.files[oldpath]; ok {
+		delete(fs.files, oldpath)
+		fs.files[newpath] = st
+	}
+	fs.renames = append(fs.renames, &pendingRename{
+		dir:       DirOf(newpath),
+		oldpath:   oldpath,
+		newpath:   newpath,
+		hadTarget: hadTarget,
+		target:    target,
+	})
+	fs.mu.Unlock()
+	return nil
+}
+
+// Remove deletes path and drops its durability tracking.
+func (fs *FaultFS) Remove(path string) error {
+	err := fs.base.Remove(path)
+	if err == nil {
+		fs.mu.Lock()
+		delete(fs.files, path)
+		fs.mu.Unlock()
+	}
+	return err
+}
+
+// Truncate cuts path to size. The truncation is modelled as durable
+// (every journal truncate here is immediately followed by fsynced
+// appends, which re-cover the tail).
+func (fs *FaultFS) Truncate(path string, size int64) error {
+	if err := fs.base.Truncate(path, size); err != nil {
+		return err
+	}
+	fs.mu.Lock()
+	if st, ok := fs.files[path]; ok {
+		st.curLen = size
+		st.syncedLen = size
+	}
+	fs.mu.Unlock()
+	return nil
+}
+
+// MkdirAll passes through to the base filesystem.
+func (fs *FaultFS) MkdirAll(path string, perm os.FileMode) error {
+	return fs.base.MkdirAll(path, perm)
+}
+
+// Stat passes through to the base filesystem.
+func (fs *FaultFS) Stat(path string) (os.FileInfo, error) { return fs.base.Stat(path) }
+
+// ReadDir passes through to the base filesystem.
+func (fs *FaultFS) ReadDir(path string) ([]os.DirEntry, error) { return fs.base.ReadDir(path) }
+
+// SyncDir fsyncs the directory, making every completed rename in it
+// durable (Crash can no longer undo them).
+func (fs *FaultFS) SyncDir(path string) error {
+	if err := fs.inject(faults.StorageSyncDir, path); err != nil {
+		return err
+	}
+	if err := fs.base.SyncDir(path); err != nil {
+		return err
+	}
+	fs.mu.Lock()
+	kept := fs.renames[:0]
+	for _, r := range fs.renames {
+		if r.dir != path {
+			kept = append(kept, r)
+		}
+	}
+	fs.renames = kept
+	fs.mu.Unlock()
+	return nil
+}
+
+// Crash models power loss. For every tracked file, the bytes written
+// since its last successful fsync are torn: a deterministic fraction of
+// the unsynced tail survives (harshest — none — when TearFrac is zero).
+// Every rename whose directory was never fsynced may be undone: the
+// renamed file moves back to its old name and the overwritten target is
+// resurrected. All tracking is then reset, as a fresh process would
+// find it. The FaultFS remains usable — resume the supervisor on it.
+func (fs *FaultFS) Crash() error {
+	fs.mu.Lock()
+	files := fs.files
+	renames := fs.renames
+	fs.files = make(map[string]*fileState)
+	fs.renames = nil
+	fs.crashes++
+	fs.mu.Unlock()
+
+	for path, st := range files {
+		if st.curLen <= st.syncedLen {
+			continue
+		}
+		keep := st.syncedLen + fs.eng.TearKeep(siteKey(path), st.curLen-st.syncedLen)
+		if err := fs.base.Truncate(path, keep); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("storage: crash tear %s: %w", path, err)
+		}
+	}
+	// Undo un-dir-synced renames newest-first, so chains of renames
+	// unwind in order.
+	for i := len(renames) - 1; i >= 0; i-- {
+		r := renames[i]
+		if !fs.eng.RevertRename(siteKey(r.newpath)) {
+			continue
+		}
+		moved, err := fs.base.ReadFile(r.newpath)
+		if err != nil {
+			continue // already gone; nothing to unwind
+		}
+		if err := fs.writeRaw(r.oldpath, moved); err != nil {
+			return fmt.Errorf("storage: crash revert %s: %w", r.newpath, err)
+		}
+		if r.hadTarget {
+			if err := fs.writeRaw(r.newpath, r.target); err != nil {
+				return fmt.Errorf("storage: crash restore %s: %w", r.newpath, err)
+			}
+		} else if err := fs.base.Remove(r.newpath); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("storage: crash unlink %s: %w", r.newpath, err)
+		}
+	}
+	return nil
+}
+
+// writeRaw writes data straight to the base filesystem (crash cleanup
+// must not itself roll fault dice).
+func (fs *FaultFS) writeRaw(path string, data []byte) error {
+	f, err := fs.base.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// faultFile is the tracked file handle.
+type faultFile struct {
+	fs       *FaultFS
+	f        File
+	path     string
+	writable bool
+}
+
+func (f *faultFile) Name() string { return f.f.Name() }
+
+func (f *faultFile) Read(p []byte) (int, error) {
+	if err := f.fs.inject(faults.StorageRead, f.path); err != nil {
+		return 0, err
+	}
+	return f.f.Read(p)
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	if err := f.fs.inject(faults.StorageWrite, f.path); err != nil {
+		return 0, err
+	}
+	f.fs.mu.Lock()
+	if f.fs.budget >= 0 {
+		if int64(len(p)) > f.fs.budget {
+			f.fs.mu.Unlock()
+			return 0, fmt.Errorf("write %s: %w", f.path, faults.ErrDiskFull)
+		}
+		f.fs.budget -= int64(len(p))
+	}
+	f.fs.mu.Unlock()
+	n, err := f.f.Write(p)
+	if n > 0 && f.writable {
+		f.fs.mu.Lock()
+		if st, ok := f.fs.files[f.path]; ok {
+			st.curLen += int64(n)
+		}
+		f.fs.mu.Unlock()
+	}
+	return n, err
+}
+
+func (f *faultFile) Chmod(mode os.FileMode) error {
+	if err := f.fs.inject(faults.StorageChmod, f.path); err != nil {
+		return err
+	}
+	return f.f.Chmod(mode)
+}
+
+// Sync either flushes for real (advancing the synced watermark) or, on
+// an injected failure, drops the unflushed bytes on the floor before
+// reporting the error — fsyncgate.
+func (f *faultFile) Sync() error {
+	if err := f.fs.inject(faults.StorageSync, f.path); err != nil {
+		f.fs.mu.Lock()
+		st, ok := f.fs.files[f.path]
+		var syncedLen int64
+		if ok {
+			syncedLen = st.syncedLen
+			st.curLen = syncedLen
+		}
+		f.fs.mu.Unlock()
+		if ok {
+			// Best-effort: the pages are gone, reflect that on disk now
+			// so even a clean process exit cannot read them back.
+			_ = f.fs.base.Truncate(f.path, syncedLen)
+		}
+		return err
+	}
+	if err := f.f.Sync(); err != nil {
+		return err
+	}
+	if f.writable {
+		f.fs.mu.Lock()
+		if st, ok := f.fs.files[f.path]; ok {
+			st.syncedLen = st.curLen
+		}
+		f.fs.mu.Unlock()
+	}
+	return nil
+}
+
+func (f *faultFile) Close() error {
+	injected := f.fs.inject(faults.StorageClose, f.path)
+	err := f.f.Close()
+	f.fs.mu.Lock()
+	if st, ok := f.fs.files[f.path]; ok && st.curLen == st.syncedLen {
+		// Fully durable — no crash exposure left to track.
+		delete(f.fs.files, f.path)
+	}
+	f.fs.mu.Unlock()
+	if injected != nil {
+		return injected
+	}
+	return err
+}

@@ -1,0 +1,236 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"invisiblebits/internal/faults"
+)
+
+func writeAll(t *testing.T, f File, data []byte) {
+	t.Helper()
+	if _, err := f.Write(data); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+}
+
+func readBack(t *testing.T, path string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read back %s: %v", path, err)
+	}
+	return b
+}
+
+func TestFailNthScriptedFailure(t *testing.T) {
+	dir := t.TempDir()
+	fsys := NewFaultFS(nil, faults.StorageProfile{})
+	boom := errors.New("scripted boom")
+	fsys.FailNth(faults.StorageWrite, "target", 2, boom)
+
+	f, err := fsys.OpenFile(filepath.Join(dir, "target.dat"), os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write([]byte("one")); err != nil {
+		t.Fatalf("first write should pass: %v", err)
+	}
+	if _, err := f.Write([]byte("two")); !errors.Is(err, boom) {
+		t.Fatalf("second write = %v, want scripted error", err)
+	}
+	if _, err := f.Write([]byte("three")); err != nil {
+		t.Fatalf("scripted fault should be one-shot, third write failed: %v", err)
+	}
+	// A path not matching the substring is never hit.
+	other, err := fsys.OpenFile(filepath.Join(dir, "other.dat"), os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer other.Close()
+	if _, err := other.Write([]byte("x")); err != nil {
+		t.Fatalf("unmatched path failed: %v", err)
+	}
+}
+
+// TestFsyncgateDropsUnsyncedBytes: an injected fsync failure both
+// reports the error and discards the unflushed bytes, so a caller that
+// shrugs and retries has persisted nothing.
+func TestFsyncgateDropsUnsyncedBytes(t *testing.T) {
+	dir := t.TempDir()
+	fsys := NewFaultFS(nil, faults.StorageProfile{})
+	path := filepath.Join(dir, "j.jsonl")
+
+	f, err := fsys.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeAll(t, f, []byte("durable|"))
+	if err := f.Sync(); err != nil {
+		t.Fatalf("first sync: %v", err)
+	}
+	writeAll(t, f, []byte("doomed"))
+	fsys.FailNth(faults.StorageSync, "j.jsonl", 1, faults.ErrFsyncLost)
+	if err := f.Sync(); !errors.Is(err, faults.ErrFsyncLost) {
+		t.Fatalf("sync = %v, want ErrFsyncLost", err)
+	}
+	// Retrying the fsync "succeeds" — but the pages are already gone.
+	if err := f.Sync(); err != nil {
+		t.Fatalf("retry sync: %v", err)
+	}
+	f.Close()
+	if got := readBack(t, path); string(got) != "durable|" {
+		t.Fatalf("after fsyncgate file holds %q, want only the synced prefix", got)
+	}
+}
+
+// TestCrashTearsUnsyncedTail: power loss with TearFrac 0 loses every
+// byte since the last successful fsync, and nothing before it.
+func TestCrashTearsUnsyncedTail(t *testing.T) {
+	dir := t.TempDir()
+	fsys := NewFaultFS(nil, faults.StorageProfile{})
+	path := filepath.Join(dir, "j.jsonl")
+
+	f, err := fsys.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeAll(t, f, []byte("synced."))
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	writeAll(t, f, []byte("unsynced tail"))
+	f.Close()
+
+	if err := fsys.Crash(); err != nil {
+		t.Fatalf("crash: %v", err)
+	}
+	if got := readBack(t, path); string(got) != "synced." {
+		t.Fatalf("after crash file holds %q, want %q", got, "synced.")
+	}
+	if fsys.Crashes() != 1 {
+		t.Fatalf("crashes = %d, want 1", fsys.Crashes())
+	}
+}
+
+// TestCrashRevertsUnsyncedRename: a rename whose directory was never
+// fsynced can be undone by a crash — the old target is resurrected —
+// while a SyncDir makes the rename crash-proof.
+func TestCrashRevertsUnsyncedRename(t *testing.T) {
+	profile := faults.StorageProfile{RenameRevertRate: 1}
+
+	t.Run("reverted", func(t *testing.T) {
+		dir := t.TempDir()
+		fsys := NewFaultFS(nil, profile)
+		oldp := filepath.Join(dir, "new.tmp1")
+		newp := filepath.Join(dir, "data.json")
+		if err := os.WriteFile(oldp, []byte("replacement"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(newp, []byte("original"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := fsys.Rename(oldp, newp); err != nil {
+			t.Fatal(err)
+		}
+		if err := fsys.Crash(); err != nil {
+			t.Fatal(err)
+		}
+		if got := readBack(t, newp); string(got) != "original" {
+			t.Fatalf("target holds %q after crash, want resurrected original", got)
+		}
+		if got := readBack(t, oldp); string(got) != "replacement" {
+			t.Fatalf("source holds %q after crash, want the unwound rename", got)
+		}
+	})
+
+	t.Run("made durable by SyncDir", func(t *testing.T) {
+		dir := t.TempDir()
+		fsys := NewFaultFS(nil, profile)
+		oldp := filepath.Join(dir, "new.tmp1")
+		newp := filepath.Join(dir, "data.json")
+		if err := os.WriteFile(oldp, []byte("replacement"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := fsys.Rename(oldp, newp); err != nil {
+			t.Fatal(err)
+		}
+		if err := fsys.SyncDir(dir); err != nil {
+			t.Fatal(err)
+		}
+		if err := fsys.Crash(); err != nil {
+			t.Fatal(err)
+		}
+		if got := readBack(t, newp); string(got) != "replacement" {
+			t.Fatalf("dir-synced rename did not survive the crash: %q", got)
+		}
+	})
+}
+
+func TestSpaceBudgetENOSPC(t *testing.T) {
+	dir := t.TempDir()
+	fsys := NewFaultFS(nil, faults.StorageProfile{})
+	fsys.SetSpaceBudget(8)
+
+	f, err := fsys.OpenFile(filepath.Join(dir, "x"), os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write([]byte("12345")); err != nil {
+		t.Fatalf("within budget: %v", err)
+	}
+	if _, err := f.Write([]byte("67890")); !errors.Is(err, faults.ErrDiskFull) {
+		t.Fatalf("over budget = %v, want ErrDiskFull", err)
+	}
+	// Whole writes fail: the file holds only the first write.
+	if got := readBack(t, filepath.Join(dir, "x")); string(got) != "12345" {
+		t.Fatalf("partial ENOSPC write leaked: %q", got)
+	}
+	fsys.SetSpaceBudget(-1)
+	if _, err := f.Write([]byte("67890")); err != nil {
+		t.Fatalf("after freeing space: %v", err)
+	}
+}
+
+// TestSeededRotIsDeterministicAcrossDirs: ReadFile under a BitRotRate
+// profile returns the same (possibly rotted) bytes for the same seed,
+// no matter which directory the tree lives in — decision sites are
+// path-basename keyed.
+func TestSeededRotIsDeterministicAcrossDirs(t *testing.T) {
+	profile := faults.StorageProfile{Seed: 3, BitRotRate: 0.5}
+	payload := []byte("self-verifying formats turn silent rot into loud typed failure")
+	run := func(dir string) [][]byte {
+		fsys := NewFaultFS(nil, profile)
+		path := filepath.Join(dir, "data.bin")
+		if err := os.WriteFile(path, payload, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var outs [][]byte
+		for i := 0; i < 16; i++ {
+			b, err := fsys.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			outs = append(outs, b)
+		}
+		return outs
+	}
+	a, b := run(t.TempDir()), run(t.TempDir())
+	rotted := false
+	for i := range a {
+		if !bytes.Equal(a[i], b[i]) {
+			t.Fatalf("read %d diverged across directories", i)
+		}
+		if !bytes.Equal(a[i], payload) {
+			rotted = true
+		}
+	}
+	if !rotted {
+		t.Fatal("no read rotted at rate 0.5 over 16 reads — engine inert?")
+	}
+}

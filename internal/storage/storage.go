@@ -1,0 +1,117 @@
+// Package storage is the filesystem seam beneath every durability
+// layer (wal journals, ioatomic safe-saves, device images, campaign
+// and scheduler state dirs). The crash-safety work of PRs 5–6 proved
+// the supervisors survive dying at any instruction — but only over a
+// disk that tells the truth. Production disks do not: they tear
+// unsynced writes, rot bits at rest, run out of space, report fsync
+// failures after silently dropping the dirty pages (fsyncgate), and
+// reorder directory entries across a crash.
+//
+// FS is the small contract those layers actually use, OS() is the real
+// thing, and FaultFS (faultfs.go) is a deterministic liar: it injects
+// each of those hazards on the seeded faults.StorageFaults engine and
+// can simulate a crash with realistic torn-write and rename-reversal
+// semantics. Everything above this seam is tested against both.
+package storage
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// File is the open-file surface the durability layers need: write,
+// read, fsync, chmod, close. *os.File satisfies it directly.
+type File interface {
+	io.Reader
+	io.Writer
+	// Name returns the path the file was opened or created with.
+	Name() string
+	// Chmod sets the file mode.
+	Chmod(mode os.FileMode) error
+	// Sync flushes the file's contents to stable storage.
+	Sync() error
+	// Close releases the file. Close does NOT imply Sync.
+	Close() error
+}
+
+// FS is the filesystem contract. All paths are interpreted as the host
+// OS would; implementations must be safe for concurrent use.
+type FS interface {
+	// OpenFile opens path with os.OpenFile semantics.
+	OpenFile(path string, flag int, perm os.FileMode) (File, error)
+	// CreateTemp creates a temp file with os.CreateTemp semantics.
+	CreateTemp(dir, pattern string) (File, error)
+	// ReadFile reads the whole file at path.
+	ReadFile(path string) ([]byte, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes the file at path.
+	Remove(path string) error
+	// Truncate cuts the file at path to size bytes.
+	Truncate(path string, size int64) error
+	// MkdirAll creates the directory path and any missing parents.
+	MkdirAll(path string, perm os.FileMode) error
+	// Stat describes the file at path.
+	Stat(path string) (os.FileInfo, error)
+	// ReadDir lists the directory at path.
+	ReadDir(path string) ([]os.DirEntry, error)
+	// SyncDir fsyncs the directory at path, making completed renames
+	// and removals in it durable.
+	SyncDir(path string) error
+}
+
+// osFS is the real filesystem.
+type osFS struct{}
+
+var theOS FS = osFS{}
+
+// OS returns the real filesystem. It is what every production path
+// uses; fault-injecting tests substitute a FaultFS.
+func OS() FS { return theOS }
+
+func (osFS) OpenFile(path string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(path, flag, perm)
+}
+
+func (osFS) CreateTemp(dir, pattern string) (File, error) {
+	return os.CreateTemp(dir, pattern)
+}
+
+func (osFS) ReadFile(path string) ([]byte, error)   { return os.ReadFile(path) }
+func (osFS) Rename(oldpath, newpath string) error   { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(path string) error               { return os.Remove(path) }
+func (osFS) Truncate(path string, size int64) error { return os.Truncate(path, size) }
+func (osFS) MkdirAll(path string, perm os.FileMode) error {
+	return os.MkdirAll(path, perm)
+}
+func (osFS) Stat(path string) (os.FileInfo, error)      { return os.Stat(path) }
+func (osFS) ReadDir(path string) ([]os.DirEntry, error) { return os.ReadDir(path) }
+
+func (osFS) SyncDir(path string) error {
+	d, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// Default returns fsys, or the real filesystem when fsys is nil — the
+// one-line guard every layer uses to make its FS field optional.
+func Default(fsys FS) FS {
+	if fsys == nil {
+		return theOS
+	}
+	return fsys
+}
+
+// DirOf returns the directory containing path, "." for a bare name —
+// the directory SyncDir must flush after a rename of path.
+func DirOf(path string) string {
+	dir := filepath.Dir(path)
+	if dir == "" {
+		return "."
+	}
+	return dir
+}

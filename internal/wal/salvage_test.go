@@ -1,0 +1,182 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeJournal appends n framed records and returns the file bytes.
+func writeJournal(t *testing.T, path string, n int) []byte {
+	t.Helper()
+	j, err := Create(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := j.Append(&rec{Type: "step", Note: fmt.Sprintf("note-%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestV2FramesAreCRCFramed: Append writes "w2 <len> <crc> <json>" lines
+// and a flipped payload byte is detected — the frame no longer parses.
+func TestV2FramesAreCRCFramed(t *testing.T) {
+	data := writeJournal(t, filepath.Join(t.TempDir(), "j.jsonl"), 3)
+	lines := bytes.Split(bytes.TrimSuffix(data, []byte("\n")), []byte("\n"))
+	if len(lines) != 3 {
+		t.Fatalf("journal has %d lines, want 3", len(lines))
+	}
+	for i, ln := range lines {
+		if !bytes.HasPrefix(ln, []byte(framePrefix)) {
+			t.Fatalf("line %d lacks the v2 frame prefix: %q", i, ln)
+		}
+	}
+	entries, sal := ParseSalvage(data, recOK)
+	if sal.Entries != 3 || sal.DroppedBytes != 0 || len(entries) != 3 {
+		t.Fatalf("clean salvage = %+v", sal)
+	}
+	if sal.ValidLen != int64(len(data)) {
+		t.Fatalf("ValidLen %d, want %d", sal.ValidLen, len(data))
+	}
+}
+
+// TestSalvageCutsAtCorruptFrame: a corrupt middle record drops it and
+// everything after; Offsets name the byte-exact cut; the strict Parse
+// surfaces a typed CorruptError with the record index.
+func TestSalvageCutsAtCorruptFrame(t *testing.T) {
+	data := writeJournal(t, filepath.Join(t.TempDir(), "j.jsonl"), 5)
+	// Flip a byte inside record 2's JSON payload.
+	lines := bytes.SplitAfter(data, []byte("\n"))
+	off := len(lines[0]) + len(lines[1])
+	corrupt := append([]byte(nil), data...)
+	corrupt[off+len(lines[2])-4] ^= 0x01
+
+	entries, sal := ParseSalvage(corrupt, recOK)
+	if len(entries) != 2 || sal.Entries != 2 {
+		t.Fatalf("salvaged %d records, want 2 (sal=%+v)", len(entries), sal)
+	}
+	if sal.ValidLen != int64(off) {
+		t.Fatalf("ValidLen %d, want %d", sal.ValidLen, off)
+	}
+	if !sal.Truncated || sal.TornTail {
+		t.Fatalf("corrupt interior must be Truncated && !TornTail: %+v", sal)
+	}
+	if sal.DroppedBytes != int64(len(corrupt)-off) {
+		t.Fatalf("DroppedBytes %d, want %d", sal.DroppedBytes, len(corrupt)-off)
+	}
+	if len(sal.Offsets) != 2 || sal.Offsets[1] != int64(off) {
+		t.Fatalf("Offsets %v, want cut at %d", sal.Offsets, off)
+	}
+
+	_, _, err := Parse(corrupt, recOK)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Parse = %v, want ErrCorrupt", err)
+	}
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("Parse error %T is not *CorruptError", err)
+	}
+	if ce.Index != 2 || ce.Offset != int64(off) {
+		t.Fatalf("CorruptError{Index: %d, Offset: %d}, want {2, %d}", ce.Index, ce.Offset, off)
+	}
+}
+
+// TestV1JournalsStillReplay: pre-CRC journals are plain JSON lines;
+// they must parse unchanged, and a mixed file (v1 prefix, v2 suffix —
+// an old journal appended to by a new process) must too.
+func TestV1JournalsStillReplay(t *testing.T) {
+	var v1 bytes.Buffer
+	for i := 0; i < 3; i++ {
+		b, _ := json.Marshal(&rec{Seq: i, Type: "step", Note: fmt.Sprintf("v1-%d", i)})
+		v1.Write(b)
+		v1.WriteByte('\n')
+	}
+	entries, validLen, err := Parse(v1.Bytes(), recOK)
+	if err != nil || len(entries) != 3 || validLen != int64(v1.Len()) {
+		t.Fatalf("v1 parse: %d entries, len %d, err %v", len(entries), validLen, err)
+	}
+
+	mixed := append([]byte(nil), v1.Bytes()...)
+	for i := 3; i < 5; i++ {
+		b, _ := json.Marshal(&rec{Seq: i, Type: "step", Note: fmt.Sprintf("v2-%d", i)})
+		mixed = append(mixed, EncodeFrame(b)...)
+	}
+	entries, validLen, err = Parse(mixed, recOK)
+	if err != nil || len(entries) != 5 || validLen != int64(len(mixed)) {
+		t.Fatalf("mixed parse: %d entries, len %d, err %v", len(entries), validLen, err)
+	}
+	for i, e := range entries {
+		if e.Seq != i {
+			t.Fatalf("entry %d has seq %d", i, e.Seq)
+		}
+	}
+}
+
+// TestTornTailIsNotCorruption: an unterminated final record is the
+// expected signature of a crash mid-append — strict Parse tolerates it
+// (no ErrCorrupt) and salvage flags TornTail.
+func TestTornTailIsNotCorruption(t *testing.T) {
+	data := writeJournal(t, filepath.Join(t.TempDir(), "j.jsonl"), 3)
+	lines := bytes.SplitAfter(data, []byte("\n"))
+	keep := len(lines[0]) + len(lines[1])
+	torn := data[:keep+7] // record 2 torn mid-frame, no newline
+
+	entries, validLen, err := Parse(torn, recOK)
+	if err != nil {
+		t.Fatalf("torn tail must not be a strict-parse error: %v", err)
+	}
+	if len(entries) != 2 || validLen != int64(keep) {
+		t.Fatalf("torn parse: %d entries, len %d, want 2, %d", len(entries), validLen, keep)
+	}
+	_, sal := ParseSalvage(torn, recOK)
+	if !sal.TornTail || !sal.Truncated {
+		t.Fatalf("salvage of torn tail = %+v, want TornTail && Truncated", sal)
+	}
+}
+
+// TestOpenAfterCorruptionContinuesJournal: a journal reopened at the
+// salvage cut appends fresh records after the surviving prefix, and the
+// result parses end to end.
+func TestOpenAfterCorruptionContinuesJournal(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	data := writeJournal(t, path, 4)
+	lines := bytes.SplitAfter(data, []byte("\n"))
+	cut := len(lines[0]) + len(lines[1])
+	// Corrupt record 2 in place on disk.
+	data[cut+10] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	entries, sal := ParseSalvage(data, recOK)
+	j, err := Open(path, Options{}, len(entries), sal.ValidLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(&rec{Type: "step", Note: "after salvage"}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	final, _, err := ReadFile(path, recOK)
+	if err != nil {
+		t.Fatalf("journal does not parse cleanly after salvage+append: %v", err)
+	}
+	if len(final) != 3 || final[2].Note != "after salvage" || final[2].Seq != 2 {
+		t.Fatalf("unexpected continuation: %+v", final)
+	}
+}
