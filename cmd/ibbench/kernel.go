@@ -1,0 +1,339 @@
+// Kernel-grid mode (-kernel / -quick): benchmarks the word-parallel
+// capture engine against the two earlier generations of the same
+// computation and records the trajectory as BENCH_6.json.
+//
+// Three engines, one contract:
+//
+//   - kernel     — Array.CaptureVotes: deterministic planes, packed
+//     AVX-512 residue races, bit-sliced counters (kernel.go).
+//   - scalar     — Array.CaptureVotesScalar: the BENCH_4-era engine
+//     (pruned, hoisted bias, one draw at a time).
+//   - reference  — Array.CaptureVotesReference: serial, unpruned,
+//     per-cell oracle.
+//
+// Before timing, all three are required to agree bit for bit — votes,
+// data plane and power-on counter — across worker counts, noise-plane
+// versions and imprint depths. The steady-state batch-decode rows are
+// additionally gated on zero allocations per burst: a receiver decoding
+// a stream of devices reuses its buffers and the kernel must not touch
+// the heap. Either gate failing aborts the run, so a BENCH_6.json with
+// "captures_bit_identical": true is itself the equivalence certificate.
+//
+// When BENCH_4.json is present its capture rows are joined by grid-point
+// name, and speedup_vs_bench4 records the generation-over-generation
+// gain on identical hardware.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"invisiblebits/internal/ioatomic"
+	"invisiblebits/internal/sram"
+)
+
+type kernelPoint struct {
+	Name     string  `json:"name"`
+	Bytes    int     `json:"array_bytes"`
+	Captures int     `json:"captures"`
+	Workers  int     `json:"workers"`
+	NoiseGen int     `json:"noise_gen"`
+	NsPerOp  float64 `json:"ns_per_op"`
+	BPerOp   int64   `json:"bytes_per_op"`
+	AllocsOp int64   `json:"allocs_per_op"`
+	MBPerSec float64 `json:"mb_per_sec,omitempty"`
+	// ScalarNsPerOp is the BENCH_4-era pruned scalar engine
+	// (CaptureVotesScalar) at one worker on the same grid point.
+	ScalarNsPerOp   float64 `json:"scalar_ns_per_op,omitempty"`
+	SpeedupVsScalar float64 `json:"speedup_vs_scalar,omitempty"`
+	// RefNsPerOp is the serial unpruned oracle (CaptureVotesReference).
+	RefNsPerOp   float64 `json:"reference_ns_per_op,omitempty"`
+	SpeedupVsRef float64 `json:"speedup_vs_reference,omitempty"`
+	// Bench4NsPerOp is this grid point's ns/op as recorded in
+	// BENCH_4.json on this host, when that file is present.
+	Bench4NsPerOp   float64 `json:"bench4_ns_per_op,omitempty"`
+	SpeedupVsBench4 float64 `json:"speedup_vs_bench4,omitempty"`
+}
+
+type kernelReport struct {
+	Schema     string `json:"schema"`
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Quick      bool   `json:"quick,omitempty"`
+	// Equivalent: kernel, scalar and reference engines produced
+	// bit-identical votes, data planes and counter consumption across
+	// the checked grid, and the batch-decode rows allocated nothing.
+	Equivalent  bool          `json:"captures_bit_identical"`
+	Capture     []kernelPoint `json:"kernel_capture_grid"`
+	BatchDecode []kernelPoint `json:"batch_decode_grid"`
+}
+
+// checkKernelEquivalence is the gate the v6 numbers rest on: for both
+// noise-plane versions, clean and heavily-imprinted silicon, remanent
+// and discharged entry, every worker count's kernel burst must match
+// the scalar engine and the serial unpruned reference bit for bit —
+// votes, final data plane, and power-on counter consumption.
+func checkKernelEquivalence(workerGrid []int) error {
+	const bytes = 4 << 10
+	for _, gen := range []int{sram.NoiseGenBoxMuller, sram.NoiseGenZiggurat} {
+		for _, soak := range []float64{0, 10} {
+			for _, remanent := range []bool{false, true} {
+				mk := func(w int) (*sram.Array, error) {
+					a, err := newArray(bytes, w, gen)
+					if err != nil {
+						return nil, err
+					}
+					if err := imprint(a, soak); err != nil {
+						return nil, err
+					}
+					if remanent {
+						a.PowerOff(false) // retained charge: capture 1 is free
+					} else {
+						a.PowerOff(true)
+					}
+					return a, nil
+				}
+				ref, err := mk(1)
+				if err != nil {
+					return err
+				}
+				wantVotes, err := ref.CaptureVotesReference(5, 25)
+				if err != nil {
+					return err
+				}
+				wantData, err := ref.Read()
+				if err != nil {
+					return err
+				}
+				scal, err := mk(1)
+				if err != nil {
+					return err
+				}
+				scalVotes, err := scal.CaptureVotesScalar(5, 25)
+				if err != nil {
+					return err
+				}
+				for i := range wantVotes {
+					if scalVotes[i] != wantVotes[i] {
+						return fmt.Errorf("gen=%d soak=%vh rem=%v scalar: cell %d votes %d, reference %d",
+							gen, soak, remanent, i, scalVotes[i], wantVotes[i])
+					}
+				}
+				for _, w := range workerGrid {
+					a, err := mk(w)
+					if err != nil {
+						return err
+					}
+					got, err := a.CaptureVotes(5, 25)
+					if err != nil {
+						return err
+					}
+					for i := range wantVotes {
+						if got[i] != wantVotes[i] {
+							return fmt.Errorf("gen=%d soak=%vh rem=%v workers=%d: cell %d votes %d, reference %d",
+								gen, soak, remanent, w, i, got[i], wantVotes[i])
+						}
+					}
+					data, err := a.Read()
+					if err != nil {
+						return err
+					}
+					for i := range wantData {
+						if data[i] != wantData[i] {
+							return fmt.Errorf("gen=%d soak=%vh rem=%v workers=%d: data byte %d %02x, reference %02x",
+								gen, soak, remanent, w, i, data[i], wantData[i])
+						}
+					}
+					if a.PowerOnCount() != ref.PowerOnCount() {
+						return fmt.Errorf("gen=%d soak=%vh rem=%v workers=%d: counter %d, reference %d",
+							gen, soak, remanent, w, a.PowerOnCount(), ref.PowerOnCount())
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// loadBench4Capture joins BENCH_4.json's capture rows by grid-point
+// name so v6 can report the generation-over-generation speedup
+// measured on the same host. Absent or unreadable files just disable
+// the join — the kernel grid stands on its own baselines.
+func loadBench4Capture(path string) map[string]float64 {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	var prior struct {
+		Capture []benchPoint `json:"capture_grid"`
+	}
+	if err := json.Unmarshal(blob, &prior); err != nil {
+		return nil
+	}
+	rows := make(map[string]float64, len(prior.Capture))
+	for _, p := range prior.Capture {
+		rows[p.Name] = p.NsPerOp
+	}
+	return rows
+}
+
+func runKernelBench(path string, workerGrid []int, quick bool) {
+	if err := checkKernelEquivalence(workerGrid); err != nil {
+		fail(fmt.Errorf("kernel equivalence check failed: %w", err))
+	}
+	fmt.Println("equivalence gates passed: kernel == scalar == reference (votes, data, counters)")
+
+	report := kernelReport{
+		Schema:     "invisiblebits/bench/v6",
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Quick:      quick,
+		Equivalent: true,
+	}
+	bench4 := loadBench4Capture("BENCH_4.json")
+
+	emit := func(dst *[]kernelPoint, pt kernelPoint) {
+		*dst = append(*dst, pt)
+		fmt.Printf("%-26s %14.0f ns/op %3d allocs %8.2fx scalar %8.2fx ref\n",
+			pt.Name, pt.NsPerOp, pt.AllocsOp, pt.SpeedupVsScalar, pt.SpeedupVsRef)
+	}
+
+	kernelSizes := sizes
+	captureGrid := []int{5, 25}
+	if quick {
+		kernelSizes = kernelSizes[:1] // 4KiB
+		captureGrid = []int{5}
+	}
+
+	// --- kernel capture grid: size × captures × NoiseGen × workers --------
+	// The scalar and reference baselines are timed once per
+	// (size, captures, gen) at one worker; kernel rows across the worker
+	// grid share them, so every speedup is within-generation and
+	// within-noise-plane on identical hardware.
+	for _, size := range kernelSizes {
+		for _, captures := range captureGrid {
+			captures := captures
+			for _, gen := range []int{sram.NoiseGenBoxMuller, sram.NoiseGenZiggurat} {
+				scalArr, err := newArray(size.bytes, 1, gen)
+				if err != nil {
+					fail(err)
+				}
+				scalar := bench(func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						if _, err := scalArr.CaptureVotesScalar(captures, 25); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+				refArr, err := newArray(size.bytes, 1, gen)
+				if err != nil {
+					fail(err)
+				}
+				ref := bench(func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						if _, err := refArr.CaptureVotesReference(captures, 25); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+				for _, w := range workerGrid {
+					a, err := newArray(size.bytes, w, gen)
+					if err != nil {
+						fail(err)
+					}
+					res := bench(func(b *testing.B) {
+						b.SetBytes(int64(size.bytes * captures))
+						for i := 0; i < b.N; i++ {
+							if _, err := a.CaptureVotes(captures, 25); err != nil {
+								b.Fatal(err)
+							}
+						}
+					})
+					nsop := float64(res.NsPerOp())
+					name := fmt.Sprintf("%s/%dcap/%s/%dw", size.name, captures, genName(gen), w)
+					pt := kernelPoint{
+						Name:            name,
+						Bytes:           size.bytes,
+						Captures:        captures,
+						Workers:         w,
+						NoiseGen:        gen,
+						NsPerOp:         nsop,
+						BPerOp:          res.AllocedBytesPerOp(),
+						AllocsOp:        res.AllocsPerOp(),
+						MBPerSec:        float64(size.bytes*captures) / nsop * 1e3,
+						ScalarNsPerOp:   float64(scalar.NsPerOp()),
+						SpeedupVsScalar: float64(scalar.NsPerOp()) / nsop,
+						RefNsPerOp:      float64(ref.NsPerOp()),
+						SpeedupVsRef:    float64(ref.NsPerOp()) / nsop,
+					}
+					if prior, ok := bench4[name]; ok {
+						pt.Bench4NsPerOp = prior
+						pt.SpeedupVsBench4 = prior / nsop
+					}
+					emit(&report.Capture, pt)
+				}
+			}
+		}
+	}
+
+	// --- steady-state batch decode: Into variants, reused buffers ---------
+	// One worker, one pre-sized buffer, burst after burst — the receiver's
+	// decode loop. Gated on zero allocations per op: the kernel's layout,
+	// scratch and vote slices are cached on the array and a warm burst
+	// must never touch the heap.
+	for _, size := range kernelSizes {
+		for _, captures := range captureGrid {
+			a, err := newArray(size.bytes, 1, sram.NoiseGenZiggurat)
+			if err != nil {
+				fail(err)
+			}
+			votes := make([]uint16, a.Cells())
+			if err := a.CaptureVotesInto(context.Background(), captures, 25, votes); err != nil {
+				fail(err) // warm the kernel layout outside the timed loop
+			}
+			res := bench(func(b *testing.B) {
+				b.SetBytes(int64(size.bytes * captures))
+				for i := 0; i < b.N; i++ {
+					if err := a.CaptureVotesInto(context.Background(), captures, 25, votes); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			if res.AllocsPerOp() != 0 {
+				fail(fmt.Errorf("steady-state batch decode %s/%dcap allocated %d objects/op, want 0",
+					size.name, captures, res.AllocsPerOp()))
+			}
+			nsop := float64(res.NsPerOp())
+			emit(&report.BatchDecode, kernelPoint{
+				Name:     fmt.Sprintf("%s/%dcap/votes-into", size.name, captures),
+				Bytes:    size.bytes,
+				Captures: captures,
+				Workers:  1,
+				NoiseGen: sram.NoiseGenZiggurat,
+				NsPerOp:  nsop,
+				BPerOp:   res.AllocedBytesPerOp(),
+				AllocsOp: res.AllocsPerOp(),
+				MBPerSec: float64(size.bytes*captures) / nsop * 1e3,
+			})
+		}
+	}
+
+	blob, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	if err := ioatomic.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Println("wrote", path)
+}

@@ -243,13 +243,27 @@ func main() {
 		defaultWorkers += "," + strconv.Itoa(n)
 	}
 	var (
-		out       = flag.String("o", "", "output path for the benchmark report (default BENCH_4.json, or BENCH_5.json with -sched)")
-		workers   = flag.String("workers", defaultWorkers, "comma-separated worker counts (must include 1 for the serial baseline)")
-		schedMode = flag.Bool("sched", false, "benchmark the multi-tenant scheduler (campaigns/chamber-hour and latency at scale) instead of the hot-path grids")
-		tenants   = flag.String("sched-tenants", "1000,10000", "comma-separated tenancy levels for -sched")
+		out        = flag.String("o", "", "output path for the benchmark report (default BENCH_4.json, BENCH_5.json with -sched, BENCH_6.json with -kernel)")
+		workers    = flag.String("workers", defaultWorkers, "comma-separated worker counts (must include 1 for the serial baseline)")
+		schedMode  = flag.Bool("sched", false, "benchmark the multi-tenant scheduler (campaigns/chamber-hour and latency at scale) instead of the hot-path grids")
+		tenants    = flag.String("sched-tenants", "1000,10000", "comma-separated tenancy levels for -sched")
+		kernelMode = flag.Bool("kernel", false, "benchmark the word-parallel capture kernel against the scalar and reference engines (BENCH_6.json)")
+		quick      = flag.Bool("quick", false, "CI smoke: small kernel grid with full equivalence gates (implies -kernel)")
 	)
 	flag.Parse()
 
+	if *kernelMode || *quick {
+		path := *out
+		if path == "" {
+			path = "BENCH_6.json"
+		}
+		grid, err := parseWorkers(*workers)
+		if err != nil {
+			fail(err)
+		}
+		runKernelBench(path, grid, *quick)
+		return
+	}
 	if *schedMode {
 		path := *out
 		if path == "" {

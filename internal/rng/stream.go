@@ -35,10 +35,30 @@ func mix64(z uint64) uint64 {
 	return z ^ (z >> 31)
 }
 
+// Pre-multipliers decorrelating neighbouring counters and indices (the
+// wyhash primes), and the SplitMix64 Weyl increment consumed by a
+// Source's first Uint64. Named so the hoisted-counter fast path below
+// provably derives the same states as stateAt.
+const (
+	ctrPrime  = 0xa0761d6478bd642f
+	idxPrime  = 0xe7037ed1a0b428db
+	weylGamma = 0x9e3779b97f4a7c15
+)
+
 // stateAt derives the Source state for coordinate (counter, index).
 func (s Stream) stateAt(counter, index uint64) uint64 {
-	st := mix64(s.key + counter*0xa0761d6478bd642f)
-	return mix64(st ^ index*0xe7037ed1a0b428db)
+	st := mix64(s.key + counter*ctrPrime)
+	return mix64(st ^ index*idxPrime)
+}
+
+// CtrState hoists the counter half of the coordinate derivation: for a
+// fixed power-on counter, every cell's Source state is
+// mix64(CtrState(counter) ^ index*idxPrime). Capture kernels that
+// iterate many cells per race compute this once per race instead of
+// once per draw — a pure refactor of stateAt, bit-identical by
+// construction.
+func (s Stream) CtrState(counter uint64) uint64 {
+	return mix64(s.key + counter*ctrPrime)
 }
 
 // At returns an independent Source for coordinate (counter, index).
@@ -51,5 +71,13 @@ func (s Stream) At(counter, index uint64) *Source {
 // first Norm() draw of At(counter, index), without the allocation.
 func (s Stream) Norm(counter, index uint64) float64 {
 	src := Source{state: s.stateAt(counter, index)}
+	return src.Norm()
+}
+
+// NormFromCtr is Norm with the counter state pre-hoisted via CtrState —
+// the v1 (Box–Muller) compat path of the word-parallel capture kernel.
+// Bit-identical to Norm(counter, index) for every coordinate.
+func NormFromCtr(ctrState, index uint64) float64 {
+	src := Source{state: mix64(ctrState ^ index*idxPrime)}
 	return src.Norm()
 }

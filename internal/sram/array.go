@@ -187,6 +187,13 @@ type Array struct {
 	// pool.
 	biasPlane []float32
 	biasFresh bool
+	// biasEpoch counts bias-plane generations; every writer bumps it so
+	// the capture kernel knows when its packed layout is stale.
+	biasEpoch uint64
+
+	// kern caches the word-parallel capture engine's packed layout and
+	// burst scratch (see kernel.go).
+	kern capKernel
 
 	// t0Ref and t1Ref track each direction's accumulated stress as
 	// equivalent time at the reference rate A0 (total = A0·tⁿ), letting
@@ -375,6 +382,7 @@ func (a *Array) ensureBiasPlane(ctx context.Context) error {
 		return err
 	}
 	a.biasFresh = true
+	a.bumpBiasEpoch()
 	return nil
 }
 

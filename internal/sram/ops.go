@@ -83,22 +83,13 @@ func (a *Array) PowerOnContext(ctx context.Context, tempC float64) ([]byte, erro
 		copy(out, a.data)
 		return out, nil
 	}
-	if err := a.ensureBiasPlane(ctx); err != nil {
+	// A power-on is a one-capture burst through the word-parallel kernel:
+	// deterministic cells resolve by plane, noisy cells by one packed
+	// race, consuming exactly one counter. Identical for any worker
+	// count or chunk size (counter-derived noise).
+	if err := a.captureBurstInto(ctx, 1, tempC, a.scratchCounts()); err != nil {
 		return nil, err
 	}
-	sigma := a.noiseSigmaAt(tempC)
-	bound := a.pruneBound(sigma)
-	ctr := a.powerOns
-	a.powerOns++
-	// Race resolution shards over the worker pool on byte boundaries;
-	// each cell's noise comes from its own (counter, index) stream, so
-	// the outcome is identical for any worker count or chunk size.
-	if err := a.pool.Run(ctx, len(a.data), 1, func(lo, hi int) {
-		a.resolveRace(ctr, sigma, bound, lo, hi)
-	}); err != nil {
-		return nil, err
-	}
-	a.powered = true
 	out := make([]byte, len(a.data))
 	copy(out, a.data)
 	return out, nil
@@ -260,6 +251,7 @@ func (a *Array) Stress(c analog.Conditions, hours float64) error {
 		return err
 	}
 	a.biasFresh = true
+	a.bumpBiasEpoch()
 	return nil
 }
 
@@ -343,4 +335,5 @@ func (a *Array) decayPools(fFast, fSlow float64) {
 		}
 	})
 	a.biasFresh = true
+	a.bumpBiasEpoch()
 }

@@ -1,0 +1,5 @@
+//go:build !race
+
+package sram
+
+const raceEnabled = false

@@ -1,0 +1,9 @@
+//go:build race
+
+package sram
+
+// raceEnabled reports whether this binary was built with the race
+// detector. Race instrumentation allocates inside code that is
+// otherwise allocation-free, so zero-alloc gates must not run here;
+// the non-instrumented CI job still enforces them.
+const raceEnabled = true

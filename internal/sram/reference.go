@@ -142,6 +142,7 @@ func (a *Array) StressReference(c analog.Conditions, hours float64) error {
 		a.biasPlane[i] = float32(a.bias(i))
 	}
 	a.biasFresh = true
+	a.bumpBiasEpoch()
 	return nil
 }
 

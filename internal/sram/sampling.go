@@ -8,23 +8,154 @@ import (
 	"invisiblebits/internal/rng"
 )
 
-// captureBurst is the shared engine behind CaptureMajority, CaptureVotes
-// and BiasMap: it runs `captures` power-on races and returns the
-// per-cell count of 1 readings, leaving the array powered with the final
-// capture as its digital contents (as real hardware does after the last
-// power cycle of a sampling burst).
+// Capture entry points. All of them run the word-parallel kernel burst
+// (kernel.go) and derive their output from the per-cell vote counts;
+// the array is left powered with the final capture as its digital
+// contents (as real hardware does after the last power cycle of a
+// sampling burst). Because each race's noise is counter-derived
+// (norm(k, i) for power-on k, cell i), results are bit-identical to
+// running the races one by one, for any worker count and chunk size.
 //
-// Because each race's noise is counter-derived (noise.Norm(k, i) for
-// power-on k, cell i), the burst needs no intermediate snapshots: every
-// cell accumulates its own votes independently, so the whole burst
-// shards over the worker pool in one pass with the per-cell bias hoisted
-// out of the capture loop. Results are bit-identical to running the
-// races one by one, for any worker count and any chunk size.
-//
-// Remanence is honoured exactly as in the serial engine: if the array is
-// unpowered but remanent, the first capture returns the retained
+// Remanence is honoured exactly as in the serial engine: if the array
+// is unpowered but remanent, the first capture returns the retained
 // contents without running (or counting) a race.
-func (a *Array) captureBurst(ctx context.Context, captures int, tempC float64) ([]uint32, error) {
+
+// validCaptures rejects capture counts the burst engine cannot
+// represent: non-positive, and counts beyond MaxCaptures (whose
+// per-cell votes would not fit the 16-bit counters — the pre-kernel
+// engine silently truncated these).
+func validCaptures(captures int) error {
+	if captures < 1 {
+		return fmt.Errorf("sram: need at least one capture, got %d", captures)
+	}
+	if captures > MaxCaptures {
+		return &CaptureCountError{Captures: captures}
+	}
+	return nil
+}
+
+// CaptureMajority performs captures power cycles at tempC and returns the
+// per-bit majority across them — the receiver's noise filter from §4.3:
+// "While any odd number of state captures works, we find that taking five
+// captures is sufficient to filter noise." The array is left powered with
+// the final capture as its contents.
+func (a *Array) CaptureMajority(captures int, tempC float64) ([]byte, error) {
+	return a.CaptureMajorityContext(context.Background(), captures, tempC)
+}
+
+// CaptureMajorityContext is CaptureMajority with cancellation: the burst
+// checks ctx between dispatched chunks, so a cancelled multi-capture
+// sweep stops without finishing the remaining cells.
+func (a *Array) CaptureMajorityContext(ctx context.Context, captures int, tempC float64) ([]byte, error) {
+	out := make([]byte, a.n/8)
+	if err := a.CaptureMajorityInto(ctx, captures, tempC, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// CaptureMajorityInto is CaptureMajorityContext writing into a
+// caller-provided buffer of Bytes() bytes: steady-state batch decoding
+// reuses one buffer across bursts and allocates nothing.
+func (a *Array) CaptureMajorityInto(ctx context.Context, captures int, tempC float64, out []byte) error {
+	if captures < 1 || captures%2 == 0 {
+		return fmt.Errorf("sram: majority voting needs an odd capture count, got %d", captures)
+	}
+	if err := validCaptures(captures); err != nil {
+		return err
+	}
+	if len(out) != a.n/8 {
+		return fmt.Errorf("sram: majority into %d bytes, need %d", len(out), a.n/8)
+	}
+	counts := a.scratchCounts()
+	if err := a.captureBurstInto(ctx, captures, tempC, counts); err != nil {
+		return err
+	}
+	threshold := uint16(captures/2) + 1
+	for byteIdx := range out {
+		var bv byte
+		base := byteIdx * 8
+		for b := 0; b < 8; b++ {
+			if counts[base+b] >= threshold {
+				bv |= 1 << uint(b)
+			}
+		}
+		out[byteIdx] = bv
+	}
+	return nil
+}
+
+// CaptureVotes performs captures power cycles at tempC and returns, for
+// each cell, how many captures read 1. This is the soft information
+// behind majority voting: a cell reading 5/5 ones is far more trustworthy
+// than one reading 3/5, and the soft-decision decoder (ecc.SoftDecoder)
+// exploits exactly that. The array is left powered.
+func (a *Array) CaptureVotes(captures int, tempC float64) ([]uint16, error) {
+	return a.CaptureVotesContext(context.Background(), captures, tempC)
+}
+
+// CaptureVotesContext is CaptureVotes with cancellation.
+func (a *Array) CaptureVotesContext(ctx context.Context, captures int, tempC float64) ([]uint16, error) {
+	votes := make([]uint16, a.n)
+	if err := a.CaptureVotesInto(ctx, captures, tempC, votes); err != nil {
+		return nil, err
+	}
+	return votes, nil
+}
+
+// CaptureVotesInto is CaptureVotesContext writing into a caller-provided
+// buffer of Cells() counters. A receiver decoding a stream of devices
+// reuses one buffer and the burst allocates nothing in steady state.
+func (a *Array) CaptureVotesInto(ctx context.Context, captures int, tempC float64, out []uint16) error {
+	if err := validCaptures(captures); err != nil {
+		return err
+	}
+	if len(out) != a.n {
+		return fmt.Errorf("sram: votes into %d counters, need %d", len(out), a.n)
+	}
+	return a.captureBurstInto(ctx, captures, tempC, out)
+}
+
+// BiasMap estimates each cell's power-on bias (fraction of 1s) over the
+// given number of captures — the quantity Fig. 3a–c histograms.
+func (a *Array) BiasMap(captures int, tempC float64) ([]float64, error) {
+	return a.BiasMapContext(context.Background(), captures, tempC)
+}
+
+// BiasMapContext is BiasMap with cancellation, matching the
+// CaptureMajorityContext / CaptureVotesContext surface: the burst checks
+// ctx between dispatched chunks.
+func (a *Array) BiasMapContext(ctx context.Context, captures int, tempC float64) ([]float64, error) {
+	if err := validCaptures(captures); err != nil {
+		return nil, err
+	}
+	counts := a.scratchCounts()
+	if err := a.captureBurstInto(ctx, captures, tempC, counts); err != nil {
+		return nil, err
+	}
+	out := make([]float64, a.n)
+	inv := 1 / float64(captures)
+	for i, c := range counts {
+		out[i] = float64(c) * inv
+	}
+	return out, nil
+}
+
+// CaptureVotesScalar runs a capture burst with the pre-kernel scalar
+// engine: deterministic-cell pruning and the per-cell bias hoisted, but
+// one noise draw resolved at a time through the versioned sampler.
+// Kept as the mid-generation baseline for cmd/ibbench's kernel grid and
+// as a second differential witness (kernel vs scalar vs reference) for
+// the equivalence suites. Semantics match CaptureVotes exactly.
+func (a *Array) CaptureVotesScalar(captures int, tempC float64) ([]uint16, error) {
+	return a.CaptureVotesScalarContext(context.Background(), captures, tempC)
+}
+
+// CaptureVotesScalarContext is CaptureVotesScalar with cancellation.
+func (a *Array) CaptureVotesScalarContext(ctx context.Context, captures int, tempC float64) ([]uint16, error) {
+	if err := validCaptures(captures); err != nil {
+		return nil, err
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -59,12 +190,10 @@ func (a *Array) captureBurst(ctx context.Context, captures int, tempC float64) (
 					bias := float64(a.biasPlane[i])
 					// Deterministic cells resolve the same way on every
 					// race (v2 noise is hard-bounded): credit the whole
-					// burst at once, no draws. Their per-cell noise tapes
-					// are simply never read — counter-derived noise means
-					// skipping them cannot shift any other cell.
+					// burst at once, no draws.
 					if bias > bound {
 						counts[i] += uint32(races)
-						final |= 1 << b
+						final |= 1 << uint(b)
 						continue
 					}
 					if bias < -bound {
@@ -75,7 +204,7 @@ func (a *Array) captureBurst(ctx context.Context, captures int, tempC float64) (
 						if bias+sigma*norm(base+uint64(k), idx) > 0 {
 							counts[i]++
 							if k == races-1 {
-								final |= 1 << b
+								final |= 1 << uint(b)
 							}
 						}
 					}
@@ -92,87 +221,11 @@ func (a *Array) captureBurst(ctx context.Context, captures int, tempC float64) (
 		}
 	}
 	a.powered = true
-	return counts, nil
-}
-
-// CaptureMajority performs captures power cycles at tempC and returns the
-// per-bit majority across them — the receiver's noise filter from §4.3:
-// "While any odd number of state captures works, we find that taking five
-// captures is sufficient to filter noise." The array is left powered with
-// the final capture as its contents.
-func (a *Array) CaptureMajority(captures int, tempC float64) ([]byte, error) {
-	return a.CaptureMajorityContext(context.Background(), captures, tempC)
-}
-
-// CaptureMajorityContext is CaptureMajority with cancellation: the burst
-// checks ctx between dispatched chunks, so a cancelled multi-capture
-// sweep stops without finishing the remaining cells.
-func (a *Array) CaptureMajorityContext(ctx context.Context, captures int, tempC float64) ([]byte, error) {
-	if captures < 1 || captures%2 == 0 {
-		return nil, fmt.Errorf("sram: majority voting needs an odd capture count, got %d", captures)
-	}
-	counts, err := a.captureBurst(ctx, captures, tempC)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]byte, a.n/8)
-	threshold := uint32(captures/2) + 1
-	for i, c := range counts {
-		if c >= threshold {
-			out[i/8] |= 1 << (i % 8)
-		}
-	}
-	return out, nil
-}
-
-// CaptureVotes performs captures power cycles at tempC and returns, for
-// each cell, how many captures read 1. This is the soft information
-// behind majority voting: a cell reading 5/5 ones is far more trustworthy
-// than one reading 3/5, and the soft-decision decoder (ecc.SoftDecoder)
-// exploits exactly that. The array is left powered.
-func (a *Array) CaptureVotes(captures int, tempC float64) ([]uint16, error) {
-	return a.CaptureVotesContext(context.Background(), captures, tempC)
-}
-
-// CaptureVotesContext is CaptureVotes with cancellation.
-func (a *Array) CaptureVotesContext(ctx context.Context, captures int, tempC float64) ([]uint16, error) {
-	if captures < 1 {
-		return nil, fmt.Errorf("sram: need at least one capture, got %d", captures)
-	}
-	counts, err := a.captureBurst(ctx, captures, tempC)
-	if err != nil {
-		return nil, err
-	}
 	votes := make([]uint16, a.n)
 	for i, c := range counts {
 		votes[i] = uint16(c)
 	}
 	return votes, nil
-}
-
-// BiasMap estimates each cell's power-on bias (fraction of 1s) over the
-// given number of captures — the quantity Fig. 3a–c histograms.
-func (a *Array) BiasMap(captures int, tempC float64) ([]float64, error) {
-	return a.BiasMapContext(context.Background(), captures, tempC)
-}
-
-// BiasMapContext is BiasMap with cancellation, matching the
-// CaptureMajorityContext / CaptureVotesContext surface: the burst checks
-// ctx between dispatched chunks.
-func (a *Array) BiasMapContext(ctx context.Context, captures int, tempC float64) ([]float64, error) {
-	if captures < 1 {
-		return nil, fmt.Errorf("sram: need at least one capture, got %d", captures)
-	}
-	counts, err := a.captureBurst(ctx, captures, tempC)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]float64, a.n)
-	inv := 1 / float64(captures)
-	for i, c := range counts {
-		out[i] = float64(c) * inv
-	}
-	return out, nil
 }
 
 // OperateRandom simulates ordinary software running on the device: it
