@@ -248,10 +248,23 @@ func main() {
 		schedMode  = flag.Bool("sched", false, "benchmark the multi-tenant scheduler (campaigns/chamber-hour and latency at scale) instead of the hot-path grids")
 		tenants    = flag.String("sched-tenants", "1000,10000", "comma-separated tenancy levels for -sched")
 		kernelMode = flag.Bool("kernel", false, "benchmark the word-parallel capture kernel against the scalar and reference engines (BENCH_6.json)")
-		quick      = flag.Bool("quick", false, "CI smoke: small kernel grid with full equivalence gates (implies -kernel)")
+		decodeMode = flag.Bool("decodegrid", false, "benchmark the word-parallel decode pipeline against the scalar decoders (BENCH_7.json)")
+		quick      = flag.Bool("quick", false, "CI smoke: equivalence gates with a minimal grid (implies -kernel unless -decodegrid)")
 	)
 	flag.Parse()
 
+	if *decodeMode {
+		path := *out
+		if path == "" {
+			path = "BENCH_7.json"
+		}
+		grid, err := parseWorkers(*workers)
+		if err != nil {
+			fail(err)
+		}
+		runDecodeBench(path, grid, *quick)
+		return
+	}
 	if *kernelMode || *quick {
 		path := *out
 		if path == "" {

@@ -4,9 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/bits"
 
 	"invisiblebits/internal/ecc"
 	"invisiblebits/internal/rig"
+	"invisiblebits/internal/stegocrypt"
 )
 
 // Adaptive-decode defaults.
@@ -162,10 +164,12 @@ func DecodeAdaptive(ctx context.Context, r *rig.Rig, rec *Record, aopts Adaptive
 		return nil, nil, err
 	}
 
+	arena := opts.Arena
 	report := &DecodeReport{ResidualChannelError: -1}
 	// Accumulated vote counts and total captures so far. sampleTo tops
 	// the accumulator up to a target count; earlier bursts are never
-	// discarded.
+	// discarded. With an arena, the accumulator and per-burst scratch
+	// are arena-owned and the burst is sampled in place.
 	var votes []uint16
 	total := 0
 	sampleTo := func(target int) error {
@@ -174,7 +178,14 @@ func DecodeAdaptive(ctx context.Context, r *rig.Rig, rec *Record, aopts Adaptive
 			return nil
 		}
 		var burst []uint16
-		if err := opts.retry(ctx, r, func() error {
+		if arena != nil {
+			burst = arena.burstBuf(r.Device().SRAM.Cells())
+			if err := opts.retry(ctx, r, func() error {
+				return r.SampleVotesIntoContext(ctx, delta, burst)
+			}); err != nil {
+				return err
+			}
+		} else if err := opts.retry(ctx, r, func() error {
 			var serr error
 			burst, serr = r.SampleVotesContext(ctx, delta)
 			return serr
@@ -186,7 +197,12 @@ func DecodeAdaptive(ctx context.Context, r *rig.Rig, rec *Record, aopts Adaptive
 				return fmt.Errorf("core: record claims %d payload bits but SRAM has %d cells",
 					rec.PayloadBytes*8, len(burst))
 			}
-			votes = burst
+			if arena != nil {
+				votes = arena.votesBuf(len(burst))
+				copy(votes, burst)
+			} else {
+				votes = burst
+			}
 		} else {
 			for i := range votes {
 				votes[i] += burst[i]
@@ -195,6 +211,20 @@ func DecodeAdaptive(ctx context.Context, r *rig.Rig, rec *Record, aopts Adaptive
 		total = target
 		report.CapturesSpent = total
 		return nil
+	}
+
+	// hardPayload hard-decides the accumulated votes and decrypts,
+	// through arena scratch when one is supplied.
+	hardPayload := func() ([]byte, error) {
+		if arena != nil {
+			p := arena.payloadBuf(rec.PayloadBytes)
+			payloadFromVotesInto(p, votes, total)
+			if err := arena.decryptInPlace(p, rec, opts); err != nil {
+				return nil, err
+			}
+			return p, nil
+		}
+		return decryptPayload(payloadFromVotes(votes, total, rec.PayloadBytes), rec, opts)
 	}
 
 	// Capture schedule: I, then 3I, then the full budget. Odd totals
@@ -216,7 +246,13 @@ func DecodeAdaptive(ctx context.Context, r *rig.Rig, rec *Record, aopts Adaptive
 		// compare against the accumulated hard majority in the channel
 		// (encrypted-payload) domain.
 		if expected, err := BuildPayload(msg, rec.DeviceID, opts); err == nil && len(expected) == rec.PayloadBytes {
-			observed := payloadFromVotes(votes, total, rec.PayloadBytes)
+			var observed []byte
+			if arena != nil {
+				observed = arena.payloadBuf(rec.PayloadBytes)
+				payloadFromVotesInto(observed, votes, total)
+			} else {
+				observed = payloadFromVotes(votes, total, rec.PayloadBytes)
+			}
 			report.ResidualChannelError = bitDiffFraction(observed, expected)
 		}
 		return msg, report, nil
@@ -248,7 +284,13 @@ func DecodeAdaptive(ctx context.Context, r *rig.Rig, rec *Record, aopts Adaptive
 			if err := sampleTo(step.captures); err != nil {
 				return nil, report, err
 			}
-			conf, err := payloadConfidences(votes, total, rec, opts)
+			var conf []float64
+			var err error
+			if arena != nil {
+				conf, err = arena.confidences(votes, total, rec, opts)
+			} else {
+				conf, err = payloadConfidences(votes, total, rec, opts)
+			}
 			if err != nil {
 				return nil, report, err
 			}
@@ -264,11 +306,16 @@ func DecodeAdaptive(ctx context.Context, r *rig.Rig, rec *Record, aopts Adaptive
 			if err := sampleTo(step.captures); err != nil {
 				return nil, report, err
 			}
-			plain, err := decryptPayload(payloadFromVotes(votes, total, rec.PayloadBytes), rec, opts)
+			plain, err := hardPayload()
 			if err != nil {
 				return nil, report, err
 			}
-			erased := erasureMask(votes, total, rec.PayloadBytes*8, aopts.deadZone())
+			var erased []bool
+			if arena != nil {
+				erased = arena.erasureMaskInto(votes, total, rec.PayloadBytes*8, aopts.deadZone())
+			} else {
+				erased = erasureMask(votes, total, rec.PayloadBytes*8, aopts.deadZone())
+			}
 			var unresolved []bool
 			msg, unresolved, decErr = ed.DecodeErasure(plain[:codedLen], erased[:codedLen*8], rec.MessageBytes)
 			if decErr == nil {
@@ -278,18 +325,30 @@ func DecodeAdaptive(ctx context.Context, r *rig.Rig, rec *Record, aopts Adaptive
 			if err := sampleTo(step.captures); err != nil {
 				return nil, report, err
 			}
-			plain, err := decryptPayload(payloadFromVotes(votes, total, rec.PayloadBytes), rec, opts)
+			plain, err := hardPayload()
 			if err != nil {
 				return nil, report, err
 			}
-			msg, decErr = codec.Decode(plain[:codedLen], rec.MessageBytes)
+			if arena != nil {
+				m := arena.msgBuf(rec.MessageBytes)
+				decErr = arena.pipelineFor(codec).DecodeInto(m, plain[:codedLen], rec.MessageBytes)
+				if decErr == nil {
+					msg = m
+				}
+			} else {
+				msg, decErr = codec.Decode(plain[:codedLen], rec.MessageBytes)
+			}
 		}
 		if decErr != nil {
 			res.Note = decErr.Error()
 			report.Rungs = append(report.Rungs, res)
 			continue
 		}
-		if verr := rec.VerifyMessage(msg, opts.Key); verr != nil {
+		verify := rec.VerifyMessage
+		if arena != nil {
+			verify = func(m []byte, k *stegocrypt.Key) error { return arena.verifyMessage(rec, m, k) }
+		}
+		if verr := verify(msg, opts.Key); verr != nil {
 			if errors.Is(verr, ErrDigestNeedsKey) {
 				return nil, report, verr
 			}
@@ -352,9 +411,7 @@ func bitDiffFraction(a, b []byte) float64 {
 	}
 	diff := 0
 	for i := range a {
-		for d := a[i] ^ b[i]; d != 0; d &= d - 1 {
-			diff++
-		}
+		diff += bits.OnesCount8(a[i] ^ b[i])
 	}
 	return float64(diff) / float64(8*len(a))
 }

@@ -13,6 +13,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/bits"
 
 	"invisiblebits/internal/cpu"
 	"invisiblebits/internal/ecc"
@@ -74,6 +75,12 @@ type Options struct {
 	// experiments measure read-out robustness at the wrong temperature
 	// (power-on state is temperature-susceptible, see ISSUE refs).
 	DecodeTempC float64
+	// Arena, when non-nil, routes the decode tail through reusable
+	// scratch (see DecodeArena): batch decodes against one record shape
+	// stop allocating, and messages returned by arena-backed decode
+	// paths are arena-owned — valid only until the arena's next use.
+	// Arenas are not safe for concurrent use; keep one per worker.
+	Arena *DecodeArena
 }
 
 func (o Options) codec() ecc.Codec {
@@ -331,7 +338,23 @@ func DecodeContext(ctx context.Context, r *rig.Rig, rec *Record, opts Options) (
 	}
 
 	// Post-processing (Algorithm 2, lines 6–7): invert ("like a negative
-	// in photography", §4.3), decrypt, ECC-decode.
+	// in photography", §4.3), decrypt, ECC-decode. With an arena the
+	// whole tail runs in reusable scratch (cached keystream, compiled
+	// pipeline) and the returned message is arena-owned.
+	if a := opts.Arena; a != nil {
+		payload := a.payloadBuf(rec.PayloadBytes)
+		for i := range payload {
+			payload[i] = ^maj[i]
+		}
+		if err := a.decryptInPlace(payload, rec, opts); err != nil {
+			return nil, err
+		}
+		msg := a.msgBuf(rec.MessageBytes)
+		if err := a.pipelineFor(codec).DecodeInto(msg, payload[:codedLen], rec.MessageBytes); err != nil {
+			return nil, fmt.Errorf("core: ecc decode: %w", err)
+		}
+		return msg, nil
+	}
 	payload := make([]byte, rec.PayloadBytes)
 	for i := range payload {
 		payload[i] = ^maj[i]
@@ -403,7 +426,12 @@ func decodeSoft(ctx context.Context, r *rig.Rig, rec *Record, opts Options, code
 	if err != nil {
 		return nil, err
 	}
-	conf, err := payloadConfidences(votes, captures, rec, opts)
+	var conf []float64
+	if a := opts.Arena; a != nil {
+		conf, err = a.confidences(votes, captures, rec, opts)
+	} else {
+		conf, err = payloadConfidences(votes, captures, rec, opts)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -471,10 +499,7 @@ func RawChannelErrorContext(ctx context.Context, r *rig.Rig, payload []byte, cap
 	}
 	errBits := 0
 	for i, b := range payload {
-		diff := ^maj[i] ^ b
-		for d := diff; d != 0; d &= d - 1 {
-			errBits++
-		}
+		errBits += bits.OnesCount8(^maj[i] ^ b)
 	}
 	return float64(errBits) / float64(8*len(payload)), nil
 }

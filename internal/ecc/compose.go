@@ -64,25 +64,9 @@ func (il Interleaver) Name() string {
 // EncodedLen implements Codec.
 func (il Interleaver) EncodedLen(msgBytes int) int { return il.Next.EncodedLen(msgBytes) }
 
-// permute maps bit index i of the linear stream to its interleaved slot.
-func (il Interleaver) permute(n int) []int {
-	p := make([]int, n)
-	rows := il.Depth
-	cols := (n + rows - 1) / rows
-	k := 0
-	for c := 0; c < cols; c++ {
-		for r := 0; r < rows; r++ {
-			src := r*cols + c
-			if src < n {
-				p[src] = k
-				k++
-			}
-		}
-	}
-	return p
-}
-
-// Encode implements Codec.
+// Encode implements Codec. The permutation is cached per (depth, n) —
+// the old code rebuilt a []int on every call — and applied through its
+// inverse as a gather (out bit k = lin bit inv[k]), 8 bits per step.
 func (il Interleaver) Encode(msg []byte) ([]byte, error) {
 	if il.Depth < 1 {
 		return nil, fmt.Errorf("ecc: interleaver depth %d < 1", il.Depth)
@@ -92,15 +76,14 @@ func (il Interleaver) Encode(msg []byte) ([]byte, error) {
 		return nil, err
 	}
 	n := len(lin) * 8
-	p := il.permute(n)
 	out := make([]byte, len(lin))
-	for i := 0; i < n; i++ {
-		setBit(out, p[i], getBit(lin, i))
-	}
+	gatherBits(out, lin, permFor(il.Depth, n).inv, n)
 	return out, nil
 }
 
-// Decode implements Codec.
+// Decode implements Codec: the cached forward permutation gathers the
+// linear stream straight out of the payload (lin bit i = payload bit
+// fwd[i]). The per-bit path lives on as DecodeScalar.
 func (il Interleaver) Decode(payload []byte, msgBytes int) ([]byte, error) {
 	if il.Depth < 1 {
 		return nil, fmt.Errorf("ecc: interleaver depth %d < 1", il.Depth)
@@ -109,11 +92,8 @@ func (il Interleaver) Decode(payload []byte, msgBytes int) ([]byte, error) {
 		return nil, ErrPayloadSize
 	}
 	n := len(payload) * 8
-	p := il.permute(n)
 	lin := make([]byte, len(payload))
-	for i := 0; i < n; i++ {
-		setBit(lin, i, getBit(payload, p[i]))
-	}
+	gatherBits(lin, payload, permFor(il.Depth, n).fwd, n)
 	return il.Next.Decode(lin, msgBytes)
 }
 

@@ -109,22 +109,16 @@ func (r Repetition) Encode(msg []byte) ([]byte, error) {
 	return out, nil
 }
 
-// Decode implements Codec.
+// Decode implements Codec. The per-bit vote loop lives on as
+// DecodeScalar; the default path majority-votes 64 message bits per
+// step by ripple-adding the byte-aligned copies into bit-sliced
+// counters (see repMajorityInto).
 func (r Repetition) Decode(payload []byte, msgBytes int) ([]byte, error) {
 	if len(payload) != msgBytes*r.N {
 		return nil, ErrPayloadSize
 	}
 	out := make([]byte, msgBytes)
-	threshold := r.N/2 + 1
-	for bit := 0; bit < msgBytes*8; bit++ {
-		votes := 0
-		for c := 0; c < r.N; c++ {
-			votes += int(getBit(payload, c*msgBytes*8+bit))
-		}
-		if votes >= threshold {
-			setBit(out, bit, 1)
-		}
-	}
+	repMajorityInto(out, payload, r.N, msgBytes)
 	return out, nil
 }
 

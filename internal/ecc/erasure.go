@@ -1,6 +1,10 @@
 package ecc
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+)
 
 // ErasureDecoder is the optional erasure-channel interface. The adaptive
 // decoder marks coded bits whose vote confidence falls inside a dead zone
@@ -81,6 +85,34 @@ func (r Repetition) DecodeErasure(payload []byte, erased []bool, msgBytes int) (
 	return out, unresolved, nil
 }
 
+// h74Erasure holds the maximum-likelihood erasure LUT, built once on
+// first use: index (mask<<7 | cw) → data nibble in bits 0..3 with bit 4
+// set when the choice is unambiguous. 2^14 entries precompute every
+// mlNibble outcome, so the erasure rung pays one lookup per codeword
+// instead of a 16-codeword distance search.
+var h74Erasure struct {
+	once sync.Once
+	lut  []byte // [1 << 14]: mlNibble(cw, mask) for every pair
+}
+
+const h74ErasureOK = 0x10
+
+func h74ErasureTable() {
+	h74Erasure.once.Do(func() {
+		h74Erasure.lut = make([]byte, 1<<14)
+		for mask := 0; mask < 128; mask++ {
+			for cw := 0; cw < 128; cw++ {
+				nib, ok := mlNibble(byte(cw), byte(mask))
+				v := nib
+				if ok {
+					v |= h74ErasureOK
+				}
+				h74Erasure.lut[mask<<7|cw] = v
+			}
+		}
+	})
+}
+
 // DecodeErasure implements ErasureDecoder for Hamming(7,4) by
 // maximum-likelihood decoding over the 16 codewords: each codeword's
 // distance to the received bits is measured on non-erased positions only,
@@ -89,36 +121,105 @@ func (r Repetition) DecodeErasure(payload []byte, erased []bool, msgBytes int) (
 // plain syndrome decode would miscorrect. An ambiguous codeword (distance
 // tie between different data nibbles, or all positions erased) marks its
 // four data bits unresolved.
+//
+// Fast path: the erasure mask is packed to one bit per coded bit, and
+// both streams feed the same 14-bit reader. A chunk with no erasures —
+// the overwhelmingly common case late in a campaign — decodes both
+// codewords through the hard-decision LUT in one hit (the Hamming code
+// is perfect, so full-mask ML equals syndrome decode); otherwise each
+// codeword is one lookup in the precomputed ML table. Identical to the
+// scalar search by construction (the table is built from mlNibble).
 func (h Hamming74) DecodeErasure(payload []byte, erased []bool, msgBytes int) ([]byte, []bool, error) {
 	if err := checkErasureShape(h, payload, erased, msgBytes); err != nil {
 		return nil, nil, err
 	}
+	h74Tables()
+	h74ErasureTable()
 	out := make([]byte, msgBytes)
 	unresolved := make([]bool, msgBytes*8)
-	bit := 0
+
+	// Pack the mask stream: bit i of packed = erased[i].
+	packed := make([]byte, len(payload))
+	packBools(packed, erased)
+
+	var accP, accM uint64 // payload and mask bit accumulators
+	nbits := uint(0)
+	pos := 0
 	for i := 0; i < msgBytes; i++ {
+		for nbits < 14 && pos < len(payload) {
+			accP |= uint64(payload[pos]) << nbits
+			accM |= uint64(packed[pos]) << nbits
+			nbits += 8
+			pos++
+		}
+		chunkP, chunkM := accP&0x3FFF, accM&0x3FFF
+		accP >>= 14
+		accM >>= 14
+		nbits -= 14
+		if chunkM == 0 {
+			out[i] = h74.decLUT[chunkP]
+			continue
+		}
 		var b byte
 		for half := 0; half < 2; half++ {
-			var cw byte
-			var mask byte // 1 = position is usable
-			for k := 0; k < 7; k++ {
-				if !erased[bit] {
-					mask |= 1 << k
-					cw |= getBit(payload, bit) << k
-				}
-				bit++
+			cw := chunkP >> (7 * half) & 0x7F
+			mask := ^chunkM >> (7 * half) & 0x7F // LUT mask bit 1 = usable
+			v := h74Erasure.lut[mask<<7|(cw&mask)]
+			if v&h74ErasureOK == 0 {
+				unresolved[i*8+half*4] = true
+				unresolved[i*8+half*4+1] = true
+				unresolved[i*8+half*4+2] = true
+				unresolved[i*8+half*4+3] = true
 			}
-			nib, ok := mlNibble(cw, mask)
-			if !ok {
-				for k := 0; k < 4; k++ {
-					unresolved[i*8+half*4+k] = true
-				}
-			}
-			b |= nib << (4 * half)
+			b |= (v & 0x0F) << (4 * half)
 		}
 		out[i] = b
 	}
 	return out, unresolved, nil
+}
+
+// packBools packs mask[i] into bit i of dst; trailing dst bytes beyond
+// the mask stay zero.
+func packBools(dst []byte, mask []bool) {
+	i := 0
+	for ; i+8 <= len(mask); i += 8 {
+		m := mask[i : i+8 : i+8]
+		var b byte
+		if m[0] {
+			b = 1
+		}
+		if m[1] {
+			b |= 1 << 1
+		}
+		if m[2] {
+			b |= 1 << 2
+		}
+		if m[3] {
+			b |= 1 << 3
+		}
+		if m[4] {
+			b |= 1 << 4
+		}
+		if m[5] {
+			b |= 1 << 5
+		}
+		if m[6] {
+			b |= 1 << 6
+		}
+		if m[7] {
+			b |= 1 << 7
+		}
+		dst[i>>3] = b
+	}
+	if i < len(mask) {
+		var b byte
+		for j := 0; i+j < len(mask); j++ {
+			if mask[i+j] {
+				b |= 1 << j
+			}
+		}
+		dst[i>>3] = b
+	}
 }
 
 // mlNibble returns the data nibble whose codeword is nearest to cw on the
@@ -130,7 +231,7 @@ func mlNibble(cw, mask byte) (nib byte, ok bool) {
 	}
 	best, bestDist, ties := byte(0), 8, 0
 	for d := byte(0); d < 16; d++ {
-		dist := popcount7((encodeNibble(d) ^ cw) & mask)
+		dist := bits.OnesCount8((encodeNibble(d) ^ cw) & mask)
 		switch {
 		case dist < bestDist:
 			best, bestDist, ties = d, dist, 1
@@ -139,15 +240,6 @@ func mlNibble(cw, mask byte) (nib byte, ok bool) {
 		}
 	}
 	return best, ties == 1
-}
-
-// popcount7 counts set bits in a 7-bit value.
-func popcount7(v byte) int {
-	n := 0
-	for ; v != 0; v &= v - 1 {
-		n++
-	}
-	return n
 }
 
 // DecodeErasure implements ErasureDecoder for Composite when the inner
@@ -191,12 +283,12 @@ func (il Interleaver) DecodeErasure(payload []byte, erased []bool, msgBytes int)
 		return nil, nil, err
 	}
 	n := len(payload) * 8
-	p := il.permute(n)
+	t := permFor(il.Depth, n)
 	lin := make([]byte, len(payload))
+	gatherBits(lin, payload, t.fwd, n)
 	linErased := make([]bool, n)
-	for i := 0; i < n; i++ {
-		setBit(lin, i, getBit(payload, p[i]))
-		linErased[i] = erased[p[i]]
+	for i, p := range t.fwd {
+		linErased[i] = erased[p]
 	}
 	return next.DecodeErasure(lin, linErased, msgBytes)
 }

@@ -1,0 +1,119 @@
+package ecc
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzCodec builds a codec stack from two selector bytes: sel picks the
+// base family, depth (when nonzero) wraps it in an interleaver. The map
+// is total — every byte pair yields a valid stack — so the fuzzer can
+// mutate freely.
+func fuzzCodec(sel, depth byte) Codec {
+	var c Codec
+	switch sel % 6 {
+	case 0:
+		c = Identity{}
+	case 1:
+		c, _ = NewRepetition(3)
+	case 2:
+		c, _ = NewRepetition(5)
+	case 3:
+		c = Hamming74{}
+	case 4:
+		r, _ := NewRepetition(3)
+		c = Composite{Outer: Hamming74{}, Inner: r}
+	case 5:
+		r, _ := NewRepetition(5)
+		c = Composite{Outer: r, Inner: Hamming74{}}
+	}
+	if d := int(depth % 17); d > 0 {
+		c = Interleaver{Depth: d, Next: c}
+	}
+	return c
+}
+
+// FuzzDecodePipeline drives every fast decode path against the scalar
+// oracle with fuzzer-chosen codec stacks, message sizes and payload
+// bytes. Two probes per input: the payload exactly as given (so shape
+// errors must match too), and the payload resized to the codec's
+// declared length (so the value paths are always exercised). The
+// erasure fast path is compared under a mask derived from the payload
+// stream. Any divergence — output bytes, unresolved mask, or error
+// text — is a crash.
+func FuzzDecodePipeline(f *testing.F) {
+	f.Add(byte(3), byte(0), uint16(8), []byte("with trailing codeword bits"))
+	f.Add(byte(4), byte(8), uint16(64), bytes.Repeat([]byte{0xA5}, 336))
+	f.Add(byte(1), byte(0), uint16(9), make([]byte, 27))
+	f.Add(byte(2), byte(3), uint16(1), []byte{0xFF, 0x00, 0x81, 0x7E, 0x55})
+	f.Add(byte(0), byte(1), uint16(65), bytes.Repeat([]byte{0x0F}, 65))
+	f.Add(byte(5), byte(16), uint16(257), []byte{})
+	f.Fuzz(func(t *testing.T, sel, depth byte, msgB uint16, payload []byte) {
+		msgBytes := int(msgB)%300 + 1
+		codec := fuzzCodec(sel, depth)
+		p := NewPipeline(codec)
+
+		// Probe 1: the raw payload, whatever its shape.
+		checkFuzzAgreement(t, p, payload, msgBytes)
+
+		// Probe 2: resized to the declared coded length by cycling the
+		// fuzz bytes (zeros when empty).
+		coded := make([]byte, codec.EncodedLen(msgBytes))
+		for i := range coded {
+			if len(payload) > 0 {
+				coded[i] = payload[i%len(payload)]
+			}
+		}
+		checkFuzzAgreement(t, p, coded, msgBytes)
+
+		// Probe 3: erasure path, mask bits drawn from the payload stream.
+		dec, ok := codec.(ErasureDecoder)
+		if !ok {
+			return
+		}
+		mask := make([]bool, len(coded)*8)
+		for i := range mask {
+			if len(payload) > 0 {
+				mask[i] = payload[(i/7)%len(payload)]>>(i%8)&1 == 1
+			}
+		}
+		wantMsg, wantUn, wantErr := DecodeErasureScalar(codec, coded, mask, msgBytes)
+		gotMsg, gotUn, gotErr := dec.DecodeErasure(coded, mask, msgBytes)
+		if errStr(gotErr) != errStr(wantErr) {
+			t.Fatalf("erasure err %q, scalar %q", errStr(gotErr), errStr(wantErr))
+		}
+		if !bytes.Equal(gotMsg, wantMsg) {
+			t.Fatalf("erasure message diverges from scalar (codec %s, %dB)", codec.Name(), msgBytes)
+		}
+		if len(gotUn) != len(wantUn) {
+			t.Fatalf("unresolved length %d vs %d", len(gotUn), len(wantUn))
+		}
+		for i := range gotUn {
+			if gotUn[i] != wantUn[i] {
+				t.Fatalf("unresolved bit %d diverges (codec %s)", i, codec.Name())
+			}
+		}
+	})
+}
+
+func checkFuzzAgreement(t *testing.T, p *Pipeline, payload []byte, msgBytes int) {
+	t.Helper()
+	want, wantErr := DecodeScalar(p.Codec(), payload, msgBytes)
+	got, gotErr := p.Codec().Decode(payload, msgBytes)
+	if errStr(gotErr) != errStr(wantErr) {
+		t.Fatalf("Decode err %q, scalar %q (codec %s, %dB payload, %dB msg)",
+			errStr(gotErr), errStr(wantErr), p.Codec().Name(), len(payload), msgBytes)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("Decode diverges from scalar (codec %s, %dB payload, %dB msg)",
+			p.Codec().Name(), len(payload), msgBytes)
+	}
+	dst := make([]byte, msgBytes)
+	pipeErr := p.DecodeInto(dst, payload, msgBytes)
+	if errStr(pipeErr) != errStr(wantErr) {
+		t.Fatalf("pipeline err %q, scalar %q (codec %s)", errStr(pipeErr), errStr(wantErr), p.Codec().Name())
+	}
+	if wantErr == nil && !bytes.Equal(dst, want) {
+		t.Fatalf("pipeline diverges from scalar (codec %s, %dB msg)", p.Codec().Name(), msgBytes)
+	}
+}

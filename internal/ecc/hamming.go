@@ -57,41 +57,24 @@ func decodeNibble(cw byte) byte {
 	return d1 | d2<<1 | d3<<2 | d4<<3
 }
 
-// Encode implements Codec.
+// Encode implements Codec: one table hit per message byte emits both
+// codewords (14 bits) into a draining bit accumulator.
 func (h Hamming74) Encode(msg []byte) ([]byte, error) {
 	out := make([]byte, h.EncodedLen(len(msg)))
-	bit := 0
-	for _, b := range msg {
-		for _, nib := range [2]byte{b & 0x0F, b >> 4} {
-			cw := encodeNibble(nib)
-			for k := 0; k < 7; k++ {
-				setBit(out, bit, (cw>>k)&1)
-				bit++
-			}
-		}
-	}
+	hammingEncodeInto(out, msg)
 	return out, nil
 }
 
-// Decode implements Codec.
+// Decode implements Codec. The per-bit syndrome path lives on as
+// DecodeScalar; the default path looks each 14-bit payload chunk up in
+// a table built from decodeNibble, so one hit corrects and extracts a
+// whole message byte.
 func (h Hamming74) Decode(payload []byte, msgBytes int) ([]byte, error) {
 	if len(payload) != h.EncodedLen(msgBytes) {
 		return nil, ErrPayloadSize
 	}
 	out := make([]byte, msgBytes)
-	bit := 0
-	for i := 0; i < msgBytes; i++ {
-		var b byte
-		for half := 0; half < 2; half++ {
-			var cw byte
-			for k := 0; k < 7; k++ {
-				cw |= getBit(payload, bit) << k
-				bit++
-			}
-			b |= decodeNibble(cw) << (4 * half)
-		}
-		out[i] = b
-	}
+	hammingDecodeInto(out, payload, msgBytes)
 	return out, nil
 }
 

@@ -76,6 +76,14 @@ func (r *Rig) ProbeHealthContext(ctx context.Context, captures, regionBytes int)
 		regionBytes = nBytes
 	}
 	rep := &HealthReport{Captures: captures}
+	// Vote counts take only captures+1 values, so per-region sums
+	// reduce to a histogram dotted with per-value margin/entropy tables
+	// — no per-cell division or log. The table entries evaluate the
+	// exact per-cell expressions, so the weak-cell classification is
+	// unchanged; the dot-product groups float additions differently, so
+	// region means agree with the per-cell loop to rounding.
+	tab := stats.NewVoteTable(captures)
+	hist := make([]int, captures+1)
 	var totM, totH float64
 	totWeak := 0
 	for off := 0; off < nBytes; off += regionBytes {
@@ -83,18 +91,18 @@ func (r *Rig) ProbeHealthContext(ctx context.Context, captures, regionBytes int)
 		if end > nBytes {
 			end = nBytes
 		}
+		tab.Histogram(votes[off*8:end*8], hist)
 		var sumM, sumH float64
 		weak := 0
-		for bit := off * 8; bit < end*8; bit++ {
-			p := float64(votes[bit]) / float64(captures)
-			m := 2*p - 1
-			if m < 0 {
-				m = -m
+		for v, c := range hist {
+			if c == 0 {
+				continue
 			}
-			sumM += m
-			sumH += stats.BitEntropy(p)
-			if m < WeakCellMargin {
-				weak++
+			fc := float64(c)
+			sumM += fc * tab.Margin[v]
+			sumH += fc * tab.Entropy[v]
+			if tab.Margin[v] < WeakCellMargin {
+				weak += c
 			}
 		}
 		cells := float64((end - off) * 8)

@@ -450,6 +450,35 @@ func (r *Rig) SampleVotesContext(ctx context.Context, n int) ([]uint16, error) {
 	return votes, nil
 }
 
+// SampleVotesIntoContext is SampleVotesContext writing into a
+// caller-provided buffer of Device().SRAM.Cells() counters: a batch
+// decoder reuses one buffer across bursts and the sampling path
+// allocates nothing in steady state. The buffer is overwritten, not
+// accumulated into.
+func (r *Rig) SampleVotesIntoContext(ctx context.Context, n int, out []uint16) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if err := r.opError(faults.OpCapture); err != nil {
+		return err
+	}
+	if r.dev.SRAM.Powered() {
+		r.dev.PowerOff(true)
+	}
+	if err := r.dev.SRAM.CaptureVotesInto(ctx, n, r.chamberC, out); err != nil {
+		return err
+	}
+	r.dev.PowerOff(true)
+	if _, err := r.dev.PowerOnContext(ctx, r.chamberC); err != nil {
+		return err
+	}
+	if r.injector != nil {
+		r.injector.CorruptVotes(out, n, r.clockHours)
+	}
+	r.logf("sampled %d power-on states (per-cell votes)", n)
+	return nil
+}
+
 // SampleMajority captures n power-on states at the chamber temperature
 // and majority-votes them (Algorithm 2, lines 1–6). The device is left
 // powered. Sampling is non-destructive (copy tolerance): it does not

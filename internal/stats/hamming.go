@@ -1,25 +1,38 @@
 package stats
 
-import "math/bits"
+import (
+	"encoding/binary"
+	"math/bits"
+)
 
-// HammingWeight returns the number of set bits in data.
+// HammingWeight returns the number of set bits in data, popcounting
+// eight bytes per step.
 func HammingWeight(data []byte) int {
 	w := 0
-	for _, b := range data {
-		w += bits.OnesCount8(b)
+	i := 0
+	for ; i+8 <= len(data); i += 8 {
+		w += bits.OnesCount64(binary.LittleEndian.Uint64(data[i:]))
+	}
+	for ; i < len(data); i++ {
+		w += bits.OnesCount8(data[i])
 	}
 	return w
 }
 
-// HammingDistance returns the number of differing bits between a and b.
-// It panics if the lengths differ: comparing payloads of unequal size is
-// always a caller bug in this codebase.
+// HammingDistance returns the number of differing bits between a and b,
+// popcounting eight bytes per step. It panics if the lengths differ:
+// comparing payloads of unequal size is always a caller bug in this
+// codebase.
 func HammingDistance(a, b []byte) int {
 	if len(a) != len(b) {
 		panic("stats: HammingDistance on unequal lengths")
 	}
 	d := 0
-	for i := range a {
+	i := 0
+	for ; i+8 <= len(a); i += 8 {
+		d += bits.OnesCount64(binary.LittleEndian.Uint64(a[i:]) ^ binary.LittleEndian.Uint64(b[i:]))
+	}
+	for ; i < len(a); i++ {
 		d += bits.OnesCount8(a[i] ^ b[i])
 	}
 	return d

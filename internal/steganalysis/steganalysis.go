@@ -97,13 +97,7 @@ func AnalyzeSnapshot(deviceID string, snap []byte, rows, cols int, bands Bands) 
 		Suspicious: bias < bands.BiasLow || bias > bands.BiasHigh,
 	})
 
-	bits := make([]byte, rows*cols)
-	for i := range bits {
-		if snap[i/8]&(1<<(i%8)) != 0 {
-			bits[i] = 1
-		}
-	}
-	moran, err := stats.MoranIBits(bits, rows, cols)
+	moran, err := stats.MoranIPacked(snap, rows, cols)
 	if err != nil {
 		return nil, err
 	}
