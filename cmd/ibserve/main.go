@@ -21,16 +21,28 @@
 //	POST /api/submit          {tenant, spec, spares} → 202 {campaign}
 //	GET  /api/status          scheduler-wide counters and latency percentiles
 //	GET  /api/campaigns/{id}  one campaign's state
-//	POST /api/drain           stop admission, wait for quiescence
+//	POST /api/drain           202; drain continues server-side, poll /api/status
+//	GET  /healthz             liveness (503 once the scheduler loop has died)
+//	GET  /readyz              readiness (503 while draining/stopping/dead)
+//
+// Lifecycle: SIGINT or SIGTERM triggers a graceful stop — the listener
+// stops accepting, in-flight requests get -shutdown-timeout to finish,
+// the scheduler halts at the next pass boundary, and the journal is
+// closed cleanly so the next start resumes bit-identically.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
+	"time"
 
 	"invisiblebits/internal/sched"
 	"invisiblebits/internal/stegocrypt"
@@ -48,8 +60,18 @@ func main() {
 		devices    = flag.Int("quota-devices", 0, "per-tenant device quota (0 = unlimited)")
 		hours      = flag.Float64("quota-hours", 0, "per-tenant chamber-hour quota (0 = unlimited)")
 		batch      = flag.Bool("batch", true, "coalesce compatible campaigns into shared chamber passes")
+
+		readTimeout     = flag.Duration("read-timeout", 10*time.Second, "max time to read a request (headers + body)")
+		writeTimeout    = flag.Duration("write-timeout", 30*time.Second, "max time to write a response")
+		idleTimeout     = flag.Duration("idle-timeout", 2*time.Minute, "keep-alive idle connection timeout")
+		shutdownTimeout = flag.Duration("shutdown-timeout", 30*time.Second, "grace period for in-flight requests and the scheduler on SIGINT/SIGTERM")
+		maxBody         = flag.Int64("max-body", sched.DefaultMaxBodyBytes, "request body cap in bytes (oversize submissions get 413)")
+		rate            = flag.Float64("rate", 0, "per-tenant sustained submissions/sec (0 = unlimited)")
+		burst           = flag.Int("burst", 0, "per-tenant submission burst size (0 = 1 when -rate is set)")
 	)
 	flag.Parse()
+
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 
 	if *passphrase == "" {
 		fatal(errors.New("ibserve: -passphrase is required (keys are derived, never stored)"))
@@ -94,30 +116,77 @@ func main() {
 			fmt.Printf("ibserve: clean resume: %d journal records replayed\n", sal.JournalRecords)
 		}
 	}
-	fmt.Printf("ibserve: listening on %s\n", *addr)
+
+	handler := sched.NewServerWith(s, sched.ServerConfig{
+		Logger:       logger,
+		MaxBodyBytes: *maxBody,
+		RateLimit:    sched.RateLimit{PerSecond: *rate, Burst: *burst},
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadTimeout:       *readTimeout,
+		ReadHeaderTimeout: *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
+		ErrorLog:          slog.NewLogLogger(logger.Handler(), slog.LevelWarn),
+	}
 
 	// The scheduler loop dying on a journal failure must take the
 	// process down loudly — a serving-but-dead scheduler would 500
-	// forever. A clean drain, by contrast, keeps the process up: the
-	// drain response and follow-up status queries still need serving,
-	// and new submissions bounce with 503 until the operator stops it.
+	// forever (and /healthz flips to 503 first, so an orchestrator can
+	// beat us to it). A clean drain or stop, by contrast, keeps the
+	// process up: status queries still need serving, and new
+	// submissions bounce with 503.
+	schedDead := make(chan error, 1)
 	go func() {
 		<-s.Done()
 		if err := s.Err(); err != nil {
-			fatal(fmt.Errorf("scheduler died: %w", err))
+			schedDead <- err
+			return
 		}
-		fmt.Println("ibserve: drain complete; serving status only")
+		fmt.Println("ibserve: scheduler quiescent; serving status only")
 	}()
 
-	if err := http.ListenAndServe(*addr, sched.NewServer(s)); err != nil {
+	serveErr := make(chan error, 1)
+	go func() {
+		fmt.Printf("ibserve: listening on %s\n", *addr)
+		serveErr <- httpSrv.ListenAndServe()
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	select {
+	case <-ctx.Done():
+		stop() // restore default signal behavior: a second ^C kills us
+		fmt.Println("ibserve: signal received; shutting down gracefully")
+	case err := <-schedDead:
+		fatal(fmt.Errorf("scheduler died: %w", err))
+	case err := <-serveErr:
 		fatal(err)
 	}
+
+	// Two-phase graceful stop: first quiesce the HTTP surface (stop
+	// accepting, let in-flight requests finish), then halt the
+	// scheduler at its next pass boundary so the journal closes with a
+	// complete pass record and the next start resumes bit-identically.
+	deadline, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(deadline); err != nil {
+		logger.Warn("http shutdown incomplete; closing connections", "error", err)
+		httpSrv.Close() //nolint:errcheck // best effort after failed graceful shutdown
+	}
+	if err := s.Stop(deadline); err != nil {
+		fatal(fmt.Errorf("scheduler stop: %w", err))
+	}
+	fmt.Println("ibserve: stopped cleanly; restart with the same -dir to resume")
 }
 
 // openScheduler resumes an existing state directory or creates a fresh
 // one: the presence of a journal decides, so a restart after a crash
-// (or a drain) picks up every in-flight campaign from its last durable
-// checkpoint.
+// (or a graceful stop) picks up every in-flight campaign from its last
+// durable checkpoint.
 func openScheduler(dir string, cfg sched.Config) (*sched.Scheduler, bool, error) {
 	if _, err := os.Stat(filepath.Join(dir, "journal.jsonl")); err == nil {
 		s, rerr := sched.Resume(dir, cfg)

@@ -1,0 +1,187 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// chaosClient builds an http.Client routed through a chaos engine at a
+// test server.
+func chaosClient(c *HTTPChaos) *http.Client {
+	return &http.Client{Transport: c.Transport(nil)}
+}
+
+// chaosRun drives n GETs of path through the engine and returns one
+// outcome string per request ("ok:<body>" or "err:<sentinel>").
+func chaosRun(t *testing.T, srv *httptest.Server, c *HTTPChaos, path string, n int) []string {
+	t.Helper()
+	cl := chaosClient(c)
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		resp, err := cl.Get(srv.URL + path)
+		if err != nil {
+			switch {
+			case errors.Is(err, ErrConnDropped):
+				out = append(out, "err:dropped")
+			case errors.Is(err, ErrResponseLost):
+				out = append(out, "err:lost")
+			default:
+				out = append(out, "err:other")
+			}
+			continue
+		}
+		body, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch {
+		case errors.Is(rerr, ErrConnReset):
+			out = append(out, fmt.Sprintf("reset:%d", len(body)))
+		case rerr != nil:
+			out = append(out, "err:other")
+		default:
+			out = append(out, "ok:"+string(body))
+		}
+	}
+	return out
+}
+
+func TestHTTPChaosDeterministicPerSeed(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "the quick brown fox jumps over the lazy dog")
+	}))
+	defer srv.Close()
+
+	profile := HTTPProfile{
+		Seed:             7,
+		DropRate:         0.2,
+		ResponseLossRate: 0.2,
+		TruncateRate:     0.2,
+		ResetRate:        0.2,
+	}
+	a := chaosRun(t, srv, NewHTTPChaos(profile), "/x", 64)
+	b := chaosRun(t, srv, NewHTTPChaos(profile), "/x", 64)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d diverged under the same seed: %q vs %q", i, a[i], b[i])
+		}
+	}
+
+	other := profile
+	other.Seed = 8
+	c := chaosRun(t, srv, NewHTTPChaos(other), "/x", 64)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("seeds 7 and 8 produced identical fault patterns")
+	}
+}
+
+func TestHTTPChaosEveryFaultKindManifests(t *testing.T) {
+	const body = "0123456789abcdef0123456789abcdef"
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, body)
+	}))
+	defer srv.Close()
+
+	profile := HTTPProfile{
+		Seed:             3,
+		DropRate:         0.15,
+		ResponseLossRate: 0.15,
+		TruncateRate:     0.15,
+		ResetRate:        0.15,
+	}
+	out := chaosRun(t, srv, NewHTTPChaos(profile), "/y", 200)
+	counts := map[string]int{}
+	truncated := 0
+	for _, o := range out {
+		switch {
+		case o == "ok:"+body:
+			counts["clean"]++
+		case strings.HasPrefix(o, "ok:"): // short body, clean EOF
+			truncated++
+		case strings.HasPrefix(o, "reset:"):
+			counts["reset"]++
+		default:
+			counts[o]++
+		}
+	}
+	for _, kind := range []string{"clean", "err:dropped", "err:lost", "reset"} {
+		if counts[kind] == 0 {
+			t.Fatalf("fault kind %s never manifested in 200 requests: %v", kind, counts)
+		}
+	}
+	if truncated == 0 {
+		t.Fatalf("truncation never manifested in 200 requests: %v", counts)
+	}
+}
+
+func TestHTTPChaosSentinelsAreTransient(t *testing.T) {
+	for _, err := range []error{ErrConnDropped, ErrResponseLost, ErrConnReset} {
+		if !IsTransient(err) {
+			t.Fatalf("%v must classify transient", err)
+		}
+		if IsPermanent(err) {
+			t.Fatalf("%v must not classify permanent", err)
+		}
+		wrapped := fmt.Errorf("GET /api/status: %w", err)
+		if !errors.Is(wrapped, err) || !IsTransient(wrapped) {
+			t.Fatalf("wrapping %v loses its identity", err)
+		}
+	}
+}
+
+func TestHTTPChaosKillListener(t *testing.T) {
+	hits := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits++
+		fmt.Fprint(w, "up")
+	}))
+	defer srv.Close()
+
+	chaos := NewHTTPChaos(HTTPProfile{Seed: 1}) // otherwise inert
+	cl := chaosClient(chaos)
+	chaos.KillListener(3)
+	for i := 0; i < 3; i++ {
+		if _, err := cl.Get(srv.URL + "/z"); !errors.Is(err, ErrConnDropped) {
+			t.Fatalf("outage request %d: %v, want ErrConnDropped", i, err)
+		}
+	}
+	resp, err := cl.Get(srv.URL + "/z")
+	if err != nil {
+		t.Fatalf("post-outage request: %v", err)
+	}
+	resp.Body.Close()
+	if hits != 1 {
+		t.Fatalf("server saw %d requests during the outage window, want 1 after it", hits)
+	}
+}
+
+func TestHTTPChaosInertProfilePassesThrough(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "clean")
+	}))
+	defer srv.Close()
+	if !(HTTPProfile{}).Inert() || !(HTTPProfile{Seed: 9}).Inert() {
+		t.Fatal("zero-rate profiles must report inert")
+	}
+	cl := chaosClient(NewHTTPChaos(HTTPProfile{Seed: 9}))
+	for i := 0; i < 50; i++ {
+		resp, err := cl.Get(srv.URL + "/quiet")
+		if err != nil {
+			t.Fatalf("inert profile injected an error: %v", err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || string(body) != "clean" {
+			t.Fatalf("inert profile mangled the body: %q %v", body, err)
+		}
+	}
+}

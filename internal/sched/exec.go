@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"path/filepath"
+	"runtime/debug"
 	"sync"
 
 	"invisiblebits/internal/campaign"
@@ -189,6 +190,37 @@ func (s *Scheduler) executePass(p *passPlan) {
 	wg.Wait()
 }
 
+// ErrSlotPanic is the sentinel every recovered slot-worker panic wraps.
+// It also classifies as faults.ErrPermanent: a controller that panicked
+// mid-soak left its carrier in an unknowable analog state, so the slot
+// takes the same road as a dead board — breaker trip, spare re-route,
+// and a terminal campaign failure only when no spare remains. One
+// panicking tenant must never take the process (and every other
+// tenant's multi-day soak) down with it.
+var ErrSlotPanic = errors.New("sched: slot worker panicked")
+
+// SlotPanicError is a recovered slot-worker panic, carrying the
+// campaign/slot coordinates, the panic value, and the stack at the
+// point of recovery for the operator log.
+type SlotPanicError struct {
+	Campaign string
+	Slot     int
+	Serial   string
+	Value    any
+	Stack    []byte
+}
+
+func (e *SlotPanicError) Error() string {
+	return fmt.Sprintf("sched: slot worker panicked: campaign %q slot %d (serial %q): %v",
+		e.Campaign, e.Slot, e.Serial, e.Value)
+}
+
+// Is classifies the panic as both ErrSlotPanic and a permanent device
+// fault, so the existing reroute/quarantine triage applies unchanged.
+func (e *SlotPanicError) Is(target error) bool {
+	return target == ErrSlotPanic || target == faults.ErrPermanent
+}
+
 // breakerAllow/breakerRecord are the nil-safe breaker gates on the
 // shared chamber clock.
 func (s *Scheduler) breakerAllow(deviceID string, clockHours float64) error {
@@ -268,7 +300,24 @@ func (s *Scheduler) bootstrapSlot(ctx context.Context, c *campState, idx int, sl
 // is re-running work the journal already holds (an in-memory rebuild
 // after a transient fault replays from the last checkpoint; re-appending
 // those records would rewind the replay stream).
+//
+// A panic anywhere in the slot's work — bootstrap, session, stress
+// kernel — is contained here: it recovers into a SlotPanicError
+// (permanent, so applyPassLocked re-routes to a spare or fails only
+// this campaign) and is charged to the carrier's breaker, instead of
+// unwinding the goroutine and killing every tenant's campaign at once.
 func (s *Scheduler) runSlot(run *slotRun, p *passPlan) {
+	defer func() {
+		if r := recover(); r != nil {
+			run.err = &SlotPanicError{
+				Campaign: run.c.id, Slot: run.idx, Serial: run.sl.serial,
+				Value: r, Stack: debug.Stack(),
+			}
+			if run.sl.rig != nil {
+				s.breakerRecord(run.sl.rig.Device().DeviceID(), run.err, p.atHours+p.setup+p.quantum)
+			}
+		}
+	}()
 	ctx := context.Background()
 	c, sl := run.c, run.sl
 	if sl.rig == nil {

@@ -1,0 +1,88 @@
+package sched
+
+import (
+	"sync"
+	"time"
+)
+
+// RateLimit is a per-tenant token-bucket policy for the HTTP surface:
+// each tenant may submit at PerSecond sustained with bursts of Burst.
+// The zero value disables limiting. Rate limiting is an HTTP-layer
+// concern — the scheduler's own admission control (quotas, queue
+// backpressure) governs how much WORK a tenant may hold; the bucket
+// governs how often a tenant may knock on the door, so one retry-happy
+// client cannot starve the listener for everyone else.
+type RateLimit struct {
+	// PerSecond is the sustained refill rate; <= 0 disables limiting.
+	PerSecond float64
+	// Burst is the bucket capacity; <= 0 means a capacity of 1.
+	Burst int
+}
+
+func (rl RateLimit) enabled() bool { return rl.PerSecond > 0 }
+
+func (rl RateLimit) burst() float64 {
+	if rl.Burst <= 0 {
+		return 1
+	}
+	return float64(rl.Burst)
+}
+
+// tenantLimiter is the shared token-bucket table. The clock is
+// injectable so tests drive it on simulated time. Safe for concurrent
+// use.
+type tenantLimiter struct {
+	rl  RateLimit
+	now func() time.Time
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newTenantLimiter(rl RateLimit, now func() time.Time) *tenantLimiter {
+	if !rl.enabled() {
+		return nil
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &tenantLimiter{rl: rl, now: now, buckets: map[string]*bucket{}}
+}
+
+// allow takes one token from tenant's bucket. When the bucket is dry it
+// reports false plus how long until the next token accrues — the
+// Retry-After the HTTP layer hands back with the 429.
+func (l *tenantLimiter) allow(tenant string) (bool, time.Duration) {
+	if l == nil {
+		return true, 0
+	}
+	t := l.now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, ok := l.buckets[tenant]
+	if !ok {
+		b = &bucket{tokens: l.rl.burst(), last: t}
+		l.buckets[tenant] = b
+	}
+	if dt := t.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * l.rl.PerSecond
+		if limit := l.rl.burst(); b.tokens > limit {
+			b.tokens = limit
+		}
+	}
+	b.last = t
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / l.rl.PerSecond * float64(time.Second))
+	if wait < time.Second {
+		wait = time.Second // Retry-After has one-second granularity
+	}
+	return false, wait
+}

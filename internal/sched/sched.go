@@ -36,6 +36,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 
 	"invisiblebits/internal/campaign"
 	"invisiblebits/internal/cliutil"
@@ -73,6 +74,19 @@ var (
 	// other campaign already owns — two campaigns imprinting the same
 	// physical board would destroy both messages.
 	ErrSerialInUse = errors.New("sched: carrier serial already in use")
+	// ErrStopped rejects an operation because Stop was called: this
+	// incarnation is shutting down at the next pass boundary. Unlike a
+	// drain, in-flight campaigns are NOT finished first — they resume
+	// bit-identically in the next incarnation, so clients should retry.
+	ErrStopped = errors.New("sched: scheduler stopped")
+	// ErrSchedulerDown rejects an operation because the scheduling loop
+	// died on a fatal journal failure. The wrapped cause is attached;
+	// a supervisor restart (Resume) clears it, so clients may retry.
+	ErrSchedulerDown = errors.New("sched: scheduler is dead")
+	// ErrRateLimited is the HTTP layer's per-tenant token-bucket
+	// rejection (the scheduler itself never returns it; it lives here so
+	// server and client share one typed vocabulary).
+	ErrRateLimited = errors.New("sched: tenant rate limit exceeded")
 )
 
 // Scheduler defaults.
@@ -347,7 +361,12 @@ type Scheduler struct {
 
 	latencies []float64 // completed-campaign latencies, chamber hours
 
+	// passWallSecs is an EWMA of the measured wall-clock duration of one
+	// chamber pass — the basis for load-aware Retry-After hints.
+	passWallSecs float64
+
 	draining bool
+	stopping bool
 	fatal    error
 	done     chan struct{}
 }
@@ -802,7 +821,10 @@ func (s *Scheduler) Submit(sub Submission) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.fatal != nil {
-		return fmt.Errorf("sched: scheduler is dead: %w", s.fatal)
+		return fmt.Errorf("%w: %v", ErrSchedulerDown, s.fatal)
+	}
+	if s.stopping {
+		return ErrStopped
 	}
 	if s.draining {
 		return ErrDraining
@@ -951,6 +973,10 @@ func (s *Scheduler) Drain(ctx context.Context) error {
 		s.mu.Unlock()
 		return err
 	}
+	if s.stopping {
+		s.mu.Unlock()
+		return ErrStopped
+	}
 	if !s.draining {
 		if err := s.append(&Entry{Type: entryDrain, AtHours: s.chamberHours, Slot: -1}); err != nil {
 			s.mu.Unlock()
@@ -971,8 +997,82 @@ func (s *Scheduler) Drain(ctx context.Context) error {
 	return s.fatal
 }
 
+// Stop halts the scheduling loop at the next pass boundary WITHOUT
+// draining: in-flight campaigns keep every durable record they have
+// earned, the journal is closed cleanly, and a subsequent Resume of the
+// same directory continues them bit-identically — this is the graceful
+// SIGTERM path, where "graceful" means "indistinguishable from having
+// never been interrupted", not "wait 4.2 days for the soak to finish".
+// Stop blocks until the loop has exited (any in-flight pass completes
+// and folds its outcomes in first), the context expires, or the
+// scheduler dies. Stopping is terminal for this incarnation: Submit and
+// Drain return ErrStopped from the moment Stop is called.
+func (s *Scheduler) Stop(ctx context.Context) error {
+	s.mu.Lock()
+	if s.fatal != nil {
+		err := s.fatal
+		s.mu.Unlock()
+		return err
+	}
+	s.stopping = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+
+	select {
+	case <-s.done:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fatal
+}
+
+// RetryAfterHint estimates how long a rejected client should wait
+// before retrying, from the live queue depth and the measured
+// wall-clock pass cadence: roughly the passes needed to turn the queue
+// over once, clamped to [1s, 5m]. Before any pass has completed the
+// hint is the 1s floor — better to invite an early retry than to park
+// clients on a made-up constant.
+func (s *Scheduler) RetryAfterHint() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	per := s.passWallSecs
+	if per <= 0 {
+		return time.Second
+	}
+	passes := (len(s.queue) + s.cfg.chamberSlots() - 1) / s.cfg.chamberSlots()
+	if passes < 1 {
+		passes = 1
+	}
+	d := time.Duration(per * float64(passes) * float64(time.Second))
+	if d < time.Second {
+		d = time.Second
+	}
+	if d > 5*time.Minute {
+		d = 5 * time.Minute
+	}
+	return d
+}
+
+// CampaignDigest returns the schedule digest of an admitted campaign —
+// the idempotency token: a client whose submission's response was lost
+// retries, receives ErrDuplicateCampaign with this digest attached, and
+// treats a match as proof its own submission is the one that landed.
+func (s *Scheduler) CampaignDigest(id string) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.camps[id]
+	if !ok || c.quarantined {
+		// A quarantined campaign's spec is unrecoverable; no digest can
+		// vouch for it, so a retried submit reports a real conflict.
+		return "", false
+	}
+	return c.spec.ScheduleDigest(), true
+}
+
 // Done is closed when the scheduling loop exits: after a completed
-// drain, or on a fatal journal failure (see Err).
+// drain, a graceful Stop, or on a fatal journal failure (see Err).
 func (s *Scheduler) Done() <-chan struct{} { return s.done }
 
 // Err returns the fatal error that killed the scheduler, if any.
@@ -984,7 +1084,8 @@ func (s *Scheduler) Err() error {
 
 // loop is the scheduling loop: wait for runnable work, plan one chamber
 // pass, execute it, apply the outcomes, repeat. It exits when draining
-// completes or the journal fails.
+// completes, Stop is called (at a pass boundary — never mid-pass), or
+// the journal fails.
 func (s *Scheduler) loop() {
 	defer close(s.done)
 	defer s.j.Close()
@@ -992,7 +1093,7 @@ func (s *Scheduler) loop() {
 		s.mu.Lock()
 		var plan *passPlan
 		for {
-			if s.fatal != nil {
+			if s.fatal != nil || s.stopping {
 				s.mu.Unlock()
 				return
 			}
@@ -1017,9 +1118,16 @@ func (s *Scheduler) loop() {
 		}
 		s.mu.Unlock()
 
+		start := time.Now()
 		s.executePass(plan)
+		wall := time.Since(start).Seconds()
 
 		s.mu.Lock()
+		if s.passWallSecs <= 0 {
+			s.passWallSecs = wall
+		} else {
+			s.passWallSecs = 0.8*s.passWallSecs + 0.2*wall
+		}
 		s.applyPassLocked(plan)
 		s.mu.Unlock()
 	}
@@ -1061,6 +1169,9 @@ type Status struct {
 	// their on-disk state was unrecoverable.
 	Quarantined int  `json:"quarantined,omitempty"`
 	Drain       bool `json:"draining"`
+	// Stopping reports a graceful Stop in progress (or completed): this
+	// incarnation schedules no further passes; restart to resume.
+	Stopping bool `json:"stopping,omitempty"`
 
 	// Salvage is the degraded-resume report; nil for a fresh scheduler,
 	// non-nil (possibly clean) after Resume.
@@ -1122,6 +1233,7 @@ func (s *Scheduler) Status() Status {
 		BatchedSlices: s.batchedSlices,
 		Active:        len(s.queue),
 		Drain:         s.draining,
+		Stopping:      s.stopping,
 		Tenants:       map[string]TenantStatus{},
 	}
 	st.Salvage = s.salvage

@@ -79,17 +79,27 @@ func TestServerEndpoints(t *testing.T) {
 		t.Fatalf("GET submit: %d %s", w.Code, w.Body)
 	}
 
-	// Drain blocks until quiescent, then reports final status.
+	// Drain acknowledges with 202 immediately — quiescence happens
+	// server-side — and a poll of /api/status observes completion.
 	w = postJSON(t, srv, "/api/drain", nil)
-	if w.Code != http.StatusOK {
+	if w.Code != http.StatusAccepted {
 		t.Fatalf("drain: %d %s", w.Code, w.Body)
 	}
+	<-s.Done()
+	if err := s.Err(); err != nil {
+		t.Fatalf("drain failed: %v", err)
+	}
+	w = getPath(t, srv, "/api/status")
 	var st Status
 	if err := json.Unmarshal(w.Body.Bytes(), &st); err != nil {
-		t.Fatalf("drain body: %v (%s)", err, w.Body)
+		t.Fatalf("status body: %v (%s)", err, w.Body)
 	}
 	if st.Done != 1 || st.Active != 0 || !st.Drain {
 		t.Fatalf("post-drain status: %+v", st)
+	}
+	// A second drain is idempotent: still 202, not an error.
+	if w := postJSON(t, srv, "/api/drain", nil); w.Code != http.StatusAccepted {
+		t.Fatalf("repeat drain: %d %s", w.Code, w.Body)
 	}
 
 	// Campaign lookup after completion.
